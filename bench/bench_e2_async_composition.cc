@@ -1,0 +1,77 @@
+// E2 — why immediate coupling is barred for composite events (§3.2/§6.4):
+// the go-ahead latency of a method event when composition runs
+// asynchronously vs when every event must wait for the composers ("wait
+// for negative acknowledgements"). Sweeps the number of composite event
+// types containing the primitive. Expected shape: blocking latency grows
+// with the composite count; asynchronous stays near-flat.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/reach/reach_db.h"
+
+namespace reach {
+namespace {
+
+std::unique_ptr<ReachDb> Open(bool async, int n_composites,
+                              const std::string& tag) {
+  std::string base =
+      (std::filesystem::temp_directory_path() / ("reach_e2_" + tag)).string();
+  std::filesystem::remove(base + ".db");
+  std::filesystem::remove(base + ".wal");
+  ReachOptions options;
+  options.events.async_composition = async;
+  options.events.composition_threads = 2;
+  auto db = ReachDb::Open(base, std::move(options));
+  if (!db.ok()) std::abort();
+  Status st = (*db)->RegisterClass(
+      ClassBuilder("Feed")
+          .Attribute("v", ValueType::kInt, Value(0))
+          .Method("emit", [](Session&, DbObject&,
+                             const std::vector<Value>&) -> Result<Value> {
+            return Value();
+          }));
+  if (!st.ok()) std::abort();
+  auto ev = (*db)->events()->DefineMethodEvent("emit_ev", "Feed", "emit");
+  auto other = (*db)->events()->DefineMethodEvent("other_ev", "Feed", "other");
+  for (int i = 0; i < n_composites; ++i) {
+    // Sequences that never complete (the second leg never occurs), so the
+    // compositors keep buffering — the worst case for blocking mode.
+    auto id = (*db)->events()->DefineComposite(
+        "comp" + std::to_string(i),
+        EventExpr::Seq(EventExpr::Prim(*ev), EventExpr::Prim(*other)),
+        CompositeScope::kSingleTxn);
+    if (!id.ok()) std::abort();
+  }
+  return std::move(*db);
+}
+
+void RunBody(benchmark::State& state, bool async) {
+  int n = static_cast<int>(state.range(0));
+  auto db = Open(async, n,
+                 (async ? "async_" : "block_") + std::to_string(n));
+  Session s(db->database());
+  if (!s.Begin().ok()) std::abort();
+  auto oid = s.PersistNew("Feed", {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Invoke(*oid, "emit"));
+  }
+  state.counters["composite_types"] = n;
+  (void)s.Abort();
+  db->Drain();
+}
+
+void BM_BlockingComposition(benchmark::State& state) { RunBody(state, false); }
+void BM_AsyncComposition(benchmark::State& state) { RunBody(state, true); }
+
+BENCHMARK(BM_BlockingComposition)
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AsyncComposition)
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

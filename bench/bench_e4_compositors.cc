@@ -1,0 +1,138 @@
+// E4 — §6.3's design decision: many small compositors, executable by
+// parallel threads, instead of one large monolithic event graph. We
+// compare throughput of k composite event types processed (a) behind a
+// single global lock in one thread (the monolithic organization), (b) as
+// independent compositors on one thread, and (c) as independent
+// compositors fanned out over a thread pool. Also reports semi-composed
+// event GC cost at EOT.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/events/compositor.h"
+#include "core/events/event_registry.h"
+
+namespace reach {
+namespace {
+
+struct Setup {
+  EventRegistry registry;
+  std::vector<EventTypeId> primitives;
+  std::vector<std::unique_ptr<Compositor>> compositors;
+  std::vector<EventOccurrencePtr> stream;
+
+  explicit Setup(int k, int stream_len = 4096) {
+    for (int i = 0; i < 8; ++i) {
+      primitives.push_back(*registry.RegisterMethodEvent(
+          "P" + std::to_string(i), "C", "m" + std::to_string(i)));
+    }
+    for (int i = 0; i < k; ++i) {
+      // Each composite is a sequence over a pseudo-random pair.
+      EventTypeId a = primitives[i % primitives.size()];
+      EventTypeId b = primitives[(i + 3) % primitives.size()];
+      auto id = registry.RegisterComposite(
+          "X" + std::to_string(i),
+          EventExpr::Seq(EventExpr::Prim(a), EventExpr::Prim(b)),
+          CompositeScope::kSingleTxn, ConsumptionPolicy::kChronicle);
+      if (!id.ok()) std::abort();
+      compositors.push_back(
+          std::make_unique<Compositor>(registry.Find(*id)));
+    }
+    Random rng(42);
+    for (int i = 0; i < stream_len; ++i) {
+      auto occ = std::make_shared<EventOccurrence>();
+      occ->type = primitives[rng.Uniform(primitives.size())];
+      occ->sequence = static_cast<uint64_t>(i + 1);
+      occ->timestamp = (i + 1) * 10;
+      occ->txn = 1 + rng.Uniform(4);  // four concurrent transactions
+      stream.push_back(std::move(occ));
+    }
+  }
+};
+
+void BM_MonolithicSingleGraph(benchmark::State& state) {
+  Setup setup(static_cast<int>(state.range(0)));
+  std::mutex global_graph_lock;  // the monolithic manager serializes on one
+  std::vector<EventOccurrencePtr> out;
+  for (auto _ : state) {
+    for (const auto& occ : setup.stream) {
+      std::lock_guard<std::mutex> lock(global_graph_lock);
+      for (auto& c : setup.compositors) {
+        c->Feed(occ, &out);
+      }
+      out.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.stream.size()));
+  state.counters["composite_types"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MonolithicSingleGraph)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SmallCompositorsSequential(benchmark::State& state) {
+  Setup setup(static_cast<int>(state.range(0)));
+  std::vector<EventOccurrencePtr> out;
+  for (auto _ : state) {
+    for (const auto& occ : setup.stream) {
+      for (auto& c : setup.compositors) {
+        c->Feed(occ, &out);
+      }
+      out.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.stream.size()));
+  state.counters["composite_types"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SmallCompositorsSequential)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SmallCompositorsParallel(benchmark::State& state) {
+  Setup setup(static_cast<int>(state.range(0)));
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    for (const auto& occ : setup.stream) {
+      for (auto& c : setup.compositors) {
+        Compositor* raw = c.get();
+        pool.Submit([raw, occ] {
+          std::vector<EventOccurrencePtr> out;
+          raw->Feed(occ, &out);
+        });
+      }
+    }
+    pool.WaitIdle();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.stream.size()));
+  state.counters["composite_types"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SmallCompositorsParallel)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EotGarbageCollection(benchmark::State& state) {
+  // §6.3: "when the life-span of a semi-composed event elapses, the whole
+  // composition graph instance is simply removed" — measure that removal.
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Setup setup(k, /*stream_len=*/1024);
+    std::vector<EventOccurrencePtr> out;
+    for (const auto& occ : setup.stream) {
+      for (auto& c : setup.compositors) c->Feed(occ, &out);
+    }
+    state.ResumeTiming();
+    for (TxnId txn = 1; txn <= 4; ++txn) {
+      for (auto& c : setup.compositors) c->OnTxnEnd(txn);
+    }
+  }
+  state.counters["composite_types"] = static_cast<double>(k);
+}
+BENCHMARK(BM_EotGarbageCollection)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E5 — cost of the four event consumption policies (§3.4) on a sequence
+// composition, as a function of the initiator/terminator ratio (how many
+// duplicate initiators pile up before each terminator). Expected shape:
+// recent and chronicle stay O(1)-ish per event; continuous and cumulative
+// pay for touching every open initiator at each terminator.
+#include <benchmark/benchmark.h>
+
+#include "core/events/compositor.h"
+#include "core/events/event_registry.h"
+
+namespace reach {
+namespace {
+
+void RunPolicy(benchmark::State& state, ConsumptionPolicy policy) {
+  int dup = static_cast<int>(state.range(0));  // initiators per terminator
+  EventRegistry registry;
+  EventTypeId e1 = *registry.RegisterMethodEvent("E1", "C", "m1");
+  EventTypeId e2 = *registry.RegisterMethodEvent("E2", "C", "m2");
+  auto id = registry.RegisterComposite(
+      "X", EventExpr::Seq(EventExpr::Prim(e1), EventExpr::Prim(e2)),
+      CompositeScope::kSingleTxn, policy);
+  if (!id.ok()) std::abort();
+
+  uint64_t seq = 0;
+  auto make = [&](EventTypeId type) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = type;
+    occ->sequence = ++seq;
+    occ->timestamp = static_cast<Timestamp>(seq * 10);
+    occ->txn = 1;
+    return occ;
+  };
+
+  Compositor compositor(registry.Find(*id));
+  std::vector<EventOccurrencePtr> out;
+  uint64_t completions = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < dup; ++i) {
+      compositor.Feed(make(e1), &out);
+    }
+    compositor.Feed(make(e2), &out);
+    completions += out.size();
+    out.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * (dup + 1));
+  state.counters["initiators_per_terminator"] = dup;
+  state.counters["completions_per_round"] =
+      state.iterations() > 0
+          ? static_cast<double>(completions) /
+                static_cast<double>(state.iterations())
+          : 0;
+}
+
+void BM_Recent(benchmark::State& state) {
+  RunPolicy(state, ConsumptionPolicy::kRecent);
+}
+void BM_Chronicle(benchmark::State& state) {
+  RunPolicy(state, ConsumptionPolicy::kChronicle);
+}
+void BM_Continuous(benchmark::State& state) {
+  RunPolicy(state, ConsumptionPolicy::kContinuous);
+}
+void BM_Cumulative(benchmark::State& state) {
+  RunPolicy(state, ConsumptionPolicy::kCumulative);
+}
+
+BENCHMARK(BM_Recent)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_Chronicle)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_Continuous)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_Cumulative)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E6 — event life-span management (§3.3): without a defined life-span,
+// semi-composed events accumulate without bound; with per-transaction
+// scoping (discard at EOT) or validity intervals (expire), the live
+// population stays bounded. This bench prints the live-partial population
+// under three regimes for the same never-completing event stream.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/events/compositor.h"
+#include "core/events/event_registry.h"
+
+namespace reach {
+namespace {
+
+struct GcSetup {
+  EventRegistry registry;
+  EventTypeId initiator, terminator;
+  std::unique_ptr<Compositor> compositor;
+
+  GcSetup(CompositeScope scope, Timestamp validity) {
+    initiator = *registry.RegisterMethodEvent("I", "C", "i");
+    terminator = *registry.RegisterMethodEvent("T", "C", "t");
+    auto id = registry.RegisterComposite(
+        "X", EventExpr::Seq(EventExpr::Prim(initiator),
+                            EventExpr::Prim(terminator)),
+        scope, ConsumptionPolicy::kChronicle, validity);
+    if (!id.ok()) std::abort();
+    compositor = std::make_unique<Compositor>(registry.Find(*id));
+  }
+};
+
+// Stream of initiators that never terminate: the §3.3 worst case.
+void BM_NoGc_UnboundedGrowth(benchmark::State& state) {
+  // Cross-txn scope with an effectively-infinite validity interval: the
+  // "illegal" configuration §3.3 exists to rule out.
+  GcSetup setup(CompositeScope::kCrossTxn, /*validity=*/1LL << 60);
+  uint64_t seq = 0;
+  std::vector<EventOccurrencePtr> out;
+  for (auto _ : state) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = setup.initiator;
+    occ->sequence = ++seq;
+    occ->timestamp = static_cast<Timestamp>(seq);
+    occ->txn = 1 + (seq % 64);
+    setup.compositor->Feed(occ, &out);
+  }
+  state.counters["live_partials_at_end"] =
+      static_cast<double>(setup.compositor->LivePartialCount());
+}
+BENCHMARK(BM_NoGc_UnboundedGrowth)->Iterations(100000);
+
+void BM_TxnScopeGc_BoundedByActiveTxns(benchmark::State& state) {
+  GcSetup setup(CompositeScope::kSingleTxn, 0);
+  uint64_t seq = 0;
+  std::vector<EventOccurrencePtr> out;
+  for (auto _ : state) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = setup.initiator;
+    occ->sequence = ++seq;
+    occ->timestamp = static_cast<Timestamp>(seq);
+    TxnId txn = 1 + (seq % 64);
+    occ->txn = txn;
+    setup.compositor->Feed(occ, &out);
+    // A transaction ends every 16 events (discarding its partials).
+    if (seq % 16 == 0) setup.compositor->OnTxnEnd(1 + (seq / 16) % 64);
+  }
+  state.counters["live_partials_at_end"] =
+      static_cast<double>(setup.compositor->LivePartialCount());
+  state.counters["discarded_at_eot"] =
+      static_cast<double>(setup.compositor->stats().discarded_at_eot);
+}
+BENCHMARK(BM_TxnScopeGc_BoundedByActiveTxns)->Iterations(100000);
+
+void BM_ValidityIntervalGc_BoundedByWindow(benchmark::State& state) {
+  GcSetup setup(CompositeScope::kCrossTxn, /*validity=*/1000);
+  uint64_t seq = 0;
+  std::vector<EventOccurrencePtr> out;
+  for (auto _ : state) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = setup.initiator;
+    occ->sequence = ++seq;
+    occ->timestamp = static_cast<Timestamp>(seq * 10);  // 10us apart
+    occ->txn = 1 + (seq % 64);
+    setup.compositor->Feed(occ, &out);
+  }
+  state.counters["live_partials_at_end"] =
+      static_cast<double>(setup.compositor->LivePartialCount());
+  state.counters["expired_partials"] =
+      static_cast<double>(setup.compositor->stats().expired_partials);
+}
+BENCHMARK(BM_ValidityIntervalGc_BoundedByWindow)->Iterations(100000);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// E7 — substrate sanity: throughput of the EXODUS-role storage manager and
+// the transaction manager underneath REACH (object create / read / update,
+// durable commit, nested subtransaction overhead, recovery replay rate).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+namespace {
+
+std::string FreshBase(const std::string& tag) {
+  std::string base =
+      (std::filesystem::temp_directory_path() / ("reach_e7_" + tag)).string();
+  std::filesystem::remove(base + ".db");
+  std::filesystem::remove(base + ".wal");
+  return base;
+}
+
+void BM_ObjectInsert(benchmark::State& state) {
+  auto sm = StorageManager::Open(FreshBase("insert"));
+  if (!sm.ok()) std::abort();
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  TxnId txn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*sm)->objects()->Insert(txn, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+// 32 KiB exercises the large-object segment chains; iteration-capped so
+// the scratch file stays small.
+BENCHMARK(BM_ObjectInsert)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_ObjectInsert)->Arg(32768)->Iterations(2000);
+
+void BM_ObjectRead(benchmark::State& state) {
+  auto sm = StorageManager::Open(FreshBase("read"));
+  if (!sm.ok()) std::abort();
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  std::vector<Oid> oids;
+  for (int i = 0; i < 1024; ++i) {
+    oids.push_back(*(*sm)->objects()->Insert(1, payload));
+  }
+  Random rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*sm)->objects()->Read(oids[rng.Uniform(oids.size())]));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ObjectRead)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ObjectUpdateInPlace(benchmark::State& state) {
+  auto sm = StorageManager::Open(FreshBase("update"));
+  if (!sm.ok()) std::abort();
+  std::string payload(256, 'x');
+  auto oid = *(*sm)->objects()->Insert(1, payload);
+  for (auto _ : state) {
+    payload[0] = static_cast<char>('a' + (state.iterations() % 26));
+    if (!(*sm)->objects()->Update(1, oid, payload).ok()) std::abort();
+  }
+}
+BENCHMARK(BM_ObjectUpdateInPlace);
+
+void BM_DurableCommit(benchmark::State& state) {
+  // Full transaction with one insert and an fsync'd commit record — the
+  // durability floor for every REACH transaction.
+  auto sm = StorageManager::Open(FreshBase("commit"));
+  if (!sm.ok()) std::abort();
+  TransactionManager tm(sm->get());
+  std::string payload(128, 'p');
+  for (auto _ : state) {
+    auto txn = tm.Begin();
+    if (!txn.ok()) std::abort();
+    benchmark::DoNotOptimize((*sm)->objects()->Insert(*txn, payload));
+    if (!tm.Commit(*txn).ok()) std::abort();
+  }
+}
+BENCHMARK(BM_DurableCommit)->Unit(benchmark::kMicrosecond);
+
+void BM_SubtransactionOverhead(benchmark::State& state) {
+  // Begin+commit of an empty nested subtransaction: the setup cost that
+  // parallel rule execution must amortize (E1's crossover).
+  auto sm = StorageManager::Open(FreshBase("subtxn"));
+  if (!sm.ok()) std::abort();
+  TransactionManager tm(sm->get());
+  auto root = tm.Begin();
+  if (!root.ok()) std::abort();
+  for (auto _ : state) {
+    auto sub = tm.Begin(*root);
+    if (!sub.ok()) std::abort();
+    if (!tm.Commit(*sub).ok()) std::abort();
+  }
+  (void)tm.Abort(*root);
+}
+BENCHMARK(BM_SubtransactionOverhead);
+
+void BM_AbortRollback(benchmark::State& state) {
+  auto sm = StorageManager::Open(FreshBase("abort"));
+  if (!sm.ok()) std::abort();
+  TransactionManager tm(sm->get());
+  std::string payload(128, 'p');
+  int n_ops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto txn = tm.Begin();
+    if (!txn.ok()) std::abort();
+    for (int i = 0; i < n_ops; ++i) {
+      benchmark::DoNotOptimize((*sm)->objects()->Insert(*txn, payload));
+    }
+    if (!tm.Abort(*txn).ok()) std::abort();
+  }
+  state.counters["ops_rolled_back"] = n_ops;
+}
+BENCHMARK(BM_AbortRollback)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  // Replay rate: how fast Open() recovers a log of committed inserts.
+  int n_records = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string base = FreshBase("recover");
+    {
+      auto sm = StorageManager::Open(base);
+      if (!sm.ok()) std::abort();
+      std::string payload(128, 'r');
+      for (int i = 0; i < n_records; ++i) {
+        TxnId txn = static_cast<TxnId>(i + 1);
+        if (!(*sm)->LogBegin(txn).ok()) std::abort();
+        benchmark::DoNotOptimize((*sm)->objects()->Insert(txn, payload));
+        if (!(*sm)->LogCommit(txn).ok()) std::abort();
+      }
+      // Crash: no checkpoint.
+    }
+    state.ResumeTiming();
+    auto sm = StorageManager::Open(base);
+    if (!sm.ok()) std::abort();
+    benchmark::DoNotOptimize((*sm)->recovery_stats().records_redone);
+  }
+  state.counters["wal_records"] = n_records;
+}
+// Setup per iteration writes the whole log (with per-commit fsyncs), so
+// cap the iteration count.
+BENCHMARK(BM_RecoveryReplay)
+    ->Arg(100)->Arg(1000)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// E8 — per-coupling-mode cost: the time from raising the triggering method
+// event until the rule's action effect is durably visible, for each of the
+// six REACH coupling modes. Expected shape: immediate < deferred (pays the
+// commit barrier) < detached family (independent transaction + handoff);
+// the causally dependent modes add outcome-waiting on top of detached.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/reach/reach_db.h"
+
+namespace reach {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<ReachDb> db;
+  Oid trigger_obj;
+  Oid sink_obj;
+  EventTypeId event;
+
+  explicit Fixture(const std::string& tag) {
+    std::string base =
+        (std::filesystem::temp_directory_path() / ("reach_e8_" + tag))
+            .string();
+    std::filesystem::remove(base + ".db");
+    std::filesystem::remove(base + ".wal");
+    auto opened = ReachDb::Open(base);
+    if (!opened.ok()) std::abort();
+    db = std::move(*opened);
+    Status st = db->RegisterClass(
+        ClassBuilder("T")
+            .Attribute("n", ValueType::kInt, Value(0))
+            .Method("fire", [](Session&, DbObject&,
+                               const std::vector<Value>&) -> Result<Value> {
+              return Value();
+            }));
+    if (!st.ok()) std::abort();
+    Session s(db->database());
+    if (!s.Begin().ok()) std::abort();
+    trigger_obj = *s.PersistNew("T", {});
+    sink_obj = *s.PersistNew("T", {});
+    if (!s.Commit().ok()) std::abort();
+    event = *db->events()->DefineMethodEvent("fire_ev", "T", "fire");
+  }
+
+  void AddRule(CouplingMode mode) {
+    RuleSpec spec;
+    spec.name = "measured";
+    spec.event = event;
+    spec.coupling = mode;
+    Oid sink = sink_obj;
+    spec.action = [sink](Session& s, const EventOccurrence&) -> Status {
+      auto n = s.GetAttr(sink, "n");
+      if (!n.ok()) return n.status();
+      return s.SetAttr(sink, "n", Value(n->as_int() + 1));
+    };
+    if (!db->rules()->DefineRule(std::move(spec)).ok()) std::abort();
+  }
+};
+
+void RunMode(benchmark::State& state, CouplingMode mode,
+             const std::string& tag) {
+  Fixture fx(tag);
+  fx.AddRule(mode);
+  bool detached_family = mode != CouplingMode::kImmediate &&
+                         mode != CouplingMode::kDeferred;
+  Session s(fx.db->database());
+  for (auto _ : state) {
+    if (!s.Begin().ok()) std::abort();
+    benchmark::DoNotOptimize(s.Invoke(fx.trigger_obj, "fire"));
+    if (!s.Commit().ok()) std::abort();
+    if (detached_family) fx.db->rules()->WaitDetachedIdle();
+  }
+  auto stats = fx.db->rules()->StatsOf("measured");
+  state.counters["actions_run"] =
+      stats.ok() ? static_cast<double>(stats->actions_run) : -1;
+}
+
+void BM_Immediate(benchmark::State& state) {
+  RunMode(state, CouplingMode::kImmediate, "imm");
+}
+void BM_Deferred(benchmark::State& state) {
+  RunMode(state, CouplingMode::kDeferred, "def");
+}
+void BM_Detached(benchmark::State& state) {
+  RunMode(state, CouplingMode::kDetached, "det");
+}
+void BM_ParallelCausallyDependent(benchmark::State& state) {
+  RunMode(state, CouplingMode::kParallelCausallyDependent, "par");
+}
+void BM_SequentialCausallyDependent(benchmark::State& state) {
+  RunMode(state, CouplingMode::kSequentialCausallyDependent, "seq");
+}
+void BM_ExclusiveCausallyDependent(benchmark::State& state) {
+  // Exclusive rules only commit when the trigger aborts; measure the
+  // trigger-abort path where the contingency runs.
+  Fixture fx("exc");
+  fx.AddRule(CouplingMode::kExclusiveCausallyDependent);
+  Session s(fx.db->database());
+  for (auto _ : state) {
+    if (!s.Begin().ok()) std::abort();
+    benchmark::DoNotOptimize(s.Invoke(fx.trigger_obj, "fire"));
+    if (!s.Abort().ok()) std::abort();
+    fx.db->rules()->WaitDetachedIdle();
+  }
+  auto stats = fx.db->rules()->StatsOf("measured");
+  state.counters["actions_run"] =
+      stats.ok() ? static_cast<double>(stats->actions_run) : -1;
+}
+
+BENCHMARK(BM_Immediate)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Deferred)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Detached)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ParallelCausallyDependent)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SequentialCausallyDependent)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExclusiveCausallyDependent)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

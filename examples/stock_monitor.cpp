@@ -1,0 +1,143 @@
+// Financial monitoring (the paper motivates commodity trading and the
+// "monitoring of the Dow Jones index" as the natural home of the
+// *continuous* consumption context, §3.4).
+//
+// Scenario: every price tick opens a window; if the index drops more than
+// 2% within any window of three ticks, an alert position adjustment runs
+// as a parallel causally dependent rule (it may proceed concurrently but
+// only commits if the feed transaction commits).
+#include <cstdio>
+#include <filesystem>
+
+#include "core/reach/reach_db.h"
+
+using namespace reach;
+
+namespace {
+
+Status Run(const std::string& base) {
+  ReachOptions options;
+  options.events.async_composition = false;
+  REACH_ASSIGN_OR_RETURN(std::unique_ptr<ReachDb> db,
+                         ReachDb::Open(base, std::move(options)));
+
+  REACH_RETURN_IF_ERROR(db->RegisterClass(
+      ClassBuilder("Index")
+          .Attribute("name", ValueType::kString, Value(""))
+          .Attribute("value", ValueType::kDouble, Value(0.0))
+          .Method("tick",
+                  [](Session& s, DbObject& self,
+                     const std::vector<Value>& args) -> Result<Value> {
+                    REACH_RETURN_IF_ERROR(
+                        s.SetAttr(self.oid(), "value", args[0]));
+                    return Value();
+                  })));
+  REACH_RETURN_IF_ERROR(db->RegisterClass(
+      ClassBuilder("Portfolio")
+          .Attribute("exposure", ValueType::kDouble, Value(100.0))
+          .Attribute("hedges", ValueType::kInt, Value(0))
+          .Method("hedge",
+                  [](Session& s, DbObject& self,
+                     const std::vector<Value>&) -> Result<Value> {
+                    REACH_RETURN_IF_ERROR(s.SetAttr(
+                        self.oid(), "exposure",
+                        Value(self.Get("exposure").AsNumber() * 0.8)));
+                    REACH_RETURN_IF_ERROR(s.SetAttr(
+                        self.oid(), "hedges",
+                        Value(self.Get("hedges").as_int() + 1)));
+                    return Value();
+                  })));
+
+  Session session(db->database());
+  REACH_RETURN_IF_ERROR(session.Begin());
+  REACH_ASSIGN_OR_RETURN(
+      Oid dow, session.PersistNew("Index", {{"name", Value("DJIA")},
+                                            {"value", Value(3800.0)}}));
+  REACH_ASSIGN_OR_RETURN(Oid portfolio, session.PersistNew("Portfolio", {}));
+  REACH_RETURN_IF_ERROR(session.Bind("portfolio", portfolio));
+  REACH_RETURN_IF_ERROR(session.Commit());
+
+  // Composite event: three ticks in a row, continuous context (every tick
+  // opens a window), across feed transactions with a 1-minute validity.
+  REACH_ASSIGN_OR_RETURN(
+      EventTypeId tick_ev,
+      db->events()->DefineMethodEvent("tick_ev", "Index", "tick"));
+  REACH_ASSIGN_OR_RETURN(
+      EventTypeId window_ev,
+      db->events()->DefineComposite(
+          "three_ticks",
+          EventExpr::Seq(EventExpr::Prim(tick_ev),
+                         EventExpr::Seq(EventExpr::Prim(tick_ev),
+                                        EventExpr::Prim(tick_ev))),
+          CompositeScope::kCrossTxn, ConsumptionPolicy::kContinuous,
+          /*validity=*/60LL * 1000000));
+
+  RuleSpec drop;
+  drop.name = "CrashWatch";
+  drop.event = window_ev;
+  drop.coupling = CouplingMode::kParallelCausallyDependent;
+  drop.condition = [](Session&, const EventOccurrence& occ) -> Result<bool> {
+    // Window parameters: first and last tick values of the composite.
+    std::vector<const EventOccurrence*> leaves;
+    occ.CollectLeaves(&leaves);
+    if (leaves.size() < 2 || leaves.front()->params.empty() ||
+        leaves.back()->params.empty()) {
+      return false;
+    }
+    double first = leaves.front()->params[0].AsNumber();
+    double last = leaves.back()->params[0].AsNumber();
+    return last < first * 0.98;  // >2% drop inside the window
+  };
+  drop.action = [](Session& s, const EventOccurrence&) -> Status {
+    REACH_ASSIGN_OR_RETURN(Oid p, s.Lookup("portfolio"));
+    auto r = s.Invoke(p, "hedge");
+    if (r.ok()) std::printf("    [rule] crash window detected -> hedged\n");
+    return r.ok() ? Status::OK() : r.status();
+  };
+  REACH_RETURN_IF_ERROR(db->rules()->DefineRule(std::move(drop)).status());
+
+  // --- Feed --------------------------------------------------------------
+  double prices[] = {3795, 3801, 3797, 3790, 3730, 3689, 3702, 3711};
+  for (double price : prices) {
+    REACH_RETURN_IF_ERROR(session.Begin());
+    REACH_RETURN_IF_ERROR(session.Invoke(dow, "tick", {Value(price)}).status());
+    REACH_RETURN_IF_ERROR(session.Commit());
+    std::printf("tick %.0f committed\n", price);
+    db->Drain();
+  }
+
+  REACH_RETURN_IF_ERROR(session.Begin());
+  REACH_ASSIGN_OR_RETURN(Value exposure,
+                         session.GetAttr(portfolio, "exposure"));
+  REACH_ASSIGN_OR_RETURN(Value hedges, session.GetAttr(portfolio, "hedges"));
+  std::printf("\nportfolio: exposure=%.1f%% after %lld hedge(s)\n",
+              exposure.AsNumber(),
+              static_cast<long long>(hedges.as_int()));
+  REACH_RETURN_IF_ERROR(session.Commit());
+
+  const Compositor* compositor = db->events()->CompositorOf(window_ev);
+  auto stats = compositor->stats();
+  std::printf("compositor: fed=%llu completions=%llu live_partials=%zu\n",
+              static_cast<unsigned long long>(stats.fed),
+              static_cast<unsigned long long>(stats.completions),
+              compositor->LivePartialCount());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base =
+      argc > 1
+          ? argv[1]
+          : (std::filesystem::temp_directory_path() / "reach_stock").string();
+  std::filesystem::remove(base + ".db");
+  std::filesystem::remove(base + ".wal");
+  Status st = Run(base);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("stock monitor example finished OK\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "baseline/layered_adbms.h"
+
+namespace reach {
+
+Result<std::unique_ptr<ClosedDb>> ClosedDb::Open(
+    const std::string& base_path) {
+  auto closed = std::unique_ptr<ClosedDb>(new ClosedDb());
+  REACH_ASSIGN_OR_RETURN(closed->db_, Database::Open(base_path));
+  closed->session_ = std::make_unique<Session>(closed->db_.get());
+  // System class backing the layered event journal (see LayeredAdbms).
+  ClassBuilder journal("__LayeredJournal");
+  journal.Attribute("events", ValueType::kList, Value(std::vector<Value>{}));
+  REACH_RETURN_IF_ERROR(closed->db_->types()->RegisterClass(journal.Build()));
+  return closed;
+}
+
+Status ClosedDb::RegisterClass(ClassBuilder& builder) {
+  return db_->types()->RegisterClass(builder.Build());
+}
+
+Status ClosedDb::Begin() {
+  if (session_->txn_depth() > 0) {
+    // Flat transactions only: the closed system rejects nesting.
+    return Status::NotSupported("closed OODBMS provides flat transactions");
+  }
+  return session_->Begin();
+}
+
+Status ClosedDb::Commit() { return session_->Commit(); }
+Status ClosedDb::Abort() { return session_->Abort(); }
+
+Result<Oid> ClosedDb::PersistNew(
+    const std::string& class_name,
+    std::vector<std::pair<std::string, Value>> attrs) {
+  return session_->PersistNew(class_name, std::move(attrs));
+}
+
+Status ClosedDb::Bind(const std::string& name, const Oid& oid) {
+  return session_->Bind(name, oid);
+}
+
+Result<Oid> ClosedDb::Lookup(const std::string& name) {
+  return session_->Lookup(name);
+}
+
+Result<Value> ClosedDb::GetAttr(const Oid& oid, const std::string& attr) {
+  return session_->GetAttr(oid, attr);
+}
+
+Status ClosedDb::SetAttr(const Oid& oid, const std::string& attr,
+                         Value value) {
+  return session_->SetAttr(oid, attr, std::move(value));
+}
+
+Result<Value> ClosedDb::Invoke(const Oid& oid, const std::string& method,
+                               std::vector<Value> args) {
+  return session_->Invoke(oid, method, std::move(args));
+}
+
+// ---------------------------------------------------------------------------
+
+Status LayeredAdbms::DefineRule(const std::string& name,
+                                const std::string& class_name,
+                                const std::string& method, Coupling coupling,
+                                LayeredCondition condition,
+                                LayeredAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LayeredRule& r : rules_) {
+    if (r.name == name) return Status::AlreadyExists("rule " + name);
+  }
+  rules_.push_back({name, class_name, method, coupling, std::move(condition),
+                    std::move(action)});
+  return Status::OK();
+}
+
+Status LayeredAdbms::DefineDetachedRule(const std::string& name) {
+  return Status::NotSupported(
+      "detached coupling needs transaction-manager access (ids, commit "
+      "and abort signals) the closed OODBMS does not expose — rule '" +
+      name + "' cannot be layered (§4)");
+}
+
+Status LayeredAdbms::Begin() { return db_->Begin(); }
+
+Status LayeredAdbms::Commit() {
+  // Deferred rules run inside the same flat transaction, serially — the
+  // only option without nested transactions (§4).
+  std::vector<std::pair<std::string, std::vector<Value>>> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(deferred_);
+  }
+  for (auto& [key, args] : batch) {
+    size_t sep = key.find("::");
+    Status st = FireMatching(key.substr(0, sep), key.substr(sep + 2), args,
+                             Coupling::kDeferred);
+    if (!st.ok()) {
+      Status abort_st = db_->Abort();
+      (void)abort_st;
+      return st;
+    }
+  }
+  return db_->Commit();
+}
+
+Status LayeredAdbms::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deferred_.clear();
+  }
+  return db_->Abort();
+}
+
+Status LayeredAdbms::JournalEvent(const std::string& class_name,
+                                  const std::string& method,
+                                  const std::vector<Value>& args) {
+  // The only persistent shared state a layered monitor can use is the
+  // database itself: append the announcement to an event-table object.
+  if (!journal_oid_.valid()) {
+    auto existing = db_->Lookup("__layered_event_journal");
+    if (existing.ok()) {
+      journal_oid_ = existing.value();
+    } else {
+      REACH_ASSIGN_OR_RETURN(
+          journal_oid_,
+          db_->PersistNew("__LayeredJournal",
+                          {{"events", Value(std::vector<Value>{})}}));
+      REACH_RETURN_IF_ERROR(db_->Bind("__layered_event_journal",
+                                      journal_oid_));
+    }
+  }
+  REACH_ASSIGN_OR_RETURN(Value events, db_->GetAttr(journal_oid_, "events"));
+  std::vector<Value> list =
+      events.is_list() ? events.as_list() : std::vector<Value>{};
+  std::vector<Value> record{Value(class_name + "::" + method)};
+  record.insert(record.end(), args.begin(), args.end());
+  list.push_back(Value(std::move(record)));
+  // Keep the journal bounded so the demo does not grow without limit; a
+  // real layered system would need its own vacuuming rules for this too.
+  if (list.size() > 512) list.erase(list.begin());
+  ++journal_writes_;
+  return db_->SetAttr(journal_oid_, "events", Value(std::move(list)));
+}
+
+Status LayeredAdbms::FireMatching(const std::string& class_name,
+                                  const std::string& method,
+                                  const std::vector<Value>& args,
+                                  Coupling phase) {
+  std::vector<LayeredRule> matching;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const LayeredRule& r : rules_) {
+      if (r.coupling == phase && r.class_name == class_name &&
+          r.method == method) {
+        matching.push_back(r);
+      }
+    }
+  }
+  for (const LayeredRule& r : matching) {
+    if (r.condition && !r.condition(*db_, args)) continue;
+    ++rules_fired_;
+    REACH_RETURN_IF_ERROR(r.action(*db_, args));
+  }
+  return Status::OK();
+}
+
+Result<Value> LayeredAdbms::WrappedInvoke(const Oid& oid,
+                                          const std::string& class_name,
+                                          const std::string& method,
+                                          std::vector<Value> args) {
+  ++announced_;
+  REACH_RETURN_IF_ERROR(JournalEvent(class_name, method, args));
+  REACH_ASSIGN_OR_RETURN(Value result, db_->Invoke(oid, method, args));
+  REACH_RETURN_IF_ERROR(
+      FireMatching(class_name, method, args, Coupling::kImmediate));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deferred_.push_back({class_name + "::" + method, args});
+  }
+  return result;
+}
+
+Status LayeredAdbms::WrappedSetAttr(const Oid& oid,
+                                    const std::string& class_name,
+                                    const std::string& attr, Value value) {
+  ++announced_;
+  std::vector<Value> args{value};
+  REACH_RETURN_IF_ERROR(JournalEvent(class_name, "set_" + attr, args));
+  REACH_RETURN_IF_ERROR(db_->SetAttr(oid, attr, std::move(value)));
+  return FireMatching(class_name, "set_" + attr, args, Coupling::kImmediate);
+}
+
+}  // namespace reach

@@ -1,0 +1,133 @@
+// The §4 baseline: active capabilities layered on top of a *closed*
+// OODBMS, reproducing the architecture the REACH group abandoned.
+//
+// ClosedDb models the commercial system: flat transactions only, no access
+// to the transaction manager, no method-event trapping, no meta bus. The
+// application talks to it through an opaque API.
+//
+// LayeredAdbms is the rule layer bolted on top. Because the closed system
+// cannot trap method invocations, applications must *announce* events
+// explicitly through wrapper calls (the parallel-class-hierarchy problem:
+// every sentried class needs a wrapped twin). Announced events are
+// journaled into a persistent event table inside the database — the only
+// shared state available to a layered monitor — and rules are matched by a
+// linear scan of the rule list (no per-event-type ECA managers). Only
+// immediate and deferred coupling exist: without nested transactions rules
+// run serially inside the triggering flat transaction, and without
+// transaction-manager access the detached causally-dependent modes cannot
+// be implemented at all (the paper's experience report, reproduced as
+// NotSupported errors).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "oodb/database.h"
+#include "oodb/session.h"
+
+namespace reach {
+
+/// Opaque facade over the OODB: what a closed commercial system exposes.
+class ClosedDb {
+ public:
+  static Result<std::unique_ptr<ClosedDb>> Open(const std::string& base_path);
+
+  Status RegisterClass(ClassBuilder& builder);
+
+  // Flat transactions only.
+  Status Begin();
+  Status Commit();
+  Status Abort();
+
+  Result<Oid> PersistNew(const std::string& class_name,
+                         std::vector<std::pair<std::string, Value>> attrs);
+  Status Bind(const std::string& name, const Oid& oid);
+  Result<Oid> Lookup(const std::string& name);
+  Result<Value> GetAttr(const Oid& oid, const std::string& attr);
+  Status SetAttr(const Oid& oid, const std::string& attr, Value value);
+  Result<Value> Invoke(const Oid& oid, const std::string& method,
+                       std::vector<Value> args);
+
+  Session* session() { return session_.get(); }
+
+ private:
+  ClosedDb() = default;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+/// Rule layer on top of the closed system.
+class LayeredAdbms {
+ public:
+  enum class Coupling { kImmediate, kDeferred };
+
+  using LayeredCondition =
+      std::function<bool(ClosedDb&, const std::vector<Value>& args)>;
+  using LayeredAction =
+      std::function<Status(ClosedDb&, const std::vector<Value>& args)>;
+
+  explicit LayeredAdbms(ClosedDb* db) : db_(db) {}
+
+  /// Register a rule on announced event `(class_name, method)`.
+  Status DefineRule(const std::string& name, const std::string& class_name,
+                    const std::string& method, Coupling coupling,
+                    LayeredCondition condition, LayeredAction action);
+
+  /// The paper's finding: detached modes need transaction-manager access a
+  /// closed system does not grant.
+  Status DefineDetachedRule(const std::string& name);
+
+  // -- The wrapped ("active twin") operation path --------------------------
+
+  Status Begin();
+  Status Commit();  // runs deferred rules first (inside the flat txn)
+  Status Abort();
+
+  /// Wrapped method invocation: announce + journal + fire, then invoke.
+  Result<Value> WrappedInvoke(const Oid& oid, const std::string& class_name,
+                              const std::string& method,
+                              std::vector<Value> args);
+
+  /// Wrapped attribute write (state changes are announced manually too —
+  /// the closed system's low-level write path cannot be modified, §4).
+  Status WrappedSetAttr(const Oid& oid, const std::string& class_name,
+                        const std::string& attr, Value value);
+
+  uint64_t announced() const { return announced_; }
+  uint64_t journal_writes() const { return journal_writes_; }
+  uint64_t rules_fired() const { return rules_fired_; }
+
+ private:
+  struct LayeredRule {
+    std::string name;
+    std::string class_name;
+    std::string method;
+    Coupling coupling;
+    LayeredCondition condition;
+    LayeredAction action;
+  };
+
+  /// Journal the announcement into the in-database event table.
+  Status JournalEvent(const std::string& class_name,
+                      const std::string& method,
+                      const std::vector<Value>& args);
+
+  /// Linear-scan rule matching (no per-type managers in a layered system).
+  Status FireMatching(const std::string& class_name,
+                      const std::string& method,
+                      const std::vector<Value>& args, Coupling phase);
+
+  ClosedDb* db_;
+  std::mutex mu_;
+  std::vector<LayeredRule> rules_;
+  std::vector<std::pair<std::string, std::vector<Value>>> deferred_;
+  Oid journal_oid_;  // persistent event table
+  uint64_t announced_ = 0;
+  uint64_t journal_writes_ = 0;
+  uint64_t rules_fired_ = 0;
+};
+
+}  // namespace reach

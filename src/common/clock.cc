@@ -1,0 +1,73 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace reach {
+
+namespace {
+Timestamp SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Timestamp RealClock::Now() const { return SteadyNowMicros(); }
+
+void RealClock::SleepUntil(Timestamp deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t start_gen = wake_generation_;
+  cv_.wait_for(lock,
+               std::chrono::microseconds(
+                   deadline > SteadyNowMicros() ? deadline - SteadyNowMicros()
+                                                : 0),
+               [&] {
+                 return SteadyNowMicros() >= deadline ||
+                        wake_generation_ != start_gen;
+               });
+}
+
+void RealClock::WakeAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wake_generation_;
+  }
+  cv_.notify_all();
+}
+
+void VirtualClock::Advance(Timestamp delta_us) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_.fetch_add(delta_us);
+    ++wake_generation_;
+  }
+  cv_.notify_all();
+}
+
+void VirtualClock::Set(Timestamp now_us) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Timestamp cur = now_.load();
+    if (now_us > cur) now_.store(now_us);
+    ++wake_generation_;
+  }
+  cv_.notify_all();
+}
+
+void VirtualClock::SleepUntil(Timestamp deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t start_gen = wake_generation_;
+  cv_.wait(lock, [&] {
+    return now_.load() >= deadline || wake_generation_ != start_gen;
+  });
+}
+
+void VirtualClock::WakeAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wake_generation_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace reach

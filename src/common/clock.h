@@ -1,0 +1,67 @@
+// Clock abstraction. Temporal events (absolute, periodic, milestones) must be
+// testable deterministically, so all time in REACH flows through a Clock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace reach {
+
+/// Source of microsecond timestamps. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds. Monotonic non-decreasing.
+  virtual Timestamp Now() const = 0;
+
+  /// Block until Now() >= `deadline` or `WakeAll()` is called (virtual
+  /// clocks wake sleepers on every Advance).
+  virtual void SleepUntil(Timestamp deadline) = 0;
+
+  /// Wake any thread blocked in SleepUntil (used on shutdown).
+  virtual void WakeAll() = 0;
+};
+
+/// Wall-clock backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  Timestamp Now() const override;
+  void SleepUntil(Timestamp deadline) override;
+  void WakeAll() override;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool wake_generation_bumped_ = false;
+  uint64_t wake_generation_ = 0;
+};
+
+/// Manually advanced clock for deterministic tests and benchmarks.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override { return now_.load(); }
+
+  /// Move time forward by `delta_us` and wake sleepers.
+  void Advance(Timestamp delta_us);
+
+  /// Jump to an absolute time (must not go backwards) and wake sleepers.
+  void Set(Timestamp now_us);
+
+  void SleepUntil(Timestamp deadline) override;
+  void WakeAll() override;
+
+ private:
+  std::atomic<Timestamp> now_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t wake_generation_ = 0;
+};
+
+}  // namespace reach

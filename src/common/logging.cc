@@ -1,0 +1,23 @@
+#include "common/logging.h"
+
+namespace reach {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::Log(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[" << LevelName(level) << "] " << msg << "\n";
+}
+
+}  // namespace reach

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Off by default so benchmarks measure the system,
+// not the log stream.
+#pragma once
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace reach {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Get() {
+    static Logger instance;
+    return instance;
+  }
+
+  void set_level(LogLevel level) { level_.store(level); }
+  LogLevel level() const { return level_.load(); }
+
+  void Log(LogLevel level, const std::string& msg);
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::mutex mu_;
+};
+
+#define REACH_LOG(level, stream_expr)                                   \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::reach::Logger::Get().level())) {             \
+      std::ostringstream _oss;                                          \
+      _oss << stream_expr;                                              \
+      ::reach::Logger::Get().Log(level, _oss.str());                    \
+    }                                                                   \
+  } while (0)
+
+#define REACH_DEBUG(s) REACH_LOG(::reach::LogLevel::kDebug, s)
+#define REACH_INFO(s) REACH_LOG(::reach::LogLevel::kInfo, s)
+#define REACH_WARN(s) REACH_LOG(::reach::LogLevel::kWarn, s)
+#define REACH_ERROR(s) REACH_LOG(::reach::LogLevel::kError, s)
+
+}  // namespace reach

@@ -1,0 +1,53 @@
+// Deterministic PRNG (xorshift128+) for workload generators and property
+// tests. Seeded explicitly so every run is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace reach {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    s0_ = seed ? seed : 1;
+    s1_ = SplitMix(s0_);
+    s0_ = SplitMix(s1_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / (1ULL << 53);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s0_, s1_;
+};
+
+}  // namespace reach

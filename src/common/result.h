@@ -1,0 +1,64 @@
+// Result<T>: a value-or-Status holder, the Arrow-style companion to Status.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace reach {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value — enables `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from a non-OK Status — enables `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluate a Result-returning expression; assign value or propagate Status.
+#define REACH_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto REACH_CONCAT_(_res, __LINE__) = (expr);   \
+  if (!REACH_CONCAT_(_res, __LINE__).ok())       \
+    return REACH_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(REACH_CONCAT_(_res, __LINE__)).value()
+
+#define REACH_CONCAT_IMPL_(a, b) a##b
+#define REACH_CONCAT_(a, b) REACH_CONCAT_IMPL_(a, b)
+
+}  // namespace reach

@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+#include "common/types.h"
+
+namespace reach {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kAlreadyExists: return "AlreadyExists";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kAborted: return "Aborted";
+    case Status::Code::kBusy: return "Busy";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kIoError: return "IoError";
+    case Status::Code::kOutOfRange: return "OutOfRange";
+    case Status::Code::kFailedPrecondition: return "FailedPrecondition";
+    case Status::Code::kTimedOut: return "TimedOut";
+    case Status::Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+std::string Oid::ToString() const {
+  if (!valid()) return "oid(invalid)";
+  return "oid(" + std::to_string(page) + "." + std::to_string(slot) + "." +
+         std::to_string(generation) + ")";
+}
+
+}  // namespace reach

@@ -1,0 +1,111 @@
+// Status: the error-reporting idiom used across REACH (no exceptions on the
+// core paths, following the RocksDB/Arrow convention).
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace reach {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kNotSupported,      // e.g. an illegal Table-1 event/coupling combination
+    kAborted,           // transaction aborted (deadlock, user abort, rule)
+    kBusy,              // lock not available in try-lock mode
+    kCorruption,        // storage-level integrity violation
+    kIoError,
+    kOutOfRange,
+    kFailedPrecondition,
+    kTimedOut,
+    kInternal,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define REACH_STATUS_CONCAT_IMPL_(a, b) a##b
+#define REACH_STATUS_CONCAT_(a, b) REACH_STATUS_CONCAT_IMPL_(a, b)
+#define REACH_RETURN_IF_ERROR(expr)                                  \
+  do {                                                               \
+    ::reach::Status REACH_STATUS_CONCAT_(_st_, __LINE__) = (expr);   \
+    if (!REACH_STATUS_CONCAT_(_st_, __LINE__).ok())                  \
+      return REACH_STATUS_CONCAT_(_st_, __LINE__);                   \
+  } while (0)
+
+}  // namespace reach

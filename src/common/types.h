@@ -1,0 +1,62 @@
+// Fundamental identifier and scalar types shared by every REACH layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace reach {
+
+/// Logical page number within a database file.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Slot index within a slotted page.
+using SlotId = uint16_t;
+
+/// Transaction identifier. Id 0 is reserved for "no transaction".
+using TxnId = uint64_t;
+inline constexpr TxnId kNoTxn = 0;
+
+/// Log sequence number in the write-ahead log.
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// Monotonic timestamp in microseconds (source: reach::Clock).
+using Timestamp = int64_t;
+
+/// Identifier of a registered (primitive or composite) event type.
+using EventTypeId = uint32_t;
+inline constexpr EventTypeId kInvalidEventType = 0;
+
+/// Identifier of a registered ECA rule.
+using RuleId = uint32_t;
+inline constexpr RuleId kInvalidRuleId = 0;
+
+/// Persistent object identifier: physical address {page, slot} plus a
+/// generation counter so dangling references can be detected after reuse.
+struct Oid {
+  PageId page = kInvalidPageId;
+  SlotId slot = 0;
+  uint16_t generation = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const Oid&) const = default;
+  auto operator<=>(const Oid&) const = default;
+
+  /// Human-readable form "page.slot.gen" used by the data dictionary.
+  std::string ToString() const;
+};
+
+inline constexpr Oid kInvalidOid{};
+
+}  // namespace reach
+
+template <>
+struct std::hash<reach::Oid> {
+  size_t operator()(const reach::Oid& oid) const noexcept {
+    uint64_t v = (static_cast<uint64_t>(oid.page) << 32) |
+                 (static_cast<uint64_t>(oid.slot) << 16) | oid.generation;
+    return std::hash<uint64_t>{}(v);
+  }
+};

@@ -1,0 +1,79 @@
+// Compositor: one small detection automaton per composite event type
+// (§6.3 — many small compositors instead of a monolithic event graph).
+//
+// The runtime is a tree of operator nodes mirroring the event expression.
+// Leaf occurrences are fed in arrival order; each node buffers partial
+// compositions and combines them according to the event type's consumption
+// policy (§3.4). Life-span handling (§3.3):
+//   * single-transaction scope — one automaton instance per transaction;
+//     the whole instance is discarded at EOT (trivial garbage collection);
+//   * cross-transaction scope — one global instance whose buffered
+//     partials expire after the validity interval.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/events/event.h"
+#include "core/events/event_registry.h"
+
+namespace reach {
+
+struct CompositorStats {
+  uint64_t fed = 0;             // leaf occurrences consumed
+  uint64_t completions = 0;     // composite occurrences raised
+  uint64_t expired_partials = 0;
+  uint64_t discarded_at_eot = 0;
+};
+
+class Compositor {
+ public:
+  explicit Compositor(const EventDescriptor* desc);
+  ~Compositor();
+
+  const EventDescriptor* descriptor() const { return desc_; }
+
+  /// Feed a leaf occurrence. Completed composite occurrences (type =
+  /// descriptor id) are appended to `out`. Thread-safe.
+  void Feed(const EventOccurrencePtr& occ,
+            std::vector<EventOccurrencePtr>* out);
+
+  /// Single-txn scope: drop the automaton instance of `txn` (EOT GC).
+  void OnTxnEnd(TxnId txn);
+
+  /// Cross-txn scope: drop partials whose composition started before
+  /// `cutoff` (validity-interval GC). No-op for single-txn scope.
+  void ExpireOlderThan(Timestamp cutoff);
+
+  /// Partially composed events currently buffered.
+  size_t LivePartialCount() const;
+
+  CompositorStats stats() const;
+
+ private:
+  class Node;
+  class PrimitiveNode;
+  class SequenceNode;
+  class ConjunctionNode;
+  class DisjunctionNode;
+  class NegationNode;
+  class ClosureNode;
+  class HistoryNode;
+
+  std::unique_ptr<Node> BuildTree(const EventExprPtr& expr) const;
+
+  /// Root completions become composite event occurrences.
+  EventOccurrencePtr MakeOccurrence(std::vector<EventOccurrencePtr> parts,
+                                    Timestamp ts, uint64_t seq,
+                                    TxnId txn) const;
+
+  const EventDescriptor* desc_;
+  mutable std::mutex mu_;
+  // kSingleTxn: per-transaction instance trees. kCrossTxn: instances_[kNoTxn].
+  std::unordered_map<TxnId, std::unique_ptr<Node>> instances_;
+  CompositorStats stats_;
+};
+
+}  // namespace reach

@@ -1,0 +1,51 @@
+#include "core/events/event.h"
+
+#include <algorithm>
+
+namespace reach {
+
+const char* EventCategoryName(EventCategory category) {
+  switch (category) {
+    case EventCategory::kSingleMethod: return "single-method";
+    case EventCategory::kPurelyTemporal: return "purely-temporal";
+    case EventCategory::kCompositeSingleTx: return "composite-1tx";
+    case EventCategory::kCompositeMultiTx: return "composite-ntx";
+  }
+  return "?";
+}
+
+std::vector<TxnId> EventOccurrence::InvolvedTxns() const {
+  std::vector<TxnId> out;
+  if (txn != kNoTxn) out.push_back(txn);
+  for (const auto& c : constituents) {
+    for (TxnId t : c->InvolvedTxns()) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      }
+    }
+  }
+  return out;
+}
+
+void EventOccurrence::CollectLeaves(
+    std::vector<const EventOccurrence*>* out) const {
+  if (constituents.empty()) {
+    out->push_back(this);
+    return;
+  }
+  for (const auto& c : constituents) c->CollectLeaves(out);
+}
+
+std::string EventOccurrence::ToString() const {
+  std::string out = "event(type=" + std::to_string(type) +
+                    ", t=" + std::to_string(timestamp) +
+                    ", seq=" + std::to_string(sequence);
+  if (txn != kNoTxn) out += ", txn=" + std::to_string(txn);
+  if (source.valid()) out += ", src=" + source.ToString();
+  if (!constituents.empty()) {
+    out += ", parts=" + std::to_string(constituents.size());
+  }
+  return out + ")";
+}
+
+}  // namespace reach

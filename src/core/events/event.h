@@ -1,0 +1,54 @@
+// Event occurrences: the "event objects" of the paper's Figure 2. An
+// occurrence records which event type happened, when, in which transaction,
+// with which parameters; composite occurrences additionally carry their
+// constituent occurrences (the paper's parameter/history requirement).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "oodb/value.h"
+
+namespace reach {
+
+/// The four event categories of Table 1, as they matter for coupling-mode
+/// legality.
+enum class EventCategory {
+  kSingleMethod,      // primitive method / state / flow-control event
+  kPurelyTemporal,    // absolute / periodic / relative time event
+  kCompositeSingleTx, // composite, all constituents from one transaction
+  kCompositeMultiTx,  // composite spanning transactions
+};
+
+const char* EventCategoryName(EventCategory category);
+
+struct EventOccurrence;
+using EventOccurrencePtr = std::shared_ptr<const EventOccurrence>;
+
+struct EventOccurrence {
+  EventTypeId type = kInvalidEventType;
+  /// Logical clock timestamp (µs) at detection.
+  Timestamp timestamp = 0;
+  /// Global arrival sequence number; total order for tie-breaking.
+  uint64_t sequence = 0;
+  /// Raising transaction; kNoTxn for temporal events.
+  TxnId txn = kNoTxn;
+  /// Receiver object of a method/state event (invalid otherwise).
+  Oid source;
+  /// Event parameters (method args, {old,new} for state changes, ...).
+  std::vector<Value> params;
+  /// Constituents of a composite occurrence, in detection order.
+  std::vector<EventOccurrencePtr> constituents;
+
+  /// Every transaction involved (self plus constituents', de-duplicated).
+  std::vector<TxnId> InvolvedTxns() const;
+
+  /// Leaf (primitive) occurrences in detection order; self if primitive.
+  void CollectLeaves(std::vector<const EventOccurrence*>* out) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace reach

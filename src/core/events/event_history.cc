@@ -1,0 +1,65 @@
+#include "core/events/event_history.h"
+
+#include <algorithm>
+
+namespace reach {
+
+void LocalHistory::Append(EventOccurrencePtr occ) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(occ));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  ++total_;
+}
+
+std::vector<EventOccurrencePtr> LocalHistory::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<EventOccurrencePtr>(ring_.begin(), ring_.end());
+}
+
+uint64_t LocalHistory::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t LocalHistory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void GlobalHistory::Merge(std::vector<EventOccurrencePtr> events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keep the global history in event order despite asynchronous merges.
+  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
+  std::sort(events_.begin(), events_.end(),
+            [](const EventOccurrencePtr& a, const EventOccurrencePtr& b) {
+              return a->sequence < b->sequence;
+            });
+  ++merges_;
+}
+
+std::vector<EventOccurrencePtr> GlobalHistory::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<EventOccurrencePtr> GlobalHistory::OfType(EventTypeId type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EventOccurrencePtr> out;
+  for (const auto& e : events_) {
+    if (e->type == type) out.push_back(e);
+  }
+  return out;
+}
+
+size_t GlobalHistory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t GlobalHistory::merge_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merges_;
+}
+
+}  // namespace reach

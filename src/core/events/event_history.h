@@ -1,0 +1,55 @@
+// Event histories (§6.3): each ECA-manager keeps a local history of the
+// occurrences it created — avoiding a central logging bottleneck — and a
+// background process merges committed transactions' events into the global
+// history after EOT.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/events/event.h"
+
+namespace reach {
+
+/// Bounded per-event-type history (ring buffer).
+class LocalHistory {
+ public:
+  explicit LocalHistory(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Append(EventOccurrencePtr occ);
+
+  std::vector<EventOccurrencePtr> Snapshot() const;
+
+  /// Total occurrences ever appended (not bounded by capacity).
+  uint64_t total() const;
+
+  size_t size() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<EventOccurrencePtr> ring_;
+  uint64_t total_ = 0;
+};
+
+/// Global history of events whose transactions committed (plus temporal
+/// events, which commit by definition). Populated asynchronously.
+class GlobalHistory {
+ public:
+  void Merge(std::vector<EventOccurrencePtr> events);
+
+  std::vector<EventOccurrencePtr> Snapshot() const;
+  std::vector<EventOccurrencePtr> OfType(EventTypeId type) const;
+
+  size_t size() const;
+  uint64_t merge_batches() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EventOccurrencePtr> events_;
+  uint64_t merges_ = 0;
+};
+
+}  // namespace reach

@@ -1,0 +1,357 @@
+#include "core/events/event_manager.h"
+
+namespace reach {
+
+EventManager::EventManager(Database* db, EventManagerOptions options)
+    : db_(db), options_(options), scheduler_(db->clock()) {
+  if (options_.async_composition) {
+    composition_pool_ =
+        std::make_unique<ThreadPool>(options_.composition_threads);
+  }
+  if (options_.maintain_global_history) {
+    history_pool_ = std::make_unique<ThreadPool>(1);
+  }
+  // Transaction lifecycle is always needed (compositor GC, milestones,
+  // pending history flush).
+  db_->bus()->Subscribe(this, SentryKind::kTxnBegin);
+  db_->bus()->Subscribe(this, SentryKind::kTxnCommit);
+  db_->bus()->Subscribe(this, SentryKind::kTxnAbort);
+  scheduler_.Start();
+}
+
+EventManager::~EventManager() {
+  scheduler_.Stop();
+  if (composition_pool_) composition_pool_->Shutdown();
+  if (history_pool_) history_pool_->Shutdown();
+  db_->bus()->Unsubscribe(this);
+}
+
+EventManager::EcaManager* EventManager::CreateManager(EventTypeId id) {
+  std::unique_lock lock(mgr_mu_);
+  EcaManager& mgr = managers_[id];
+  mgr.desc = registry_.Find(id);
+  mgr.history = std::make_unique<LocalHistory>(options_.history_capacity);
+  return &mgr;
+}
+
+Result<EventTypeId> EventManager::DefineMethodEvent(
+    const std::string& name, const std::string& class_name,
+    const std::string& method, bool after) {
+  REACH_ASSIGN_OR_RETURN(
+      EventTypeId id,
+      registry_.RegisterMethodEvent(name, class_name, method, after));
+  CreateManager(id);
+  db_->bus()->Subscribe(
+      this, after ? SentryKind::kMethodAfter : SentryKind::kMethodBefore,
+      class_name, method);
+  return id;
+}
+
+Result<EventTypeId> EventManager::DefineStateChangeEvent(
+    const std::string& name, const std::string& class_name,
+    const std::string& attr) {
+  REACH_ASSIGN_OR_RETURN(
+      EventTypeId id,
+      registry_.RegisterStateChangeEvent(name, class_name, attr));
+  CreateManager(id);
+  db_->bus()->Subscribe(this, SentryKind::kStateChange, class_name, attr);
+  return id;
+}
+
+Result<EventTypeId> EventManager::DefineFlowEvent(
+    const std::string& name, SentryKind kind, const std::string& class_name) {
+  REACH_ASSIGN_OR_RETURN(EventTypeId id,
+                         registry_.RegisterFlowEvent(name, kind, class_name));
+  CreateManager(id);
+  switch (kind) {
+    case SentryKind::kTxnBegin:
+    case SentryKind::kTxnCommit:
+    case SentryKind::kTxnAbort:
+      break;  // already subscribed at construction
+    default:
+      db_->bus()->Subscribe(this, kind, class_name, "");
+      break;
+  }
+  return id;
+}
+
+Result<EventTypeId> EventManager::DefineAbsoluteEvent(const std::string& name,
+                                                      Timestamp fire_at) {
+  REACH_ASSIGN_OR_RETURN(EventTypeId id,
+                         registry_.RegisterAbsoluteEvent(name, fire_at));
+  CreateManager(id);
+  scheduler_.ScheduleAt(fire_at, [this, id](Timestamp t) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = id;
+    occ->timestamp = t;
+    Signal(std::move(occ));
+  });
+  return id;
+}
+
+Result<EventTypeId> EventManager::DefinePeriodicEvent(const std::string& name,
+                                                      Timestamp period_us) {
+  REACH_ASSIGN_OR_RETURN(EventTypeId id,
+                         registry_.RegisterPeriodicEvent(name, period_us));
+  CreateManager(id);
+  scheduler_.SchedulePeriodic(period_us, [this, id](Timestamp t) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = id;
+    occ->timestamp = t;
+    Signal(std::move(occ));
+  });
+  return id;
+}
+
+Result<EventTypeId> EventManager::DefineRelativeEvent(const std::string& name,
+                                                      EventTypeId anchor,
+                                                      Timestamp delay_us) {
+  REACH_ASSIGN_OR_RETURN(
+      EventTypeId id, registry_.RegisterRelativeEvent(name, anchor, delay_us));
+  CreateManager(id);
+  // Each anchor occurrence schedules one timer; wiring happens in Signal
+  // via RelativeEventsAnchoredAt.
+  return id;
+}
+
+Result<EventTypeId> EventManager::DefineMilestone(const std::string& name,
+                                                  EventTypeId marker,
+                                                  Timestamp deadline_us) {
+  REACH_ASSIGN_OR_RETURN(EventTypeId id,
+                         registry_.RegisterMilestone(name, marker,
+                                                     deadline_us));
+  CreateManager(id);
+  return id;
+}
+
+Result<EventTypeId> EventManager::DefineComposite(const std::string& name,
+                                                  EventExprPtr expr,
+                                                  CompositeScope scope,
+                                                  ConsumptionPolicy policy,
+                                                  Timestamp validity_us) {
+  REACH_ASSIGN_OR_RETURN(
+      EventTypeId id,
+      registry_.RegisterComposite(name, expr, scope, policy, validity_us));
+  const EventDescriptor* desc = registry_.Find(id);
+  CreateManager(id);
+  std::unique_lock lock(mgr_mu_);
+  auto compositor = std::make_unique<Compositor>(desc);
+  Compositor* raw = compositor.get();
+  compositors_[id] = std::move(compositor);
+  for (EventTypeId leaf : desc->expr->LeafTypes()) {
+    managers_[leaf].downstream.push_back(raw);
+  }
+  return id;
+}
+
+void EventManager::AddEventListener(EventTypeId type, EventCallback callback) {
+  std::unique_lock lock(mgr_mu_);
+  managers_[type].listeners.push_back(std::move(callback));
+}
+
+void EventManager::Compose(Compositor* compositor,
+                           const EventOccurrencePtr& occ) {
+  std::vector<EventOccurrencePtr> completions;
+  compositor->Feed(occ, &completions);
+  for (auto& c : completions) {
+    composed_.fetch_add(1, std::memory_order_relaxed);
+    Signal(std::const_pointer_cast<EventOccurrence>(c));
+  }
+}
+
+void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
+  occ->sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  if (occ->timestamp == 0) occ->timestamp = db_->clock()->Now();
+  EventOccurrencePtr shared = occ;
+  signaled_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<EventCallback> listeners;
+  std::vector<Compositor*> downstream;
+  {
+    std::shared_lock lock(mgr_mu_);
+    auto it = managers_.find(shared->type);
+    if (it == managers_.end()) return;  // unregistered type
+    it->second.history->Append(shared);
+    listeners = it->second.listeners;
+    downstream = it->second.downstream;
+  }
+
+  // Track per-transaction events for the post-commit global history merge
+  // and for milestone marker bookkeeping.
+  if (shared->txn != kNoTxn) {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    if (options_.maintain_global_history) {
+      pending_[shared->txn].push_back(shared);
+    }
+    markers_reached_[shared->txn].insert(shared->type);
+  } else if (options_.maintain_global_history) {
+    // Temporal / cross-txn composite events enter the history directly.
+    if (history_pool_) {
+      history_pool_->Submit([this, shared] { global_history_.Merge({shared}); });
+    }
+  }
+
+  // 1. Fire the rules registered with this ECA-manager (synchronous: the
+  //    go-ahead for the application waits on immediate rules only).
+  for (const EventCallback& cb : listeners) cb(shared);
+
+  // 2. Propagate to the compositors of composite events containing this
+  //    type — asynchronously unless configured inline.
+  for (Compositor* compositor : downstream) {
+    if (composition_pool_) {
+      composition_pool_->Submit(
+          [this, compositor, shared] { Compose(compositor, shared); });
+    } else {
+      Compose(compositor, shared);
+    }
+  }
+
+  // 3. Relative temporal events anchored at this type.
+  for (const EventDescriptor* rel :
+       registry_.RelativeEventsAnchoredAt(shared->type)) {
+    EventTypeId rel_id = rel->id;
+    scheduler_.ScheduleAt(shared->timestamp + rel->delay_us,
+                          [this, rel_id](Timestamp t) {
+                            auto rocc = std::make_shared<EventOccurrence>();
+                            rocc->type = rel_id;
+                            rocc->timestamp = t;
+                            Signal(std::move(rocc));
+                          });
+  }
+}
+
+Status EventManager::Raise(EventTypeId type, TxnId txn,
+                           std::vector<Value> params) {
+  if (registry_.Find(type) == nullptr) {
+    return Status::NotFound("event type " + std::to_string(type));
+  }
+  auto occ = std::make_shared<EventOccurrence>();
+  occ->type = type;
+  occ->txn = txn == kNoTxn ? kNoTxn : db_->txns()->RootOf(txn);
+  occ->params = std::move(params);
+  Signal(std::move(occ));
+  return Status::OK();
+}
+
+void EventManager::OnTxnBegin(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    active_txns_.insert(txn);
+  }
+  // Arm milestone timers for this transaction.
+  for (const EventDescriptor* m : registry_.Milestones()) {
+    EventTypeId milestone_id = m->id;
+    EventTypeId marker = m->marker;
+    scheduler_.ScheduleAt(
+        db_->clock()->Now() + m->deadline_us,
+        [this, milestone_id, marker, txn](Timestamp t) {
+          bool missed = false;
+          {
+            std::lock_guard<std::mutex> lock(txn_mu_);
+            if (active_txns_.contains(txn)) {
+              auto it = markers_reached_.find(txn);
+              missed =
+                  (it == markers_reached_.end()) || !it->second.contains(marker);
+            }
+          }
+          if (missed) {
+            auto occ = std::make_shared<EventOccurrence>();
+            occ->type = milestone_id;
+            occ->timestamp = t;
+            occ->params = {Value(static_cast<int64_t>(txn))};
+            Signal(std::move(occ));
+          }
+        });
+  }
+}
+
+void EventManager::HandleTxnEnd(TxnId txn, bool committed) {
+  std::vector<EventOccurrencePtr> events;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    active_txns_.erase(txn);
+    markers_reached_.erase(txn);
+    auto it = pending_.find(txn);
+    if (it != pending_.end()) {
+      events = std::move(it->second);
+      pending_.erase(it);
+    }
+  }
+  // Single-transaction composition state dies with the transaction (§3.3).
+  {
+    std::shared_lock lock(mgr_mu_);
+    for (auto& [_, compositor] : compositors_) compositor->OnTxnEnd(txn);
+  }
+  // Background merge into the global history (committed events only).
+  if (committed && !events.empty() && history_pool_) {
+    history_pool_->Submit([this, evts = std::move(events)]() mutable {
+      global_history_.Merge(std::move(evts));
+    });
+  }
+}
+
+void EventManager::OnEvent(const SentryEvent& event) {
+  switch (event.kind) {
+    case SentryKind::kTxnBegin:
+      // Milestones and life-span tracking apply to top-level transactions
+      // only (a begin event with a parent parameter is a subtransaction).
+      if (event.args.empty()) OnTxnBegin(event.txn);
+      break;
+    case SentryKind::kTxnCommit:
+      HandleTxnEnd(event.txn, /*committed=*/true);
+      break;
+    case SentryKind::kTxnAbort:
+      HandleTxnEnd(event.txn, /*committed=*/false);
+      break;
+    default:
+      break;
+  }
+  // Any registered DB event type matching this announcement fires. For txn
+  // events the class/member keys are empty.
+  EventTypeId type =
+      registry_.FindDbEvent(event.kind, event.class_name, event.member);
+  if (type == kInvalidEventType && !event.class_name.empty()) {
+    // Allow class-wildcard flow events (e.g. "any persist").
+    type = registry_.FindDbEvent(event.kind, "", "");
+  }
+  if (type == kInvalidEventType) return;
+  auto occ = std::make_shared<EventOccurrence>();
+  occ->type = type;
+  occ->timestamp = event.timestamp;
+  // Occurrences carry the ROOT transaction: rule subtransactions raise
+  // events on behalf of the top-level transaction they belong to, and all
+  // coupling/life-span semantics are defined against that root.
+  occ->txn = event.txn == kNoTxn ? kNoTxn : db_->txns()->RootOf(event.txn);
+  occ->source = event.oid;
+  occ->params = event.args;
+  if (event.kind == SentryKind::kMethodAfter && !event.result.is_null()) {
+    occ->params.push_back(event.result);
+  }
+  Signal(std::move(occ));
+}
+
+void EventManager::Quiesce() {
+  if (composition_pool_) composition_pool_->WaitIdle();
+  if (history_pool_) history_pool_->WaitIdle();
+}
+
+const LocalHistory* EventManager::HistoryOf(EventTypeId type) const {
+  std::shared_lock lock(mgr_mu_);
+  auto it = managers_.find(type);
+  return it == managers_.end() ? nullptr : it->second.history.get();
+}
+
+const Compositor* EventManager::CompositorOf(EventTypeId composite) const {
+  std::shared_lock lock(mgr_mu_);
+  auto it = compositors_.find(composite);
+  return it == compositors_.end() ? nullptr : it->second.get();
+}
+
+size_t EventManager::LivePartials() const {
+  std::shared_lock lock(mgr_mu_);
+  size_t n = 0;
+  for (const auto& [_, c] : compositors_) n += c->LivePartialCount();
+  return n;
+}
+
+}  // namespace reach

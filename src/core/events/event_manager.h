@@ -1,0 +1,161 @@
+// EventManager: the collection of REACH ECA-managers (Figure 2).
+//
+// It is itself a policy manager on the Open OODB meta bus: sentry
+// announcements that match a registered event type become primitive event
+// occurrences. Each registered type has a per-type manager holding its
+// listeners (rule firing, owned by the rule engine), the downstream
+// compositors its occurrences feed, and its local history.
+//
+// Primitive processing is synchronous — the detecting thread fires the
+// listeners (so immediate rules finish before the application gets the
+// go-ahead) — while composition runs asynchronously on a small pool
+// (§6.4's key design decision), unless configured inline for measurement.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/events/compositor.h"
+#include "core/events/event.h"
+#include "core/events/event_history.h"
+#include "core/events/event_registry.h"
+#include "core/events/temporal_scheduler.h"
+#include "oodb/database.h"
+
+namespace reach {
+
+struct EventManagerOptions {
+  /// Compose composite events asynchronously (the REACH architecture);
+  /// false runs compositors inline in the detecting thread (bench E2's
+  /// blocking baseline).
+  bool async_composition = true;
+  size_t composition_threads = 2;
+  size_t history_capacity = 4096;
+  /// Background merge of committed events into the global history.
+  bool maintain_global_history = true;
+};
+
+class EventManager : public PolicyManager {
+ public:
+  using EventCallback = std::function<void(const EventOccurrencePtr&)>;
+
+  EventManager(Database* db, EventManagerOptions options = {});
+  ~EventManager() override;
+
+  std::string name() const override { return "REACH ECA managers"; }
+
+  EventRegistry* registry() { return &registry_; }
+  Database* db() { return db_; }
+
+  // -- Event type definition (registry + wiring + bus subscription) -------
+
+  Result<EventTypeId> DefineMethodEvent(const std::string& name,
+                                        const std::string& class_name,
+                                        const std::string& method,
+                                        bool after = true);
+  Result<EventTypeId> DefineStateChangeEvent(const std::string& name,
+                                             const std::string& class_name,
+                                             const std::string& attr);
+  Result<EventTypeId> DefineFlowEvent(const std::string& name,
+                                      SentryKind kind,
+                                      const std::string& class_name = "");
+  Result<EventTypeId> DefineAbsoluteEvent(const std::string& name,
+                                          Timestamp fire_at);
+  Result<EventTypeId> DefinePeriodicEvent(const std::string& name,
+                                          Timestamp period_us);
+  Result<EventTypeId> DefineRelativeEvent(const std::string& name,
+                                          EventTypeId anchor,
+                                          Timestamp delay_us);
+  Result<EventTypeId> DefineMilestone(const std::string& name,
+                                      EventTypeId marker,
+                                      Timestamp deadline_us);
+  Result<EventTypeId> DefineComposite(
+      const std::string& name, EventExprPtr expr, CompositeScope scope,
+      ConsumptionPolicy policy = ConsumptionPolicy::kChronicle,
+      Timestamp validity_us = 0);
+
+  // -- Detection-side interface -------------------------------------------
+
+  /// Rule engine attachment: called synchronously for every occurrence of
+  /// `type` (detection thread for primitives, composition thread for
+  /// composites).
+  void AddEventListener(EventTypeId type, EventCallback callback);
+
+  /// Inject an occurrence (used internally, by tests, and by workload
+  /// generators). Stamps sequence (and timestamp if zero).
+  void Signal(std::shared_ptr<EventOccurrence> occ);
+
+  /// Raise a registered event type explicitly (the paper's "explicit user
+  /// signals can be modelled as method events").
+  Status Raise(EventTypeId type, TxnId txn, std::vector<Value> params = {});
+
+  /// Bus entry point: sentry announcements + transaction lifecycle.
+  void OnEvent(const SentryEvent& event) override;
+
+  /// Drain the asynchronous composition queue (pre-commit barrier so
+  /// deferred rules see a complete picture).
+  void Quiesce();
+
+  // -- Introspection --------------------------------------------------------
+
+  GlobalHistory* global_history() { return &global_history_; }
+  const LocalHistory* HistoryOf(EventTypeId type) const;
+  const Compositor* CompositorOf(EventTypeId composite) const;
+  TemporalScheduler* scheduler() { return &scheduler_; }
+
+  /// Total partially composed events across all compositors.
+  size_t LivePartials() const;
+
+  uint64_t signaled_count() const { return signaled_.load(); }
+  uint64_t composite_count() const { return composed_.load(); }
+
+ private:
+  struct EcaManager {
+    const EventDescriptor* desc = nullptr;
+    std::vector<EventCallback> listeners;
+    std::vector<Compositor*> downstream;  // compositors fed by this type
+    std::unique_ptr<LocalHistory> history;
+  };
+
+  /// Create the per-type manager (must not exist yet).
+  EcaManager* CreateManager(EventTypeId id);
+
+  /// Deliver to one compositor and recursively signal completions.
+  void Compose(Compositor* compositor, const EventOccurrencePtr& occ);
+
+  void HandleTxnEnd(TxnId txn, bool committed);
+
+  /// Milestone support.
+  void OnTxnBegin(TxnId txn);
+  void MarkerReached(EventTypeId marker, TxnId txn);
+
+  Database* db_;
+  EventManagerOptions options_;
+  EventRegistry registry_;
+  TemporalScheduler scheduler_;
+  std::unique_ptr<ThreadPool> composition_pool_;
+  std::unique_ptr<ThreadPool> history_pool_;
+
+  mutable std::shared_mutex mgr_mu_;
+  std::unordered_map<EventTypeId, EcaManager> managers_;
+  std::unordered_map<EventTypeId, std::unique_ptr<Compositor>> compositors_;
+
+  std::mutex txn_mu_;
+  std::unordered_map<TxnId, std::vector<EventOccurrencePtr>> pending_;
+  // markers_reached_[txn] = marker event types raised in txn (milestones).
+  std::unordered_map<TxnId, std::unordered_set<EventTypeId>> markers_reached_;
+  std::unordered_set<TxnId> active_txns_;
+
+  GlobalHistory global_history_;
+  std::atomic<uint64_t> signaled_{0};
+  std::atomic<uint64_t> composed_{0};
+  std::atomic<uint64_t> next_sequence_{1};
+};
+
+}  // namespace reach

@@ -1,0 +1,281 @@
+#include "core/events/event_registry.h"
+
+#include <algorithm>
+
+namespace reach {
+
+const char* ConsumptionPolicyName(ConsumptionPolicy policy) {
+  switch (policy) {
+    case ConsumptionPolicy::kRecent: return "recent";
+    case ConsumptionPolicy::kChronicle: return "chronicle";
+    case ConsumptionPolicy::kContinuous: return "continuous";
+    case ConsumptionPolicy::kCumulative: return "cumulative";
+  }
+  return "?";
+}
+
+std::string EventRegistry::DbKey(SentryKind kind,
+                                 const std::string& class_name,
+                                 const std::string& member) {
+  return std::to_string(static_cast<int>(kind)) + "/" + class_name + "/" +
+         member;
+}
+
+Result<EventTypeId> EventRegistry::Insert(EventDescriptor desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_name_.contains(desc.name)) {
+    return Status::AlreadyExists("event type " + desc.name);
+  }
+  desc.id = next_id_++;
+  EventTypeId id = desc.id;
+  by_name_[desc.name] = id;
+  if (desc.is_db_event) {
+    std::string key = DbKey(desc.sentry_kind, desc.class_name, desc.member);
+    if (db_events_.contains(key)) {
+      by_name_.erase(desc.name);
+      return Status::AlreadyExists("db event for " + key);
+    }
+    db_events_[key] = id;
+  }
+  by_id_[id] = std::make_unique<EventDescriptor>(std::move(desc));
+  return id;
+}
+
+Result<EventTypeId> EventRegistry::RegisterMethodEvent(
+    const std::string& name, const std::string& class_name,
+    const std::string& method, bool after) {
+  EventDescriptor desc;
+  desc.name = name;
+  desc.category = EventCategory::kSingleMethod;
+  desc.is_db_event = true;
+  desc.sentry_kind =
+      after ? SentryKind::kMethodAfter : SentryKind::kMethodBefore;
+  desc.class_name = class_name;
+  desc.member = method;
+  return Insert(std::move(desc));
+}
+
+Result<EventTypeId> EventRegistry::RegisterStateChangeEvent(
+    const std::string& name, const std::string& class_name,
+    const std::string& attr) {
+  EventDescriptor desc;
+  desc.name = name;
+  desc.category = EventCategory::kSingleMethod;
+  desc.is_db_event = true;
+  desc.sentry_kind = SentryKind::kStateChange;
+  desc.class_name = class_name;
+  desc.member = attr;
+  return Insert(std::move(desc));
+}
+
+Result<EventTypeId> EventRegistry::RegisterFlowEvent(
+    const std::string& name, SentryKind kind, const std::string& class_name) {
+  switch (kind) {
+    case SentryKind::kPersist:
+    case SentryKind::kFetch:
+    case SentryKind::kDelete:
+    case SentryKind::kTxnBegin:
+    case SentryKind::kTxnCommit:
+    case SentryKind::kTxnAbort:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "flow event must be persist/fetch/delete/txn-*");
+  }
+  EventDescriptor desc;
+  desc.name = name;
+  desc.category = EventCategory::kSingleMethod;
+  desc.is_db_event = true;
+  desc.sentry_kind = kind;
+  desc.class_name = class_name;
+  return Insert(std::move(desc));
+}
+
+Result<EventTypeId> EventRegistry::RegisterAbsoluteEvent(
+    const std::string& name, Timestamp fire_at) {
+  EventDescriptor desc;
+  desc.name = name;
+  desc.category = EventCategory::kPurelyTemporal;
+  desc.is_temporal = true;
+  desc.temporal_kind = TemporalKind::kAbsolute;
+  desc.fire_at = fire_at;
+  return Insert(std::move(desc));
+}
+
+Result<EventTypeId> EventRegistry::RegisterPeriodicEvent(
+    const std::string& name, Timestamp period_us) {
+  if (period_us <= 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  EventDescriptor desc;
+  desc.name = name;
+  desc.category = EventCategory::kPurelyTemporal;
+  desc.is_temporal = true;
+  desc.temporal_kind = TemporalKind::kPeriodic;
+  desc.period_us = period_us;
+  return Insert(std::move(desc));
+}
+
+Result<EventTypeId> EventRegistry::RegisterRelativeEvent(
+    const std::string& name, EventTypeId anchor, Timestamp delay_us) {
+  if (Find(anchor) == nullptr) {
+    return Status::NotFound("anchor event type " + std::to_string(anchor));
+  }
+  if (delay_us < 0) return Status::InvalidArgument("negative delay");
+  EventDescriptor desc;
+  desc.name = name;
+  desc.category = EventCategory::kPurelyTemporal;
+  desc.is_temporal = true;
+  desc.temporal_kind = TemporalKind::kRelative;
+  desc.anchor = anchor;
+  desc.delay_us = delay_us;
+  return Insert(std::move(desc));
+}
+
+Result<EventTypeId> EventRegistry::RegisterMilestone(const std::string& name,
+                                                     EventTypeId marker,
+                                                     Timestamp deadline_us) {
+  const EventDescriptor* m = Find(marker);
+  if (m == nullptr) {
+    return Status::NotFound("marker event type " + std::to_string(marker));
+  }
+  if (deadline_us <= 0) {
+    return Status::InvalidArgument("milestone deadline must be positive");
+  }
+  EventDescriptor desc;
+  desc.name = name;
+  // A missed milestone relates to exactly one transaction, so rules on it
+  // may use the same coupling modes as single-method events relative to
+  // that transaction; conservatively we classify it as temporal (it is
+  // raised by the timer, possibly after the transaction ended).
+  desc.category = EventCategory::kPurelyTemporal;
+  desc.is_milestone = true;
+  desc.marker = marker;
+  desc.deadline_us = deadline_us;
+  return Insert(std::move(desc));
+}
+
+Result<EventTypeId> EventRegistry::RegisterComposite(
+    const std::string& name, EventExprPtr expr, CompositeScope scope,
+    ConsumptionPolicy policy, Timestamp validity_us) {
+  if (!expr) return Status::InvalidArgument("null event expression");
+  REACH_RETURN_IF_ERROR(expr->Validate());
+
+  Timestamp inherited_validity = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (EventTypeId leaf : expr->LeafTypes()) {
+      auto it = by_id_.find(leaf);
+      if (it == by_id_.end()) {
+        return Status::NotFound("leaf event type " + std::to_string(leaf));
+      }
+      const EventDescriptor& ld = *it->second;
+      if (scope == CompositeScope::kSingleTxn &&
+          ld.category != EventCategory::kSingleMethod &&
+          ld.category != EventCategory::kCompositeSingleTx) {
+        return Status::InvalidArgument(
+            "single-transaction composite may only contain "
+            "same-transaction DB events (leaf " +
+            ld.name + " is " + EventCategoryName(ld.category) + ")");
+      }
+      if (ld.is_composite() && ld.validity_us > 0) {
+        if (inherited_validity == 0 || ld.validity_us < inherited_validity) {
+          inherited_validity = ld.validity_us;
+        }
+      }
+    }
+  }
+  if (scope == CompositeScope::kCrossTxn && validity_us <= 0) {
+    // §3.3: the implicit interval is the smallest of the constituents'.
+    if (inherited_validity > 0) {
+      validity_us = inherited_validity;
+    } else {
+      return Status::InvalidArgument(
+          "cross-transaction composite events require a validity "
+          "interval, explicit or inherited (§3.3)");
+    }
+  }
+
+  EventDescriptor desc;
+  desc.name = name;
+  desc.category = scope == CompositeScope::kSingleTxn
+                      ? EventCategory::kCompositeSingleTx
+                      : EventCategory::kCompositeMultiTx;
+  desc.expr = std::move(expr);
+  desc.policy = policy;
+  desc.scope = scope;
+  desc.validity_us = validity_us;
+  return Insert(std::move(desc));
+}
+
+const EventDescriptor* EventRegistry::Find(EventTypeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second.get();
+}
+
+const EventDescriptor* EventRegistry::FindByName(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return by_id_.at(it->second).get();
+}
+
+EventTypeId EventRegistry::FindDbEvent(SentryKind kind,
+                                       const std::string& class_name,
+                                       const std::string& member) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = db_events_.find(DbKey(kind, class_name, member));
+  return it == db_events_.end() ? kInvalidEventType : it->second;
+}
+
+std::vector<const EventDescriptor*> EventRegistry::AllEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const EventDescriptor*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [_, desc] : by_id_) out.push_back(desc.get());
+  std::sort(out.begin(), out.end(),
+            [](const EventDescriptor* a, const EventDescriptor* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+std::vector<const EventDescriptor*> EventRegistry::CompositesWithLeaf(
+    EventTypeId leaf) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const EventDescriptor*> out;
+  for (const auto& [_, desc] : by_id_) {
+    if (!desc->is_composite()) continue;
+    auto leaves = desc->expr->LeafTypes();
+    if (std::find(leaves.begin(), leaves.end(), leaf) != leaves.end()) {
+      out.push_back(desc.get());
+    }
+  }
+  return out;
+}
+
+std::vector<const EventDescriptor*> EventRegistry::RelativeEventsAnchoredAt(
+    EventTypeId anchor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const EventDescriptor*> out;
+  for (const auto& [_, desc] : by_id_) {
+    if (desc->is_temporal && desc->temporal_kind == TemporalKind::kRelative &&
+        desc->anchor == anchor) {
+      out.push_back(desc.get());
+    }
+  }
+  return out;
+}
+
+std::vector<const EventDescriptor*> EventRegistry::Milestones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const EventDescriptor*> out;
+  for (const auto& [_, desc] : by_id_) {
+    if (desc->is_milestone) out.push_back(desc.get());
+  }
+  return out;
+}
+
+}  // namespace reach

@@ -1,0 +1,139 @@
+// Event type registry: the repository of event specifications (the paper
+// keeps it distributed across ECA-managers; we centralize the descriptors
+// and let the manager layer hold the per-type runtime state).
+//
+// Primitive event classes supported by the first REACH prototype (§3.1):
+// method events, DB-internal events (persist, delete, commit, ...), time
+// events, and composite events; plus the announced extensions: state-change
+// events and milestones.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/events/event.h"
+#include "core/events/event_expr.h"
+#include "oodb/sentry_event.h"
+
+namespace reach {
+
+/// SNOOP consumption contexts (§3.4). REACH's minimum is recent +
+/// chronicle; this implementation ships all four.
+enum class ConsumptionPolicy { kRecent, kChronicle, kContinuous, kCumulative };
+
+const char* ConsumptionPolicyName(ConsumptionPolicy policy);
+
+/// Life-span scope of a composite event (§3.3).
+enum class CompositeScope { kSingleTxn, kCrossTxn };
+
+enum class TemporalKind { kAbsolute, kPeriodic, kRelative };
+
+struct EventDescriptor {
+  EventTypeId id = kInvalidEventType;
+  std::string name;
+  EventCategory category = EventCategory::kSingleMethod;
+
+  // -- DB (method / state-change / flow-control) events -------------------
+  bool is_db_event = false;
+  SentryKind sentry_kind = SentryKind::kMethodAfter;
+  std::string class_name;  // receiver class ("" for txn events)
+  std::string member;      // method or attribute name
+
+  // -- Temporal events -----------------------------------------------------
+  bool is_temporal = false;
+  TemporalKind temporal_kind = TemporalKind::kAbsolute;
+  Timestamp fire_at = 0;        // absolute
+  Timestamp period_us = 0;      // periodic
+  EventTypeId anchor = kInvalidEventType;  // relative: after each anchor
+  Timestamp delay_us = 0;       // relative delay
+
+  // -- Milestones (§3.1): raised when `marker` has NOT occurred in a
+  //    transaction within `deadline_us` of its BOT --------------------------
+  bool is_milestone = false;
+  EventTypeId marker = kInvalidEventType;
+  Timestamp deadline_us = 0;
+
+  // -- Composite events -----------------------------------------------------
+  EventExprPtr expr;  // null for primitives
+  ConsumptionPolicy policy = ConsumptionPolicy::kChronicle;
+  CompositeScope scope = CompositeScope::kSingleTxn;
+  Timestamp validity_us = 0;  // 0 = unset (illegal for cross-txn)
+
+  bool is_composite() const { return expr != nullptr; }
+};
+
+class EventRegistry {
+ public:
+  /// Method event: before/after `class_name::method`.
+  Result<EventTypeId> RegisterMethodEvent(const std::string& name,
+                                          const std::string& class_name,
+                                          const std::string& method,
+                                          bool after = true);
+
+  /// State-change event on `class_name.attr`.
+  Result<EventTypeId> RegisterStateChangeEvent(const std::string& name,
+                                               const std::string& class_name,
+                                               const std::string& attr);
+
+  /// DB-internal / flow-control event: persist/delete of a class instance,
+  /// or transaction begin/commit/abort (class_name empty for txn events).
+  Result<EventTypeId> RegisterFlowEvent(const std::string& name,
+                                        SentryKind kind,
+                                        const std::string& class_name = "");
+
+  Result<EventTypeId> RegisterAbsoluteEvent(const std::string& name,
+                                            Timestamp fire_at);
+  Result<EventTypeId> RegisterPeriodicEvent(const std::string& name,
+                                            Timestamp period_us);
+  /// Fires `delay_us` after each occurrence of `anchor`.
+  Result<EventTypeId> RegisterRelativeEvent(const std::string& name,
+                                            EventTypeId anchor,
+                                            Timestamp delay_us);
+
+  /// Milestone (§3.1): fires if a transaction has not raised `marker`
+  /// within `deadline_us` of its BOT.
+  Result<EventTypeId> RegisterMilestone(const std::string& name,
+                                        EventTypeId marker,
+                                        Timestamp deadline_us);
+
+  /// Composite event over the algebra. Single-txn scope requires every
+  /// leaf to be a same-transaction DB event; cross-txn scope requires a
+  /// validity interval, explicit or inherited (the smallest validity of
+  /// composite constituents) — composites without one are illegal (§3.3).
+  Result<EventTypeId> RegisterComposite(
+      const std::string& name, EventExprPtr expr, CompositeScope scope,
+      ConsumptionPolicy policy = ConsumptionPolicy::kChronicle,
+      Timestamp validity_us = 0);
+
+  const EventDescriptor* Find(EventTypeId id) const;
+  const EventDescriptor* FindByName(const std::string& name) const;
+
+  /// Resolve a bus announcement to a registered DB event type.
+  EventTypeId FindDbEvent(SentryKind kind, const std::string& class_name,
+                          const std::string& member) const;
+
+  std::vector<const EventDescriptor*> AllEvents() const;
+  std::vector<const EventDescriptor*> CompositesWithLeaf(
+      EventTypeId leaf) const;
+  std::vector<const EventDescriptor*> RelativeEventsAnchoredAt(
+      EventTypeId anchor) const;
+  std::vector<const EventDescriptor*> Milestones() const;
+
+ private:
+  Result<EventTypeId> Insert(EventDescriptor desc);
+  static std::string DbKey(SentryKind kind, const std::string& class_name,
+                           const std::string& member);
+
+  mutable std::mutex mu_;
+  std::unordered_map<EventTypeId, std::unique_ptr<EventDescriptor>> by_id_;
+  std::unordered_map<std::string, EventTypeId> by_name_;
+  std::unordered_map<std::string, EventTypeId> db_events_;
+  EventTypeId next_id_ = 1;
+};
+
+}  // namespace reach

@@ -1,0 +1,82 @@
+#include "core/events/temporal_scheduler.h"
+
+namespace reach {
+
+TemporalScheduler::TemporalScheduler(Clock* clock) : clock_(clock) {}
+
+TemporalScheduler::~TemporalScheduler() { Stop(); }
+
+void TemporalScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  worker_ = std::thread([this] { Loop(); });
+}
+
+void TemporalScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  clock_->WakeAll();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void TemporalScheduler::ScheduleAt(Timestamp at, TimerAction action) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push({at, next_id_++, 0, std::move(action)});
+  }
+  clock_->WakeAll();  // re-evaluate the head of the queue
+}
+
+void TemporalScheduler::SchedulePeriodic(Timestamp period_us,
+                                         TimerAction action) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(
+        {clock_->Now() + period_us, next_id_++, period_us, std::move(action)});
+  }
+  clock_->WakeAll();
+}
+
+size_t TemporalScheduler::pending_timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void TemporalScheduler::Loop() {
+  for (;;) {
+    Timer due;
+    bool have_due = false;
+    Timestamp wait_until = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      Timestamp now = clock_->Now();
+      if (!queue_.empty() && queue_.top().at <= now) {
+        due = queue_.top();
+        queue_.pop();
+        have_due = true;
+        if (due.period > 0) {
+          queue_.push({due.at + due.period, next_id_++, due.period,
+                       due.action});
+        }
+      } else {
+        wait_until = queue_.empty() ? now + 1000000 : queue_.top().at;
+      }
+    }
+    if (have_due) {
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      due.action(due.at);
+      continue;
+    }
+    clock_->SleepUntil(wait_until);
+  }
+}
+
+}  // namespace reach

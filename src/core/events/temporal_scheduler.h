@@ -1,0 +1,62 @@
+// Temporal event scheduler: fires absolute, periodic, relative and
+// milestone timers off the database clock. With a VirtualClock the whole
+// temporal subsystem is deterministic (tests advance time explicitly).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace reach {
+
+class TemporalScheduler {
+ public:
+  /// `action(fire_time)` runs on the scheduler thread.
+  using TimerAction = std::function<void(Timestamp)>;
+
+  explicit TemporalScheduler(Clock* clock);
+  ~TemporalScheduler();
+
+  void Start();
+  void Stop();
+
+  /// One-shot timer at absolute time `at` (fires immediately if already
+  /// past).
+  void ScheduleAt(Timestamp at, TimerAction action);
+
+  /// Repeating timer every `period_us`, first fire at now + period.
+  void SchedulePeriodic(Timestamp period_us, TimerAction action);
+
+  size_t pending_timers() const;
+  uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Timer {
+    Timestamp at;
+    uint64_t id;  // tie-break for deterministic ordering
+    Timestamp period;  // 0 = one-shot
+    TimerAction action;
+    bool operator>(const Timer& other) const {
+      return at != other.at ? at > other.at : id > other.id;
+    }
+  };
+
+  void Loop();
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> queue_;
+  std::thread worker_;
+  bool running_ = false;
+  bool stop_ = false;
+  uint64_t next_id_ = 0;
+  std::atomic<uint64_t> fired_{0};
+};
+
+}  // namespace reach

@@ -1,0 +1,77 @@
+#include "core/reach/reach_db.h"
+
+namespace reach {
+
+ReachDb::~ReachDb() {
+  // Drain in-flight rule work before tearing down components it may touch.
+  if (rules_) rules_->WaitDetachedIdle();
+  if (events_) events_->Quiesce();
+  // Destruction order matters: rules detach from the transaction manager,
+  // the event manager from the bus, before the database goes away.
+  rules_.reset();
+  events_.reset();
+  db_.reset();
+}
+
+Result<std::unique_ptr<ReachDb>> ReachDb::Open(const std::string& base_path,
+                                               ReachOptions options) {
+  auto reach = std::unique_ptr<ReachDb>(new ReachDb());
+  REACH_ASSIGN_OR_RETURN(reach->db_,
+                         Database::Open(base_path, options.database));
+  reach->events_ =
+      std::make_unique<EventManager>(reach->db_.get(), options.events);
+  reach->rules_ = std::make_unique<RuleEngine>(
+      reach->db_.get(), reach->events_.get(), options.rules);
+  return reach;
+}
+
+Status ReachDb::Checkpoint() {
+  Drain();
+  if (db_->txns()->active_count() > 0) {
+    return Status::FailedPrecondition(
+        "checkpoint requires no active transactions");
+  }
+  return db_->storage()->Checkpoint();
+}
+
+std::string ReachDb::StatsReport() {
+  std::string out;
+  auto add = [&](const std::string& line) { out += line + "\n"; };
+  add("events signaled:       " + std::to_string(events_->signaled_count()));
+  add("composites raised:     " + std::to_string(events_->composite_count()));
+  add("live partials:         " + std::to_string(events_->LivePartials()));
+  add("global history:        " +
+      std::to_string(events_->global_history()->size()));
+  RuleEngineStats rs = rules_->stats();
+  add("immediate rule runs:   " + std::to_string(rs.immediate_runs));
+  add("deferred rule runs:    " + std::to_string(rs.deferred_runs));
+  add("detached rule runs:    " + std::to_string(rs.detached_runs));
+  add("dependency skips:      " + std::to_string(rs.dependency_skips));
+  add("rule failures:         " + std::to_string(rs.failures));
+  add("transactions begun:    " + std::to_string(db_->txns()->begun_count()));
+  add("active transactions:   " +
+      std::to_string(db_->txns()->active_count()));
+  add("deadlocks detected:    " +
+      std::to_string(db_->txns()->locks()->deadlocks_detected()));
+  BufferPool* pool = db_->storage()->buffer_pool();
+  add("buffer pool hits/misses: " + std::to_string(pool->hit_count()) + "/" +
+      std::to_string(pool->miss_count()));
+  add("cached objects:        " +
+      std::to_string(db_->persistence()->cached_objects()));
+  add("object faults:         " +
+      std::to_string(db_->persistence()->faults()));
+  add("index maintenance ops: " +
+      std::to_string(db_->indexing()->maintenance_ops()));
+  return out;
+}
+
+void ReachDb::Drain() {
+  // Detached rules may raise events that trigger more composition and more
+  // detached rules; iterate to a fixed point (bounded).
+  for (int i = 0; i < 8; ++i) {
+    rules_->WaitDetachedIdle();
+    events_->Quiesce();
+  }
+}
+
+}  // namespace reach

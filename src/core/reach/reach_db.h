@@ -1,0 +1,91 @@
+// ReachDb: the integrated active OODBMS — Open-OODB-style core (storage,
+// transactions, persistence, indexing, query) with the REACH active
+// subsystem (event detection/composition, ECA rule management) plugged
+// into the meta-architecture bus. This is the library's top-level entry
+// point.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/events/event_manager.h"
+#include "core/rules/function_registry.h"
+#include "core/rules/rule_engine.h"
+#include "core/rules/rule_parser.h"
+#include "oodb/database.h"
+#include "oodb/session.h"
+#include "query/query_pm.h"
+
+namespace reach {
+
+struct ReachOptions {
+  DatabaseOptions database;
+  EventManagerOptions events;
+  RuleEngineOptions rules;
+};
+
+class ReachDb {
+ public:
+  ~ReachDb();
+
+  /// Open (or create) the database at `base_path` (files `<base>.db` and
+  /// `<base>.wal`), running crash recovery if needed.
+  static Result<std::unique_ptr<ReachDb>> Open(const std::string& base_path,
+                                               ReachOptions options = {});
+
+  // Component access.
+  Database* database() { return db_.get(); }
+  TypeSystem* types() { return db_->types(); }
+  EventManager* events() { return events_.get(); }
+  RuleEngine* rules() { return rules_.get(); }
+  FunctionRegistry* functions() { return &functions_; }
+  QueryPm* query() { return &query_; }
+  Clock* clock() { return db_->clock(); }
+
+  /// New application session.
+  std::unique_ptr<Session> CreateSession() {
+    return std::make_unique<Session>(db_.get());
+  }
+
+  /// Register an application class. Accepts a builder chain directly:
+  /// `db->RegisterClass(ClassBuilder("C").Attribute(...).Method(...))`.
+  Status RegisterClass(ClassBuilder& builder) {
+    return db_->types()->RegisterClass(builder.Build());
+  }
+  Status RegisterClass(std::unique_ptr<ClassDescriptor> desc) {
+    return db_->types()->RegisterClass(std::move(desc));
+  }
+
+  /// Define rules from the REACH rule language.
+  Result<std::vector<RuleId>> DefineRules(const std::string& source) {
+    RuleParser parser(events_.get(), rules_.get(), &functions_, types());
+    return parser.ParseAndDefine(source);
+  }
+
+  /// Run an OQL[C++] query in `session`'s transaction.
+  Result<QueryResult> Query(Session& session, const std::string& q) {
+    return query_.Execute(session, q);
+  }
+
+  /// Drain asynchronous work (composition, detached rules, history merge).
+  void Drain();
+
+  /// Flush all pages and truncate the log. Precondition: no transaction is
+  /// active. Drains asynchronous rule work first.
+  Status Checkpoint();
+
+  /// Human-readable snapshot of system statistics (events, rules, buffer
+  /// pool, transactions).
+  std::string StatsReport();
+
+ private:
+  ReachDb() = default;
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<EventManager> events_;
+  std::unique_ptr<RuleEngine> rules_;
+  FunctionRegistry functions_;
+  QueryPm query_;
+};
+
+}  // namespace reach

@@ -1,0 +1,59 @@
+#include "core/rules/function_registry.h"
+
+namespace reach {
+
+Status FunctionRegistry::RegisterCondition(const std::string& name,
+                                           ConditionFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conditions_.contains(name)) {
+    return Status::AlreadyExists("condition function " + name);
+  }
+  conditions_[name] = std::move(fn);
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterAction(const std::string& name, ActionFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (actions_.contains(name)) {
+    return Status::AlreadyExists("action function " + name);
+  }
+  actions_[name] = std::move(fn);
+  return Status::OK();
+}
+
+ConditionFn FunctionRegistry::FindCondition(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conditions_.find(name);
+  return it == conditions_.end() ? nullptr : it->second;
+}
+
+ActionFn FunctionRegistry::FindAction(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = actions_.find(name);
+  return it == actions_.end() ? nullptr : it->second;
+}
+
+ConditionFn FunctionRegistry::ConditionForRule(
+    const std::string& rule_name) const {
+  return FindCondition(rule_name + "Cond");
+}
+
+ActionFn FunctionRegistry::ActionForRule(const std::string& rule_name) const {
+  return FindAction(rule_name + "Action");
+}
+
+std::vector<std::string> FunctionRegistry::ConditionNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : conditions_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> FunctionRegistry::ActionNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : actions_) out.push_back(name);
+  return out;
+}
+
+}  // namespace reach

@@ -1,0 +1,40 @@
+// FunctionRegistry: the rule language maps each rule onto one rule object
+// plus two C functions for condition evaluation and action execution,
+// archived in a shared library and extracted by the naming convention
+// "<Rule>Cond" / "<Rule>Action" (§6.1). This registry is the in-process
+// equivalent of that shared library.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rules/rule.h"
+
+namespace reach {
+
+class FunctionRegistry {
+ public:
+  Status RegisterCondition(const std::string& name, ConditionFn fn);
+  Status RegisterAction(const std::string& name, ActionFn fn);
+
+  /// Exact-name lookup. Null-valued functions mean "not registered".
+  ConditionFn FindCondition(const std::string& name) const;
+  ActionFn FindAction(const std::string& name) const;
+
+  /// Naming-convention lookup for rule `rule_name`: "<rule_name>Cond" /
+  /// "<rule_name>Action".
+  ConditionFn ConditionForRule(const std::string& rule_name) const;
+  ActionFn ActionForRule(const std::string& rule_name) const;
+
+  std::vector<std::string> ConditionNames() const;
+  std::vector<std::string> ActionNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ConditionFn> conditions_;
+  std::unordered_map<std::string, ActionFn> actions_;
+};
+
+}  // namespace reach

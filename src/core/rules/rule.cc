@@ -1,0 +1,52 @@
+#include "core/rules/rule.h"
+
+namespace reach {
+
+const char* CouplingModeName(CouplingMode mode) {
+  switch (mode) {
+    case CouplingMode::kImmediate: return "immediate";
+    case CouplingMode::kDeferred: return "deferred";
+    case CouplingMode::kDetached: return "detached";
+    case CouplingMode::kParallelCausallyDependent: return "par.caus.dep";
+    case CouplingMode::kSequentialCausallyDependent: return "seq.caus.dep";
+    case CouplingMode::kExclusiveCausallyDependent: return "exc.caus.dep";
+  }
+  return "?";
+}
+
+Status CheckCoupling(EventCategory category, CouplingMode mode) {
+  switch (category) {
+    case EventCategory::kSingleMethod:
+      // Single-method events relate to their raising transaction, so every
+      // coupling mode is allowed.
+      return Status::OK();
+
+    case EventCategory::kPurelyTemporal:
+      // Temporal events occur independently of any transaction: only plain
+      // detached execution is well-defined.
+      if (mode == CouplingMode::kDetached) return Status::OK();
+      return Status::NotSupported(
+          "rules on purely temporal events may only run detached "
+          "(no triggering transaction exists; Table 1)");
+
+    case EventCategory::kCompositeSingleTx:
+      if (mode == CouplingMode::kImmediate) {
+        return Status::NotSupported(
+            "immediate coupling with composite events would stall every "
+            "method event waiting for negative acknowledgements from the "
+            "event composers (Table 1 / §6.4 design decision)");
+      }
+      return Status::OK();
+
+    case EventCategory::kCompositeMultiTx:
+      if (mode == CouplingMode::kImmediate || mode == CouplingMode::kDeferred) {
+        return Status::NotSupported(
+            "immediate/deferred coupling is ambiguous for composite events "
+            "spanning transactions (Table 1)");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown event category");
+}
+
+}  // namespace reach

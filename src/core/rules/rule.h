@@ -1,0 +1,80 @@
+// ECA rules and coupling modes (§3.2). A rule separates its triggering
+// event from condition and action; the coupling mode positions condition
+// evaluation (E-C) relative to the triggering transaction, and an optional
+// distinct action coupling (C-A) positions the action relative to the
+// condition (HiPAC's split, retained by the REACH rule language's separate
+// `cond <mode>` / `action <mode>` clauses).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/events/event.h"
+#include "oodb/session.h"
+
+namespace reach {
+
+/// The six REACH coupling modes (§3.2).
+enum class CouplingMode {
+  kImmediate,      // subtransaction at the detection point
+  kDeferred,       // subtransaction after the work, before commit
+  kDetached,       // independent top-level transaction
+  kParallelCausallyDependent,    // parallel; commits only if trigger commits
+  kSequentialCausallyDependent,  // starts only after trigger committed
+  kExclusiveCausallyDependent,   // commits only if trigger aborts
+};
+
+inline constexpr int kNumCouplingModes = 6;
+
+const char* CouplingModeName(CouplingMode mode);
+
+/// Table 1: which {event category} x {coupling mode} combinations REACH
+/// supports. Returns NotSupported with the paper's rationale otherwise.
+Status CheckCoupling(EventCategory category, CouplingMode mode);
+
+/// Condition: evaluated inside a transaction (per the coupling mode) with
+/// the triggering occurrence's parameters. nullptr condition == true.
+using ConditionFn =
+    std::function<Result<bool>(Session&, const EventOccurrence&)>;
+
+/// Action: runs in the same unit as the condition or its own, per the
+/// action coupling.
+using ActionFn = std::function<Status(Session&, const EventOccurrence&)>;
+
+struct RuleSpec {
+  std::string name;
+  /// Larger value = more urgent; fires earlier (§6.4 orders parallel sets).
+  int priority = 0;
+  EventTypeId event = kInvalidEventType;
+  /// E-C coupling.
+  CouplingMode coupling = CouplingMode::kImmediate;
+  /// C-A coupling; kSameAsCondition (the default) runs the action in the
+  /// condition's unit.
+  enum class ActionCoupling { kSameAsCondition, kDeferred, kDetached };
+  ActionCoupling action_coupling = ActionCoupling::kSameAsCondition;
+  ConditionFn condition;  // nullptr = always true
+  ActionFn action;        // required
+  /// If the action fails, abort the triggering (root) transaction too.
+  bool abort_triggering_on_failure = false;
+};
+
+struct RuleStats {
+  uint64_t triggered = 0;        // occurrences delivered
+  uint64_t conditions_true = 0;
+  uint64_t actions_run = 0;
+  uint64_t failures = 0;
+  uint64_t skipped_dependency = 0;  // causal dependency not satisfied
+};
+
+struct Rule {
+  RuleId id = kInvalidRuleId;
+  RuleSpec spec;
+  bool enabled = true;
+  uint64_t registration_seq = 0;  // for oldest/newest tie-breaking
+  RuleStats stats;
+};
+
+}  // namespace reach

@@ -1,0 +1,569 @@
+#include "core/rules/rule_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+namespace {
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+namespace reach {
+
+RuleEngine::RuleEngine(Database* db, EventManager* events,
+                       RuleEngineOptions options)
+    : db_(db), events_(events), options_(options) {
+  detached_pool_ = std::make_unique<ThreadPool>(options_.detached_threads);
+  if (options_.multi_rule_execution ==
+      RuleEngineOptions::Execution::kParallelSubtransactions) {
+    rule_pool_ = std::make_unique<ThreadPool>(options_.parallel_rule_threads);
+  }
+  db_->txns()->AddListener(this);
+}
+
+RuleEngine::~RuleEngine() {
+  db_->txns()->RemoveListener(this);
+  detached_pool_->Shutdown();
+  if (rule_pool_) rule_pool_->Shutdown();
+}
+
+Result<RuleId> RuleEngine::DefineRule(RuleSpec spec) {
+  if (spec.name.empty()) return Status::InvalidArgument("rule needs a name");
+  if (!spec.action) return Status::InvalidArgument("rule needs an action");
+  const EventDescriptor* desc = events_->registry()->Find(spec.event);
+  if (desc == nullptr) {
+    return Status::NotFound("event type " + std::to_string(spec.event));
+  }
+  // Table 1 admission check.
+  REACH_RETURN_IF_ERROR(CheckCoupling(desc->category, spec.coupling));
+  // A split C-A coupling only makes sense when the condition runs inside
+  // the triggering transaction (immediate/deferred); detached-family rules
+  // already execute in their own transaction.
+  if (spec.action_coupling != RuleSpec::ActionCoupling::kSameAsCondition &&
+      spec.coupling != CouplingMode::kImmediate &&
+      spec.coupling != CouplingMode::kDeferred) {
+    return Status::InvalidArgument(
+        "separate action coupling requires an immediate or deferred "
+        "condition coupling");
+  }
+  if (spec.action_coupling == RuleSpec::ActionCoupling::kDeferred &&
+      spec.coupling == CouplingMode::kDeferred) {
+    // Redundant but harmless; normalize.
+    spec.action_coupling = RuleSpec::ActionCoupling::kSameAsCondition;
+  }
+
+  std::unique_lock lock(mu_);
+  if (by_name_.contains(spec.name)) {
+    return Status::AlreadyExists("rule " + spec.name);
+  }
+  auto rule = std::make_unique<Rule>();
+  rule->id = next_id_++;
+  rule->registration_seq = next_registration_seq_++;
+  rule->spec = std::move(spec);
+  RuleId id = rule->id;
+  EventTypeId event = rule->spec.event;
+  if (rule->spec.coupling == CouplingMode::kDeferred ||
+      rule->spec.action_coupling == RuleSpec::ActionCoupling::kDeferred) {
+    deferred_rule_count_.fetch_add(1);
+  }
+  by_name_[rule->spec.name] = id;
+  by_event_[event].push_back(id);
+  rules_[id] = std::move(rule);
+
+  if (!listening_.contains(event)) {
+    listening_.insert(event);
+    lock.unlock();
+    events_->AddEventListener(
+        event, [this, event](const EventOccurrencePtr& occ) {
+          OnOccurrence(event, occ);
+        });
+  }
+  return id;
+}
+
+Status RuleEngine::SetRuleEnabled(const std::string& name, bool enabled) {
+  std::unique_lock lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("rule " + name);
+  rules_[it->second]->enabled = enabled;
+  return Status::OK();
+}
+
+Status RuleEngine::DropRule(const std::string& name) {
+  std::unique_lock lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("rule " + name);
+  RuleId id = it->second;
+  EventTypeId event = rules_[id]->spec.event;
+  if (rules_[id]->spec.coupling == CouplingMode::kDeferred ||
+      rules_[id]->spec.action_coupling ==
+          RuleSpec::ActionCoupling::kDeferred) {
+    deferred_rule_count_.fetch_sub(1);
+  }
+  auto& vec = by_event_[event];
+  vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+  rules_.erase(id);
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+const Rule* RuleEngine::FindRule(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return rules_.at(it->second).get();
+}
+
+std::vector<std::string> RuleEngine::RuleNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, _] : by_name_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<RuleStats> RuleEngine::StatsOf(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("rule " + name);
+  return rules_.at(it->second)->stats;
+}
+
+std::vector<Rule*> RuleEngine::RulesForEvent(EventTypeId type) {
+  std::shared_lock lock(mu_);
+  std::vector<Rule*> out;
+  auto it = by_event_.find(type);
+  if (it == by_event_.end()) return out;
+  for (RuleId id : it->second) {
+    Rule* rule = rules_.at(id).get();
+    if (rule->enabled) out.push_back(rule);
+  }
+  bool oldest_first =
+      options_.tie_break == RuleEngineOptions::TieBreak::kOldestFirst;
+  std::sort(out.begin(), out.end(), [oldest_first](Rule* a, Rule* b) {
+    if (a->spec.priority != b->spec.priority) {
+      return a->spec.priority > b->spec.priority;  // urgent first
+    }
+    return oldest_first ? a->registration_seq < b->registration_seq
+                        : a->registration_seq > b->registration_seq;
+  });
+  return out;
+}
+
+void RuleEngine::MarkEngineTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(engine_txn_mu_);
+  engine_txns_.insert(txn);
+}
+
+void RuleEngine::UnmarkEngineTxn(TxnId txn) {
+  std::lock_guard<std::mutex> lock(engine_txn_mu_);
+  engine_txns_.erase(txn);
+}
+
+bool RuleEngine::IsEngineTxn(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(engine_txn_mu_);
+  return engine_txns_.contains(txn);
+}
+
+void RuleEngine::OnOccurrence(EventTypeId type,
+                              const EventOccurrencePtr& occ) {
+  std::vector<Rule*> rules = RulesForEvent(type);
+  if (rules.empty()) return;
+  // Flow-control events raised by the engine's own transactions must not
+  // fire rules (a rule on `commit` would otherwise retrigger itself).
+  const EventDescriptor* desc = events_->registry()->Find(type);
+  if (desc != nullptr && desc->is_db_event &&
+      (desc->sentry_kind == SentryKind::kTxnBegin ||
+       desc->sentry_kind == SentryKind::kTxnCommit ||
+       desc->sentry_kind == SentryKind::kTxnAbort) &&
+      IsEngineTxn(occ->txn)) {
+    return;
+  }
+
+  std::vector<Firing> immediate;
+  for (Rule* rule : rules) {
+    {
+      std::unique_lock lock(mu_);
+      rule->stats.triggered++;
+    }
+    switch (rule->spec.coupling) {
+      case CouplingMode::kImmediate:
+        if (occ->txn == kNoTxn) {
+          // Explicitly raised outside any transaction: fall back to an
+          // independent transaction (documented deviation; Table 1 has no
+          // row for transactionless method events).
+          DispatchDetached(rule, occ, CouplingMode::kDetached, false);
+        } else {
+          immediate.push_back({rule->id, occ, false});
+        }
+        break;
+      case CouplingMode::kDeferred:
+        if (occ->txn == kNoTxn) {
+          DispatchDetached(rule, occ, CouplingMode::kDetached, false);
+        } else {
+          EnqueueDeferred({rule->id, occ, false}, occ->txn);
+        }
+        break;
+      default:
+        DispatchDetached(rule, occ, rule->spec.coupling, false);
+        break;
+    }
+  }
+  if (!immediate.empty()) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      engine_stats_.immediate_runs += immediate.size();
+    }
+    // The go-ahead for the application is this call returning.
+    Status st = ExecuteSet(immediate, occ->txn);
+    (void)st;  // failures are recorded per rule / may abort the trigger
+  }
+}
+
+void RuleEngine::EnqueueDeferred(Firing firing, TxnId root) {
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  deferred_[root].push_back(std::move(firing));
+}
+
+Status RuleEngine::ExecuteInSubtxn(Rule* rule, const EventOccurrencePtr& occ,
+                                   TxnId parent, bool action_only) {
+  int64_t start_us = trace_.enabled() ? NowMicros() : 0;
+  auto sub = db_->txns()->Begin(parent);
+  if (!sub.ok()) return sub.status();
+  MarkEngineTxn(sub.value());
+  Session session(db_);
+  session.AdoptTxn(sub.value());
+
+  Status result = Status::OK();
+  bool condition_true = true;
+  if (!action_only && rule->spec.condition) {
+    auto cond = rule->spec.condition(session, *occ);
+    if (!cond.ok()) {
+      result = cond.status();
+      condition_true = false;
+    } else {
+      condition_true = cond.value();
+    }
+  }
+
+  bool ran_action = false;
+  if (result.ok() && condition_true) {
+    {
+      std::unique_lock lock(mu_);
+      rule->stats.conditions_true++;
+    }
+    switch (rule->spec.action_coupling) {
+      case RuleSpec::ActionCoupling::kSameAsCondition:
+        result = rule->spec.action(session, *occ);
+        ran_action = true;
+        break;
+      case RuleSpec::ActionCoupling::kDeferred:
+        EnqueueDeferred({rule->id, occ, true},
+                        db_->txns()->RootOf(parent));
+        break;
+      case RuleSpec::ActionCoupling::kDetached:
+        DispatchDetached(rule, occ, CouplingMode::kDetached, true);
+        break;
+    }
+  }
+
+  if (result.ok()) {
+    result = session.Commit();
+  } else {
+    Status abort_st = session.Abort();
+    (void)abort_st;
+  }
+  UnmarkEngineTxn(sub.value());
+
+  if (trace_.enabled()) {
+    RuleTraceEntry entry;
+    entry.rule_name = rule->spec.name;
+    entry.rule = rule->id;
+    entry.event = occ->type;
+    entry.occurrence_seq = occ->sequence;
+    entry.mode = rule->spec.coupling;
+    entry.action_only = action_only;
+    entry.condition_true = condition_true;
+    entry.action_ran = ran_action;
+    entry.succeeded = result.ok();
+    if (!result.ok()) entry.error = result.ToString();
+    entry.trigger_txn = occ->txn;
+    entry.rule_txn = sub.value();
+    entry.duration_us = NowMicros() - start_us;
+    trace_.Append(std::move(entry));
+  }
+
+  {
+    std::unique_lock lock(mu_);
+    if (ran_action && result.ok()) rule->stats.actions_run++;
+    if (!result.ok()) rule->stats.failures++;
+  }
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    engine_stats_.failures++;
+  }
+  if (!result.ok() && rule->spec.abort_triggering_on_failure) {
+    TxnId root = db_->txns()->RootOf(parent);
+    if (db_->txns()->IsActive(root)) {
+      Status abort_st = db_->txns()->Abort(root);
+      (void)abort_st;
+    }
+  }
+  return result;
+}
+
+Status RuleEngine::ExecuteSet(const std::vector<Firing>& firings,
+                              TxnId parent) {
+  Status first_error = Status::OK();
+  if (rule_pool_ == nullptr || firings.size() == 1) {
+    // Serial ring-sequence (§6.4 first-prototype strategy): the set is
+    // already ordered by priority + tie-break.
+    for (const Firing& f : firings) {
+      Rule* rule;
+      {
+        std::shared_lock lock(mu_);
+        auto it = rules_.find(f.rule);
+        if (it == rules_.end()) continue;
+        rule = it->second.get();
+      }
+      Status st = ExecuteInSubtxn(rule, f.occ, parent, f.action_only);
+      if (first_error.ok() && !st.ok()) first_error = st;
+      if (!db_->txns()->IsActive(parent)) {
+        // A rule aborted the triggering transaction; stop the sequence.
+        return Status::Aborted("triggering transaction aborted by rule");
+      }
+    }
+    return first_error;
+  }
+
+  // Parallel sibling subtransactions. Priorities still order lower-level
+  // thread creation (§6.4), hence submission order.
+  std::vector<std::future<Status>> futures;
+  futures.reserve(firings.size());
+  for (const Firing& f : firings) {
+    futures.push_back(rule_pool_->SubmitWithResult([this, f, parent] {
+      Rule* rule;
+      {
+        std::shared_lock lock(mu_);
+        auto it = rules_.find(f.rule);
+        if (it == rules_.end()) return Status::OK();
+        rule = it->second.get();
+      }
+      return ExecuteInSubtxn(rule, f.occ, parent, f.action_only);
+    }));
+  }
+  for (auto& fut : futures) {
+    Status st = fut.get();
+    if (first_error.ok() && !st.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status RuleEngine::OnPreCommit(TxnId txn) {
+  if (deferred_rule_count_.load(std::memory_order_relaxed) == 0) {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    if (deferred_.empty()) return Status::OK();
+  }
+  Status first_error = Status::OK();
+  for (size_t round = 0; round < options_.max_deferred_rounds; ++round) {
+    // Let asynchronous composition finish so single-transaction composite
+    // events of this transaction have been delivered.
+    events_->Quiesce();
+
+    std::vector<Firing> batch;
+    {
+      std::lock_guard<std::mutex> lock(deferred_mu_);
+      auto it = deferred_.find(txn);
+      if (it != deferred_.end()) {
+        batch = std::move(it->second);
+        deferred_.erase(it);
+      }
+    }
+    if (batch.empty()) break;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      engine_stats_.deferred_rounds++;
+      engine_stats_.deferred_runs += batch.size();
+    }
+
+    // Ordering: priority, then simple-before-composite, then tie-break.
+    bool simple_first = options_.simple_events_first;
+    bool oldest_first =
+        options_.tie_break == RuleEngineOptions::TieBreak::kOldestFirst;
+    std::shared_lock lock(mu_);
+    std::stable_sort(
+        batch.begin(), batch.end(),
+        [&](const Firing& a, const Firing& b) {
+          const Rule* ra = rules_.contains(a.rule)
+                               ? rules_.at(a.rule).get() : nullptr;
+          const Rule* rb = rules_.contains(b.rule)
+                               ? rules_.at(b.rule).get() : nullptr;
+          if (ra == nullptr || rb == nullptr) return false;
+          if (ra->spec.priority != rb->spec.priority) {
+            return ra->spec.priority > rb->spec.priority;
+          }
+          bool a_simple = a.occ->constituents.empty();
+          bool b_simple = b.occ->constituents.empty();
+          if (simple_first && a_simple != b_simple) return a_simple;
+          return oldest_first
+                     ? ra->registration_seq < rb->registration_seq
+                     : ra->registration_seq > rb->registration_seq;
+        });
+    lock.unlock();
+
+    Status st = ExecuteSet(batch, txn);
+    if (first_error.ok() && !st.ok()) {
+      // Only failures of abort-demanding rules poison the commit; those
+      // rules already aborted the transaction themselves.
+      if (!db_->txns()->IsActive(txn)) first_error = st;
+    }
+    if (!db_->txns()->IsActive(txn)) break;
+  }
+  return first_error;
+}
+
+void RuleEngine::OnAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(deferred_mu_);
+  deferred_.erase(txn);
+}
+
+void RuleEngine::DispatchDetached(Rule* rule, const EventOccurrencePtr& occ,
+                                  CouplingMode mode, bool action_only) {
+  RuleId id = rule->id;
+  detached_pool_->Submit([this, id, occ, mode, action_only] {
+    RunDetachedTask(id, occ, mode, action_only);
+  });
+}
+
+void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
+                                 CouplingMode mode, bool action_only) {
+  int64_t start_us = trace_.enabled() ? NowMicros() : 0;
+  Rule* rule;
+  {
+    std::shared_lock lock(mu_);
+    auto it = rules_.find(rule_id);
+    if (it == rules_.end()) return;
+    rule = it->second.get();
+  }
+  std::vector<TxnId> involved = occ->InvolvedTxns();
+
+  if (mode == CouplingMode::kSequentialCausallyDependent) {
+    // May initiate only after every involved transaction committed.
+    for (TxnId t : involved) {
+      auto outcome = db_->txns()->WaitForOutcome(t);
+      if (!outcome.ok() || !outcome.value()) {
+        std::unique_lock lock(mu_);
+        rule->stats.skipped_dependency++;
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        engine_stats_.dependency_skips++;
+        return;
+      }
+    }
+  }
+
+  auto txn = db_->txns()->Begin();
+  if (!txn.ok()) return;
+  MarkEngineTxn(txn.value());
+  if (mode == CouplingMode::kParallelCausallyDependent) {
+    for (TxnId t : involved) {
+      (void)db_->txns()->AddCommitDependency(txn.value(), t);
+    }
+  } else if (mode == CouplingMode::kExclusiveCausallyDependent) {
+    for (TxnId t : involved) {
+      (void)db_->txns()->AddAbortDependency(txn.value(), t);
+    }
+  }
+
+  Session session(db_);
+  session.AdoptTxn(txn.value());
+  Status result = Status::OK();
+  bool condition_true = true;
+  if (!action_only && rule->spec.condition) {
+    auto cond = rule->spec.condition(session, *occ);
+    if (!cond.ok()) {
+      result = cond.status();
+      condition_true = false;
+    } else {
+      condition_true = cond.value();
+    }
+  }
+  bool ran_action = false;
+  if (result.ok() && condition_true) {
+    {
+      std::unique_lock lock(mu_);
+      rule->stats.conditions_true++;
+    }
+    result = rule->spec.action(session, *occ);
+    ran_action = true;
+  }
+  if (result.ok() && (condition_true || !involved.empty())) {
+    // Commit even on false conditions when causal dependencies must be
+    // checked symmetrically; an empty transaction commit is cheap.
+    result = session.Commit();
+  } else if (result.ok()) {
+    result = session.Abort();
+  } else {
+    Status abort_st = session.Abort();
+    (void)abort_st;
+  }
+  UnmarkEngineTxn(txn.value());
+
+  if (trace_.enabled()) {
+    RuleTraceEntry entry;
+    entry.rule_name = rule->spec.name;
+    entry.rule = rule->id;
+    entry.event = occ->type;
+    entry.occurrence_seq = occ->sequence;
+    entry.mode = mode;
+    entry.action_only = action_only;
+    entry.condition_true = condition_true;
+    entry.action_ran = ran_action;
+    entry.succeeded = result.ok();
+    if (!result.ok()) entry.error = result.ToString();
+    entry.trigger_txn = occ->txn;
+    entry.rule_txn = txn.value();
+    entry.duration_us = NowMicros() - start_us;
+    trace_.Append(std::move(entry));
+  }
+
+  {
+    std::unique_lock lock(mu_);
+    if (ran_action && result.ok()) rule->stats.actions_run++;
+    if (!result.ok()) {
+      if (result.IsAborted() &&
+          (mode == CouplingMode::kParallelCausallyDependent ||
+           mode == CouplingMode::kExclusiveCausallyDependent)) {
+        rule->stats.skipped_dependency++;
+      } else {
+        rule->stats.failures++;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    engine_stats_.detached_runs++;
+    if (!result.ok()) {
+      if (result.IsAborted() &&
+          (mode == CouplingMode::kParallelCausallyDependent ||
+           mode == CouplingMode::kExclusiveCausallyDependent)) {
+        engine_stats_.dependency_skips++;
+      } else {
+        engine_stats_.failures++;
+      }
+    }
+  }
+}
+
+void RuleEngine::WaitDetachedIdle() { detached_pool_->WaitIdle(); }
+
+RuleEngineStats RuleEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return engine_stats_;
+}
+
+}  // namespace reach

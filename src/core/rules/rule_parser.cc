@@ -1,0 +1,751 @@
+#include "core/rules/rule_parser.h"
+
+#include <unordered_map>
+
+#include "query/expr.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "query/query_pm.h"
+
+namespace reach {
+
+namespace {
+
+Status ParseError(const Token& tok, const std::string& what) {
+  return Status::InvalidArgument("rule parse: expected " + what + " near '" +
+                                 tok.text + "' at " +
+                                 std::to_string(tok.position));
+}
+
+struct Decl {
+  std::string var;
+  std::string class_name;  // empty for scalar event parameters
+  std::string named;       // dictionary name, if any
+};
+
+enum class ActionKind { kRegistry, kCall, kInvoke, kSet, kAbort, kNone };
+
+struct ParsedAction {
+  ActionKind kind = ActionKind::kNone;
+  std::string fn_name;               // kCall
+  std::string var;                   // kInvoke / kSet receiver
+  std::string member;                // method or attribute
+  std::vector<ExprPtr> args;         // kInvoke arguments
+  ExprPtr value;                     // kSet value
+};
+
+/// Per-firing variable bindings for condition/action expressions.
+struct Bindings {
+  std::string receiver_var;               // bound to occ.source
+  std::vector<std::string> param_vars;    // positional, from the event spec
+  std::unordered_map<std::string, std::string> named;  // var -> db name
+};
+
+class RuleEnv : public EvalEnv {
+ public:
+  RuleEnv(Session* session, const Bindings* bindings,
+          const EventOccurrence* occ)
+      : session_(session), bindings_(bindings), occ_(occ) {}
+
+  Result<Value> Resolve(const std::vector<std::string>& path) override {
+    if (path.empty()) return Status::InvalidArgument("empty path");
+    REACH_ASSIGN_OR_RETURN(Value base, ResolveVar(path[0]));
+    Value v = std::move(base);
+    for (size_t i = 1; i < path.size(); ++i) {
+      if (!v.is_ref()) {
+        return Status::InvalidArgument("'" + path[i - 1] +
+                                       "' is not an object reference");
+      }
+      REACH_ASSIGN_OR_RETURN(std::shared_ptr<DbObject> obj,
+                             session_->Fetch(v.as_ref()));
+      if (!obj->Has(path[i])) {
+        return Status::NotFound("attribute " + path[i] + " on " +
+                                obj->class_name());
+      }
+      v = obj->Get(path[i]);
+    }
+    return v;
+  }
+
+ private:
+  Result<Value> ResolveVar(const std::string& var) {
+    if (var == bindings_->receiver_var && !var.empty()) {
+      return Value(occ_->source);
+    }
+    for (size_t i = 0; i < bindings_->param_vars.size(); ++i) {
+      if (bindings_->param_vars[i] == var) {
+        if (i >= occ_->params.size()) {
+          return Status::OutOfRange("event has no parameter " + var);
+        }
+        return occ_->params[i];
+      }
+    }
+    auto it = bindings_->named.find(var);
+    if (it != bindings_->named.end()) {
+      REACH_ASSIGN_OR_RETURN(Oid oid, session_->Lookup(it->second));
+      return Value(oid);
+    }
+    return Status::NotFound("unbound variable " + var);
+  }
+
+  Session* session_;
+  const Bindings* bindings_;
+  const EventOccurrence* occ_;
+};
+
+bool IsCompositeKeyword(const Token& tok) {
+  return tok.IsIdent("seq") || tok.IsIdent("both") || tok.IsIdent("any") ||
+         tok.IsIdent("without") || tok.IsIdent("closure") ||
+         tok.IsIdent("times");
+}
+
+/// Recursive-descent parser for inline composite event expressions.
+/// `correlation` applies to every operator in the expression.
+Result<EventExprPtr> ParseEventExpr(const std::vector<Token>& tokens,
+                                    size_t* pos, EventRegistry* registry,
+                                    Correlation correlation) {
+  auto cur = [&]() -> const Token& { return tokens[*pos]; };
+  auto expect = [&](const char* sym) -> Status {
+    if (!cur().IsSymbol(sym)) {
+      return ParseError(cur(), std::string("'") + sym + "'");
+    }
+    ++*pos;
+    return Status::OK();
+  };
+  auto sub = [&]() -> Result<EventExprPtr> {
+    return ParseEventExpr(tokens, pos, registry, correlation);
+  };
+
+  if (!IsCompositeKeyword(cur())) {
+    // Leaf: a registered event name.
+    if (cur().type != TokenType::kIdent) {
+      return ParseError(cur(), "event name or composite operator");
+    }
+    const EventDescriptor* desc = registry->FindByName(cur().text);
+    if (desc == nullptr) {
+      return Status::NotFound("event type " + cur().text);
+    }
+    ++*pos;
+    return EventExpr::Prim(desc->id);
+  }
+
+  std::string op = cur().text;
+  ++*pos;
+  REACH_RETURN_IF_ERROR(expect("("));
+  if (op == "times") {
+    if (cur().type != TokenType::kInt || cur().int_value < 1) {
+      return ParseError(cur(), "occurrence count");
+    }
+    uint32_t n = static_cast<uint32_t>(cur().int_value);
+    ++*pos;
+    REACH_RETURN_IF_ERROR(expect(","));
+    REACH_ASSIGN_OR_RETURN(EventExprPtr body, sub());
+    REACH_RETURN_IF_ERROR(expect(")"));
+    return EventExpr::History(std::move(body), n, correlation);
+  }
+  REACH_ASSIGN_OR_RETURN(EventExprPtr a, sub());
+  REACH_RETURN_IF_ERROR(expect(","));
+  REACH_ASSIGN_OR_RETURN(EventExprPtr b, sub());
+  if (op == "without") {
+    REACH_RETURN_IF_ERROR(expect(","));
+    REACH_ASSIGN_OR_RETURN(EventExprPtr c, sub());
+    REACH_RETURN_IF_ERROR(expect(")"));
+    return EventExpr::Not(std::move(a), std::move(b), std::move(c),
+                          correlation);
+  }
+  REACH_RETURN_IF_ERROR(expect(")"));
+  if (op == "seq") return EventExpr::Seq(std::move(a), std::move(b),
+                                         correlation);
+  if (op == "both") return EventExpr::And(std::move(a), std::move(b),
+                                          correlation);
+  if (op == "any") return EventExpr::Or(std::move(a), std::move(b));
+  if (op == "closure") return EventExpr::Closure(std::move(a), std::move(b));
+  return Status::Internal("unknown composite operator " + op);
+}
+
+Result<CouplingMode> ParseMode(const Token& tok) {
+  if (tok.IsIdent("imm") || tok.IsIdent("immediate")) {
+    return CouplingMode::kImmediate;
+  }
+  if (tok.IsIdent("deferred")) return CouplingMode::kDeferred;
+  if (tok.IsIdent("detached")) return CouplingMode::kDetached;
+  if (tok.IsIdent("parallel")) {
+    return CouplingMode::kParallelCausallyDependent;
+  }
+  if (tok.IsIdent("sequential")) {
+    return CouplingMode::kSequentialCausallyDependent;
+  }
+  if (tok.IsIdent("exclusive")) {
+    return CouplingMode::kExclusiveCausallyDependent;
+  }
+  return ParseError(tok, "coupling mode");
+}
+
+bool IsScalarType(const Token& tok) {
+  return tok.IsIdent("int") || tok.IsIdent("double") ||
+         tok.IsIdent("string") || tok.IsIdent("bool");
+}
+
+}  // namespace
+
+Result<std::vector<RuleId>> RuleParser::ParseAndDefine(
+    const std::string& source) {
+  REACH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  size_t pos = 0;
+  auto cur = [&]() -> const Token& { return tokens[pos]; };
+  auto expect_symbol = [&](const char* s) -> Status {
+    if (!cur().IsSymbol(s)) {
+      return ParseError(cur(), std::string("'") + s + "'");
+    }
+    ++pos;
+    return Status::OK();
+  };
+
+  std::vector<RuleId> defined;
+  while (cur().type != TokenType::kEnd) {
+    if (!cur().IsIdent("rule")) return ParseError(cur(), "'rule'");
+    ++pos;
+    if (cur().type != TokenType::kIdent) return ParseError(cur(), "rule name");
+    std::string rule_name = cur().text;
+    ++pos;
+    REACH_RETURN_IF_ERROR(expect_symbol("{"));
+
+    int priority = 0;
+    std::vector<Decl> decls;
+    bool have_event = false;
+    std::string ev_kind;      // "after"/"before"/"set"/"persist"/...
+    std::string ev_var;       // receiver variable
+    std::string ev_member;    // method / attribute / class
+    std::vector<std::string> ev_args;
+    int64_t ev_period_us = 0;
+    std::string ev_named_event;  // pre-registered event name
+    EventExprPtr ev_expr;        // inline composite expression
+    CompositeScope ev_scope = CompositeScope::kSingleTxn;
+    ConsumptionPolicy ev_policy = ConsumptionPolicy::kChronicle;
+    Timestamp ev_validity_us = 0;
+    bool have_cond = false, have_action = false;
+    CouplingMode cond_mode = CouplingMode::kImmediate;
+    CouplingMode action_mode = CouplingMode::kImmediate;
+    ExprPtr cond_expr;
+    std::string cond_query;  // exists(select ...) condition
+    ParsedAction action;
+
+    while (!cur().IsSymbol("}")) {
+      if (cur().IsIdent("prio")) {
+        ++pos;
+        if (cur().type != TokenType::kInt) {
+          return ParseError(cur(), "priority value");
+        }
+        priority = static_cast<int>(cur().int_value);
+        ++pos;
+        REACH_RETURN_IF_ERROR(expect_symbol(";"));
+      } else if (cur().IsIdent("decl")) {
+        ++pos;
+        for (;;) {
+          Decl d;
+          if (IsScalarType(cur())) {
+            ++pos;  // scalar event parameter: type is documentation only
+            if (cur().type != TokenType::kIdent) {
+              return ParseError(cur(), "variable name");
+            }
+            d.var = cur().text;
+            ++pos;
+          } else {
+            if (cur().type != TokenType::kIdent) {
+              return ParseError(cur(), "class name");
+            }
+            d.class_name = cur().text;
+            ++pos;
+            if (cur().IsSymbol("*")) ++pos;
+            if (cur().type != TokenType::kIdent) {
+              return ParseError(cur(), "variable name");
+            }
+            d.var = cur().text;
+            ++pos;
+            if (cur().IsIdent("named")) {
+              ++pos;
+              if (cur().type != TokenType::kString) {
+                return ParseError(cur(), "object name string");
+              }
+              d.named = cur().text;
+              ++pos;
+            }
+          }
+          decls.push_back(std::move(d));
+          if (cur().IsSymbol(",")) {
+            ++pos;
+            continue;
+          }
+          break;
+        }
+        REACH_RETURN_IF_ERROR(expect_symbol(";"));
+      } else if (cur().IsIdent("event")) {
+        ++pos;
+        have_event = true;
+        if (cur().IsIdent("after") || cur().IsIdent("before")) {
+          ev_kind = cur().text;
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "receiver variable");
+          }
+          ev_var = cur().text;
+          ++pos;
+          if (!cur().IsSymbol("->")) return ParseError(cur(), "'->'");
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "method name");
+          }
+          ev_member = cur().text;
+          ++pos;
+          REACH_RETURN_IF_ERROR(expect_symbol("("));
+          while (!cur().IsSymbol(")")) {
+            if (cur().type != TokenType::kIdent) {
+              return ParseError(cur(), "argument variable");
+            }
+            ev_args.push_back(cur().text);
+            ++pos;
+            if (cur().IsSymbol(",")) ++pos;
+          }
+          ++pos;  // ')'
+        } else if (cur().IsIdent("set")) {
+          ev_kind = "set";
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "receiver variable");
+          }
+          ev_var = cur().text;
+          ++pos;
+          if (!cur().IsSymbol(".")) return ParseError(cur(), "'.'");
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "attribute name");
+          }
+          ev_member = cur().text;
+          ++pos;
+        } else if (cur().IsIdent("persist") || cur().IsIdent("delete")) {
+          ev_kind = cur().text;
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "class name");
+          }
+          ev_member = cur().text;
+          ++pos;
+        } else if (cur().IsIdent("commit") || cur().IsIdent("abort") ||
+                   cur().IsIdent("begin")) {
+          ev_kind = cur().text;
+          ++pos;
+        } else if (cur().IsIdent("every")) {
+          ev_kind = "every";
+          ++pos;
+          if (cur().type != TokenType::kInt) {
+            return ParseError(cur(), "period value");
+          }
+          int64_t n = cur().int_value;
+          ++pos;
+          if (cur().IsIdent("us")) {
+            ev_period_us = n;
+          } else if (cur().IsIdent("ms")) {
+            ev_period_us = n * 1000;
+          } else if (cur().IsIdent("s")) {
+            ev_period_us = n * 1000000;
+          } else if (cur().IsIdent("min")) {
+            ev_period_us = n * 60000000;
+          } else {
+            return ParseError(cur(), "time unit (us/ms/s/min)");
+          }
+          ++pos;
+        } else if (IsCompositeKeyword(cur())) {
+          // Inline composite expression with optional modifiers.
+          ev_kind = "composite";
+          size_t expr_start = pos;
+          REACH_ASSIGN_OR_RETURN(
+              ev_expr, ParseEventExpr(tokens, &pos, events_->registry(),
+                                      Correlation::kNone));
+          ev_scope = CompositeScope::kSingleTxn;
+          ev_validity_us = 0;
+          ev_policy = ConsumptionPolicy::kChronicle;
+          bool same_source = false;
+          for (;;) {
+            if (cur().IsIdent("within")) {
+              ++pos;
+              if (cur().type != TokenType::kInt) {
+                return ParseError(cur(), "validity value");
+              }
+              int64_t n = cur().int_value;
+              ++pos;
+              if (cur().IsIdent("us")) {
+                ev_validity_us = n;
+              } else if (cur().IsIdent("ms")) {
+                ev_validity_us = n * 1000;
+              } else if (cur().IsIdent("s")) {
+                ev_validity_us = n * 1000000;
+              } else if (cur().IsIdent("min")) {
+                ev_validity_us = n * 60000000;
+              } else {
+                return ParseError(cur(), "time unit (us/ms/s/min)");
+              }
+              ++pos;
+              ev_scope = CompositeScope::kCrossTxn;
+            } else if (cur().IsIdent("using")) {
+              ++pos;
+              if (cur().IsIdent("recent")) {
+                ev_policy = ConsumptionPolicy::kRecent;
+              } else if (cur().IsIdent("chronicle")) {
+                ev_policy = ConsumptionPolicy::kChronicle;
+              } else if (cur().IsIdent("continuous")) {
+                ev_policy = ConsumptionPolicy::kContinuous;
+              } else if (cur().IsIdent("cumulative")) {
+                ev_policy = ConsumptionPolicy::kCumulative;
+              } else {
+                return ParseError(cur(), "consumption policy");
+              }
+              ++pos;
+            } else if (cur().IsIdent("same")) {
+              ++pos;
+              if (!cur().IsIdent("object")) {
+                return ParseError(cur(), "'object'");
+              }
+              ++pos;
+              same_source = true;
+            } else {
+              break;
+            }
+          }
+          if (same_source) {
+            // Re-parse the expression with the correlation applied to
+            // every operator.
+            size_t reparse = expr_start;
+            REACH_ASSIGN_OR_RETURN(
+                ev_expr, ParseEventExpr(tokens, &reparse, events_->registry(),
+                                        Correlation::kSameSource));
+          }
+        } else if (cur().type == TokenType::kIdent) {
+          ev_kind = "named";
+          ev_named_event = cur().text;
+          ++pos;
+        } else {
+          return ParseError(cur(), "event specification");
+        }
+        REACH_RETURN_IF_ERROR(expect_symbol(";"));
+      } else if (cur().IsIdent("cond")) {
+        ++pos;
+        have_cond = true;
+        REACH_ASSIGN_OR_RETURN(cond_mode, ParseMode(cur()));
+        ++pos;
+        if (cur().IsIdent("exists")) {
+          // §7 extension: ECA + OQL[C++] — the condition is an existence
+          // test over a query: `cond imm exists (select ...);`
+          ++pos;
+          if (!cur().IsSymbol("(")) return ParseError(cur(), "'('");
+          ++pos;
+          size_t start = cur().position;
+          int depth = 1;
+          size_t end = start;
+          while (true) {
+            if (cur().type == TokenType::kEnd) {
+              return ParseError(cur(), "')' closing exists(...)");
+            }
+            if (cur().IsSymbol("(")) ++depth;
+            if (cur().IsSymbol(")")) {
+              --depth;
+              if (depth == 0) {
+                end = cur().position;
+                break;
+              }
+            }
+            ++pos;
+          }
+          cond_query = source.substr(start, end - start);
+          ++pos;  // ')'
+        } else if (!cur().IsSymbol(";")) {
+          ExprParser ep(&tokens, &pos);
+          REACH_ASSIGN_OR_RETURN(cond_expr, ep.Parse());
+        }
+        REACH_RETURN_IF_ERROR(expect_symbol(";"));
+      } else if (cur().IsIdent("action")) {
+        ++pos;
+        have_action = true;
+        REACH_ASSIGN_OR_RETURN(action_mode, ParseMode(cur()));
+        ++pos;
+        if (cur().IsSymbol(";")) {
+          action.kind = ActionKind::kRegistry;
+        } else if (cur().IsIdent("call")) {
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "function name");
+          }
+          action.kind = ActionKind::kCall;
+          action.fn_name = cur().text;
+          ++pos;
+        } else if (cur().IsIdent("abort")) {
+          action.kind = ActionKind::kAbort;
+          ++pos;
+        } else if (cur().IsIdent("set")) {
+          ++pos;
+          action.kind = ActionKind::kSet;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "variable");
+          }
+          action.var = cur().text;
+          ++pos;
+          if (!cur().IsSymbol(".")) return ParseError(cur(), "'.'");
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "attribute");
+          }
+          action.member = cur().text;
+          ++pos;
+          if (!cur().IsSymbol("=")) return ParseError(cur(), "'='");
+          ++pos;
+          ExprParser ep(&tokens, &pos);
+          REACH_ASSIGN_OR_RETURN(action.value, ep.Parse());
+        } else if (cur().type == TokenType::kIdent) {
+          // invoke form: var->method(args)
+          action.kind = ActionKind::kInvoke;
+          action.var = cur().text;
+          ++pos;
+          if (!cur().IsSymbol("->")) return ParseError(cur(), "'->'");
+          ++pos;
+          if (cur().type != TokenType::kIdent) {
+            return ParseError(cur(), "method name");
+          }
+          action.member = cur().text;
+          ++pos;
+          REACH_RETURN_IF_ERROR(expect_symbol("("));
+          while (!cur().IsSymbol(")")) {
+            ExprParser ep(&tokens, &pos);
+            REACH_ASSIGN_OR_RETURN(ExprPtr arg, ep.Parse());
+            action.args.push_back(arg);
+            if (cur().IsSymbol(",")) ++pos;
+          }
+          ++pos;  // ')'
+        } else {
+          return ParseError(cur(), "action statement");
+        }
+        REACH_RETURN_IF_ERROR(expect_symbol(";"));
+      } else {
+        return ParseError(cur(), "clause (prio/decl/event/cond/action)");
+      }
+    }
+    ++pos;  // '}'
+    if (cur().IsSymbol(";")) ++pos;
+
+    if (!have_event) {
+      return Status::InvalidArgument("rule " + rule_name + " has no event");
+    }
+    if (!have_action) {
+      return Status::InvalidArgument("rule " + rule_name + " has no action");
+    }
+
+    // --- Resolve declarations -------------------------------------------
+    auto bindings = std::make_shared<Bindings>();
+    std::unordered_map<std::string, const Decl*> decl_by_var;
+    for (const Decl& d : decls) {
+      decl_by_var[d.var] = &d;
+      if (!d.named.empty()) bindings->named[d.var] = d.named;
+      if (!d.class_name.empty() && !types_->IsRegistered(d.class_name)) {
+        return Status::NotFound("class " + d.class_name + " in rule " +
+                                rule_name);
+      }
+    }
+
+    // --- Resolve / define the event type --------------------------------
+    EventTypeId event_id = kInvalidEventType;
+    if (ev_kind == "after" || ev_kind == "before") {
+      auto it = decl_by_var.find(ev_var);
+      if (it == decl_by_var.end() || it->second->class_name.empty()) {
+        return Status::InvalidArgument("event receiver '" + ev_var +
+                                       "' must be a declared object");
+      }
+      const std::string& cls = it->second->class_name;
+      bool after = (ev_kind == "after");
+      SentryKind kind =
+          after ? SentryKind::kMethodAfter : SentryKind::kMethodBefore;
+      event_id = events_->registry()->FindDbEvent(kind, cls, ev_member);
+      if (event_id == kInvalidEventType) {
+        REACH_ASSIGN_OR_RETURN(
+            event_id,
+            events_->DefineMethodEvent(
+                "ev_" + cls + "_" + ev_member + (after ? "_after" : "_before"),
+                cls, ev_member, after));
+      }
+      bindings->receiver_var = ev_var;
+      bindings->param_vars = ev_args;
+    } else if (ev_kind == "set") {
+      auto it = decl_by_var.find(ev_var);
+      if (it == decl_by_var.end() || it->second->class_name.empty()) {
+        return Status::InvalidArgument("event receiver '" + ev_var +
+                                       "' must be a declared object");
+      }
+      const std::string& cls = it->second->class_name;
+      event_id = events_->registry()->FindDbEvent(SentryKind::kStateChange,
+                                                  cls, ev_member);
+      if (event_id == kInvalidEventType) {
+        REACH_ASSIGN_OR_RETURN(
+            event_id, events_->DefineStateChangeEvent(
+                          "ev_" + cls + "_set_" + ev_member, cls, ev_member));
+      }
+      bindings->receiver_var = ev_var;
+    } else if (ev_kind == "persist" || ev_kind == "delete") {
+      SentryKind kind = ev_kind == "persist" ? SentryKind::kPersist
+                                             : SentryKind::kDelete;
+      event_id = events_->registry()->FindDbEvent(kind, ev_member, "");
+      if (event_id == kInvalidEventType) {
+        REACH_ASSIGN_OR_RETURN(
+            event_id, events_->DefineFlowEvent(
+                          "ev_" + ev_kind + "_" + ev_member, kind, ev_member));
+      }
+    } else if (ev_kind == "commit" || ev_kind == "abort" ||
+               ev_kind == "begin") {
+      SentryKind kind = ev_kind == "commit" ? SentryKind::kTxnCommit
+                        : ev_kind == "abort" ? SentryKind::kTxnAbort
+                                             : SentryKind::kTxnBegin;
+      event_id = events_->registry()->FindDbEvent(kind, "", "");
+      if (event_id == kInvalidEventType) {
+        REACH_ASSIGN_OR_RETURN(
+            event_id, events_->DefineFlowEvent("ev_txn_" + ev_kind, kind));
+      }
+    } else if (ev_kind == "every") {
+      REACH_ASSIGN_OR_RETURN(
+          event_id, events_->DefinePeriodicEvent("ev_" + rule_name + "_timer",
+                                                 ev_period_us));
+    } else if (ev_kind == "composite") {
+      REACH_ASSIGN_OR_RETURN(
+          event_id,
+          events_->DefineComposite("ev_" + rule_name + "_composite", ev_expr,
+                                   ev_scope, ev_policy, ev_validity_us));
+    } else {  // named
+      const EventDescriptor* desc =
+          events_->registry()->FindByName(ev_named_event);
+      if (desc == nullptr) {
+        return Status::NotFound("event type " + ev_named_event + " in rule " +
+                                rule_name);
+      }
+      event_id = desc->id;
+    }
+
+    // --- Build the rule spec ---------------------------------------------
+    RuleSpec spec;
+    spec.name = rule_name;
+    spec.priority = priority;
+    spec.event = event_id;
+    spec.coupling = have_cond ? cond_mode : action_mode;
+    if (have_cond && action_mode != cond_mode) {
+      if (action_mode == CouplingMode::kDeferred &&
+          cond_mode == CouplingMode::kImmediate) {
+        spec.action_coupling = RuleSpec::ActionCoupling::kDeferred;
+      } else if (action_mode == CouplingMode::kDetached) {
+        spec.action_coupling = RuleSpec::ActionCoupling::kDetached;
+      } else {
+        return Status::InvalidArgument(
+            "rule " + rule_name +
+            ": action coupling may not precede the condition coupling");
+      }
+    }
+
+    if (have_cond) {
+      if (!cond_query.empty()) {
+        REACH_ASSIGN_OR_RETURN(SelectStatement stmt,
+                               ParseSelect(cond_query));
+        auto shared_stmt = std::make_shared<SelectStatement>(std::move(stmt));
+        spec.condition = [shared_stmt](
+                             Session& s,
+                             const EventOccurrence&) -> Result<bool> {
+          QueryPm qpm;
+          REACH_ASSIGN_OR_RETURN(QueryResult result,
+                                 qpm.Execute(s, *shared_stmt));
+          return !result.rows.empty();
+        };
+      } else if (cond_expr) {
+        spec.condition = [cond_expr, bindings](
+                             Session& s,
+                             const EventOccurrence& occ) -> Result<bool> {
+          RuleEnv env(&s, bindings.get(), &occ);
+          return EvaluateBool(cond_expr, &env);
+        };
+      } else {
+        spec.condition = functions_->ConditionForRule(rule_name);
+        if (!spec.condition) {
+          return Status::NotFound("condition function " + rule_name +
+                                  "Cond not registered");
+        }
+      }
+    }
+
+    switch (action.kind) {
+      case ActionKind::kRegistry: {
+        spec.action = functions_->ActionForRule(rule_name);
+        if (!spec.action) {
+          return Status::NotFound("action function " + rule_name +
+                                  "Action not registered");
+        }
+        break;
+      }
+      case ActionKind::kCall: {
+        spec.action = functions_->FindAction(action.fn_name);
+        if (!spec.action) {
+          return Status::NotFound("action function " + action.fn_name +
+                                  " not registered");
+        }
+        break;
+      }
+      case ActionKind::kAbort: {
+        spec.abort_triggering_on_failure = true;
+        std::string msg = "rule " + rule_name + " abort action";
+        spec.action = [msg](Session&, const EventOccurrence&) -> Status {
+          return Status::Aborted(msg);
+        };
+        break;
+      }
+      case ActionKind::kSet: {
+        auto act = std::make_shared<ParsedAction>(action);
+        spec.action = [act, bindings](Session& s,
+                                      const EventOccurrence& occ) -> Status {
+          RuleEnv env(&s, bindings.get(), &occ);
+          auto target = env.Resolve({act->var});
+          if (!target.ok()) return target.status();
+          if (!target.value().is_ref()) {
+            return Status::InvalidArgument("'" + act->var +
+                                           "' is not an object");
+          }
+          auto value = Evaluate(act->value, &env);
+          if (!value.ok()) return value.status();
+          return s.SetAttr(target.value().as_ref(), act->member,
+                           value.value());
+        };
+        break;
+      }
+      case ActionKind::kInvoke: {
+        auto act = std::make_shared<ParsedAction>(action);
+        spec.action = [act, bindings](Session& s,
+                                      const EventOccurrence& occ) -> Status {
+          RuleEnv env(&s, bindings.get(), &occ);
+          auto target = env.Resolve({act->var});
+          if (!target.ok()) return target.status();
+          if (!target.value().is_ref()) {
+            return Status::InvalidArgument("'" + act->var +
+                                           "' is not an object");
+          }
+          std::vector<Value> args;
+          for (const ExprPtr& a : act->args) {
+            auto v = Evaluate(a, &env);
+            if (!v.ok()) return v.status();
+            args.push_back(std::move(v).value());
+          }
+          auto r = s.Invoke(target.value().as_ref(), act->member,
+                            std::move(args));
+          return r.ok() ? Status::OK() : r.status();
+        };
+        break;
+      }
+      case ActionKind::kNone:
+        return Status::Internal("action without kind");
+    }
+
+    REACH_ASSIGN_OR_RETURN(RuleId id, engine_->DefineRule(std::move(spec)));
+    defined.push_back(id);
+  }
+  return defined;
+}
+
+}  // namespace reach

@@ -1,0 +1,81 @@
+// Parser for the REACH rule-definition language (§6.1):
+//
+//   rule WaterLevel {
+//     prio 5;
+//     decl River *river, int x, Reactor *reactor named "BlockA";
+//     event after river->updateWaterLevel(x);
+//     cond imm x < 37 and river.waterTemp > 24.5
+//              and reactor.heatOutput > 1000000;
+//     action imm reactor->reducePlannedPower(0.05);
+//   };
+//
+// Differences from the paper's C++-embedded syntax, by design:
+//  * conditions are predicate expressions over declared variables
+//    (attribute access `var.attr` instead of getter calls) or a reference
+//    to a registered "<Rule>Cond" function (empty cond body);
+//  * actions are `invoke var->method(args)`, `set var.attr = expr`,
+//    `call <Fn>`, `abort`, or (empty) the registered "<Rule>Action".
+//
+// Grammar:
+//   rule    := "rule" IDENT "{" clause* "}" [";"]
+//   clause  := "prio" INT ";"
+//            | "decl" decl ("," decl)* ";"
+//            | "event" eventspec ";"
+//            | "cond" mode [expr] ";"
+//            | "action" mode [stmt] ";"
+//   decl    := IDENT ["*"] IDENT ["named" STRING]      // Class *var
+//            | ("int"|"double"|"string"|"bool") IDENT  // event parameter
+//   mode    := "imm"|"immediate"|"deferred"|"detached"
+//            | "parallel"|"sequential"|"exclusive"
+//   eventspec := ("after"|"before") IDENT "->" IDENT "(" [IDENT,*] ")"
+//            | "set" IDENT "." IDENT
+//            | ("persist"|"delete") IDENT
+//            | ("commit"|"abort"|"begin")
+//            | "every" INT ("us"|"ms"|"s"|"min")
+//            | IDENT                                    // registered event
+//            | compexpr ["within" INT unit] ["using" policy] ["same" "object"]
+//   compexpr := "seq" "(" evref "," evref ")"
+//            | "both" "(" evref "," evref ")"           // conjunction
+//            | "any" "(" evref "," evref ")"            // disjunction
+//            | "without" "(" evref "," evref "," evref ")"  // negation
+//            | "closure" "(" evref "," evref ")"
+//            | "times" "(" INT "," evref ")"            // history
+//   evref   := IDENT | compexpr
+//   policy  := "recent" | "chronicle" | "continuous" | "cumulative"
+//
+// A composite without "within" is single-transaction scoped; "within"
+// makes it cross-transaction with that validity interval. "same object"
+// restricts the top-level operator to occurrences on one receiver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/events/event_manager.h"
+#include "core/rules/function_registry.h"
+#include "core/rules/rule_engine.h"
+
+namespace reach {
+
+class RuleParser {
+ public:
+  RuleParser(EventManager* events, RuleEngine* engine,
+             FunctionRegistry* functions, TypeSystem* types)
+      : events_(events),
+        engine_(engine),
+        functions_(functions),
+        types_(types) {}
+
+  /// Parse every `rule ...` block in `source`, define the events it needs,
+  /// and register the rules. Returns the new rule ids.
+  Result<std::vector<RuleId>> ParseAndDefine(const std::string& source);
+
+ private:
+  EventManager* events_;
+  RuleEngine* engine_;
+  FunctionRegistry* functions_;
+  TypeSystem* types_;
+};
+
+}  // namespace reach

@@ -1,0 +1,58 @@
+#include "core/rules/rule_trace.h"
+
+namespace reach {
+
+std::string RuleTraceEntry::ToString() const {
+  std::string out = rule_name;
+  out += " [";
+  out += CouplingModeName(mode);
+  out += "] event seq=" + std::to_string(occurrence_seq);
+  out += " trigger_txn=" + std::to_string(trigger_txn);
+  out += " rule_txn=" + std::to_string(rule_txn);
+  if (action_only) out += " (action phase)";
+  out += condition_true ? " cond=true" : " cond=false";
+  if (action_ran) out += " action=ran";
+  out += succeeded ? " ok" : (" FAILED: " + error);
+  out += " " + std::to_string(duration_us) + "us";
+  return out;
+}
+
+void RuleTrace::Append(RuleTraceEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  ring_.push_back(std::move(entry));
+  if (ring_.size() > capacity_) ring_.pop_front();
+  ++total_;
+}
+
+std::vector<RuleTraceEntry> RuleTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RuleTraceEntry>(ring_.begin(), ring_.end());
+}
+
+std::vector<RuleTraceEntry> RuleTrace::ForRule(
+    const std::string& rule_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RuleTraceEntry> out;
+  for (const RuleTraceEntry& entry : ring_) {
+    if (entry.rule_name == rule_name) out.push_back(entry);
+  }
+  return out;
+}
+
+void RuleTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+size_t RuleTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t RuleTrace::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace reach

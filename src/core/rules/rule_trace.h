@@ -1,0 +1,67 @@
+// Rule execution tracing: a bounded in-memory log of every rule firing
+// with its trigger, coupling mode, condition outcome, and duration. The
+// debugging aid the paper's related work points at (DEAR [DJ93]); enable
+// it while developing rule sets, watch for unexpected cascades.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/rules/rule.h"
+
+namespace reach {
+
+struct RuleTraceEntry {
+  std::string rule_name;
+  RuleId rule = kInvalidRuleId;
+  EventTypeId event = kInvalidEventType;
+  uint64_t occurrence_seq = 0;
+  CouplingMode mode = CouplingMode::kImmediate;
+  bool action_only = false;     // C-A-split action execution
+  bool condition_true = false;
+  bool action_ran = false;
+  bool succeeded = false;
+  std::string error;            // empty when succeeded
+  TxnId trigger_txn = kNoTxn;
+  TxnId rule_txn = kNoTxn;
+  int64_t duration_us = 0;
+
+  std::string ToString() const;
+};
+
+class RuleTrace {
+ public:
+  explicit RuleTrace(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void set_enabled(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = enabled;
+  }
+  bool enabled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+  }
+
+  void Append(RuleTraceEntry entry);
+
+  std::vector<RuleTraceEntry> Snapshot() const;
+
+  /// Entries for one rule, oldest first.
+  std::vector<RuleTraceEntry> ForRule(const std::string& rule_name) const;
+
+  void Clear();
+  size_t size() const;
+  uint64_t total_recorded() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::deque<RuleTraceEntry> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace reach

@@ -1,0 +1,50 @@
+#include "oodb/change_pm.h"
+
+namespace reach {
+
+ChangePm::ChangePm(MetaBus* bus, TransactionManager* txns)
+    : bus_(bus), txns_(txns) {
+  bus_->Subscribe(this, SentryKind::kStateChange);
+  bus_->Subscribe(this, SentryKind::kPersist);
+  bus_->Subscribe(this, SentryKind::kDelete);
+  txns_->AddListener(this);
+}
+
+ChangePm::~ChangePm() {
+  bus_->Unsubscribe(this);
+  txns_->RemoveListener(this);
+}
+
+void ChangePm::OnEvent(const SentryEvent& event) {
+  if (event.txn == kNoTxn || !event.oid.valid()) return;
+  total_changes_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  changes_[event.txn].insert(event.oid);
+}
+
+void ChangePm::OnCommit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  changes_.erase(txn);
+}
+
+void ChangePm::OnAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  changes_.erase(txn);
+}
+
+void ChangePm::OnCommitChild(TxnId child, TxnId parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = changes_.find(child);
+  if (it == changes_.end()) return;
+  changes_[parent].merge(it->second);
+  changes_.erase(child);
+}
+
+std::vector<Oid> ChangePm::ChangedObjects(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = changes_.find(txn);
+  if (it == changes_.end()) return {};
+  return std::vector<Oid>(it->second.begin(), it->second.end());
+}
+
+}  // namespace reach

@@ -1,0 +1,42 @@
+// Change policy manager: tracks which persistent objects each transaction
+// modified (state-change, persist, delete events). Other components —
+// index maintenance, deferred-rule parameterization, the benches — consume
+// the per-transaction change sets.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "oodb/meta_bus.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+
+class ChangePm : public PolicyManager, public TxnListener {
+ public:
+  ChangePm(MetaBus* bus, TransactionManager* txns);
+  ~ChangePm() override;
+
+  std::string name() const override { return "Change PM"; }
+  void OnEvent(const SentryEvent& event) override;
+
+  void OnCommit(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  void OnCommitChild(TxnId child, TxnId parent) override;
+
+  /// Objects modified by `txn` so far.
+  std::vector<Oid> ChangedObjects(TxnId txn) const;
+
+  uint64_t total_changes() const { return total_changes_.load(); }
+
+ private:
+  MetaBus* bus_;
+  TransactionManager* txns_;
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, std::unordered_set<Oid>> changes_;
+  std::atomic<uint64_t> total_changes_{0};
+};
+
+}  // namespace reach

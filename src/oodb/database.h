@@ -1,0 +1,75 @@
+// Database: the assembled Open-OODB-style system — storage, transactions,
+// the meta bus, type system, data dictionary, and the standard policy
+// managers. REACH (src/core) extends this with the active subsystem.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "oodb/change_pm.h"
+#include "oodb/data_dictionary.h"
+#include "oodb/indexing_pm.h"
+#include "oodb/meta_bus.h"
+#include "oodb/persistence_pm.h"
+#include "oodb/type_system.h"
+#include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+
+struct DatabaseOptions {
+  StorageOptions storage;
+  /// Clock used for event timestamps and temporal events; nullptr selects
+  /// a RealClock owned by the database.
+  Clock* clock = nullptr;
+};
+
+class Database {
+ public:
+  ~Database();
+
+  /// Open (or create) a database at `base_path` (`<base>.db` / `<base>.wal`).
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& base_path, const DatabaseOptions& options = {});
+
+  TypeSystem* types() { return &types_; }
+  MetaBus* bus() { return &bus_; }
+  StorageManager* storage() { return storage_.get(); }
+  TransactionManager* txns() { return txns_.get(); }
+  DataDictionary* dictionary() { return dictionary_.get(); }
+  PersistencePm* persistence() { return persistence_.get(); }
+  ChangePm* change() { return change_.get(); }
+  IndexingPm* indexing() { return indexing_.get(); }
+  Clock* clock() { return clock_; }
+
+ private:
+  Database() = default;
+
+  /// Bridges transaction lifecycle onto the bus as flow-control events.
+  class TxnEventBridge : public TxnListener {
+   public:
+    explicit TxnEventBridge(Database* db) : db_(db) {}
+    void OnBegin(TxnId txn, TxnId parent) override;
+    void OnCommit(TxnId txn) override;
+    void OnAbort(TxnId txn) override;
+
+   private:
+    Database* db_;
+  };
+
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_ = nullptr;
+  TypeSystem types_;
+  MetaBus bus_;
+  std::unique_ptr<StorageManager> storage_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<DataDictionary> dictionary_;
+  std::unique_ptr<PersistencePm> persistence_;
+  std::unique_ptr<ChangePm> change_;
+  std::unique_ptr<IndexingPm> indexing_;
+  std::unique_ptr<TxnEventBridge> txn_bridge_;
+};
+
+}  // namespace reach

@@ -1,0 +1,93 @@
+#include "oodb/db_object.h"
+
+#include <cstring>
+
+namespace reach {
+
+namespace {
+const Value kNullValue;
+
+void PutString(std::string* out, const std::string& s) {
+  uint16_t len = static_cast<uint16_t>(s.size());
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out->append(s);
+}
+
+bool GetString(const std::string& data, size_t* pos, std::string* s) {
+  uint16_t len = 0;
+  if (*pos + sizeof(len) > data.size()) return false;
+  std::memcpy(&len, data.data() + *pos, sizeof(len));
+  *pos += sizeof(len);
+  if (*pos + len > data.size()) return false;
+  s->assign(data.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+}  // namespace
+
+Result<DbObject> DbObject::Create(const TypeSystem& types,
+                                  const std::string& class_name) {
+  if (!types.IsRegistered(class_name)) {
+    return Status::NotFound("class " + class_name + " not registered");
+  }
+  DbObject obj(class_name);
+  for (const AttributeDescriptor* attr : types.AllAttributes(class_name)) {
+    obj.Set(attr->name, attr->default_value);
+  }
+  return obj;
+}
+
+const Value& DbObject::Get(const std::string& attr) const {
+  auto it = attrs_.find(attr);
+  return it == attrs_.end() ? kNullValue : it->second;
+}
+
+std::string DbObject::Serialize() const {
+  std::string out;
+  PutString(&out, class_name_);
+  uint16_t count = static_cast<uint16_t>(attrs_.size());
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, value] : attrs_) {
+    PutString(&out, name);
+    value.Encode(&out);
+  }
+  return out;
+}
+
+Result<DbObject> DbObject::Deserialize(const std::string& bytes) {
+  size_t pos = 0;
+  DbObject obj;
+  if (!GetString(bytes, &pos, &obj.class_name_)) {
+    return Status::Corruption("object: truncated class name");
+  }
+  uint16_t count = 0;
+  if (pos + sizeof(count) > bytes.size()) {
+    return Status::Corruption("object: truncated attribute count");
+  }
+  std::memcpy(&count, bytes.data() + pos, sizeof(count));
+  pos += sizeof(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!GetString(bytes, &pos, &name)) {
+      return Status::Corruption("object: truncated attribute name");
+    }
+    REACH_ASSIGN_OR_RETURN(Value v, Value::Decode(bytes, &pos));
+    obj.attrs_[name] = std::move(v);
+  }
+  return obj;
+}
+
+std::string DbObject::ToString() const {
+  std::string out = class_name_ + "{";
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + "=" + value.ToString();
+  }
+  out += "}";
+  if (oid_.valid()) out += "@" + oid_.ToString();
+  return out;
+}
+
+}  // namespace reach

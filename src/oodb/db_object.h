@@ -1,0 +1,56 @@
+// DbObject: the in-memory representation of a persistent object — a class
+// name plus attribute values, with binary (de)serialization to the object
+// store format.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "oodb/type_system.h"
+#include "oodb/value.h"
+
+namespace reach {
+
+class DbObject {
+ public:
+  DbObject() = default;
+  explicit DbObject(std::string class_name)
+      : class_name_(std::move(class_name)) {}
+
+  /// Create with every declared (and inherited) attribute set to its
+  /// default value.
+  static Result<DbObject> Create(const TypeSystem& types,
+                                 const std::string& class_name);
+
+  const std::string& class_name() const { return class_name_; }
+
+  const Oid& oid() const { return oid_; }
+  void set_oid(const Oid& oid) { oid_ = oid; }
+  bool persistent() const { return oid_.valid(); }
+
+  bool Has(const std::string& attr) const { return attrs_.contains(attr); }
+  const Value& Get(const std::string& attr) const;
+  void Set(const std::string& attr, Value value) {
+    attrs_[attr] = std::move(value);
+  }
+
+  const std::unordered_map<std::string, Value>& attributes() const {
+    return attrs_;
+  }
+
+  /// Serialize to the object-store byte format.
+  std::string Serialize() const;
+  static Result<DbObject> Deserialize(const std::string& bytes);
+
+  std::string ToString() const;
+
+ private:
+  std::string class_name_;
+  Oid oid_;  // invalid while transient
+  std::unordered_map<std::string, Value> attrs_;
+};
+
+}  // namespace reach

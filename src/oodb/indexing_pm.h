@@ -1,0 +1,117 @@
+// Indexing policy manager: in-memory hash indexes over object attributes,
+// maintained through the meta bus (persist / state-change / delete events)
+// — the index-maintenance-as-active-rules idea the paper's conclusions
+// sketch. Indexes are rebuilt from extents on open.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "oodb/meta_bus.h"
+#include "oodb/persistence_pm.h"
+#include "oodb/type_system.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+
+/// Hash indexes serve equality probes; ordered indexes additionally serve
+/// range scans (and cost a tree insert per maintenance op).
+enum class IndexKind { kHash, kOrdered };
+
+class IndexingPm : public PolicyManager, public TxnListener {
+ public:
+  IndexingPm(MetaBus* bus, TransactionManager* txns, TypeSystem* types,
+             PersistencePm* persistence);
+  ~IndexingPm() override;
+
+  std::string name() const override { return "Indexing PM"; }
+  void OnEvent(const SentryEvent& event) override;
+
+  void OnCommit(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  /// Nested commit: the child's index undo log joins the parent's so a
+  /// later parent abort reverts the child's index maintenance too.
+  void OnCommitChild(TxnId child, TxnId parent) override;
+
+  /// Create an index on `<class>.<attr>` (covers subclasses), built by
+  /// scanning the current extent inside `txn`.
+  Status CreateIndex(TxnId txn, const std::string& class_name,
+                     const std::string& attr,
+                     IndexKind kind = IndexKind::kHash);
+
+  Status DropIndex(const std::string& class_name, const std::string& attr);
+
+  bool HasIndex(const std::string& class_name, const std::string& attr) const;
+
+  /// True if an ordered index exists on `<class>.<attr>`.
+  bool HasOrderedIndex(const std::string& class_name,
+                       const std::string& attr) const;
+
+  /// Equality lookup; NotFound if no such index.
+  Result<std::vector<Oid>> Lookup(const std::string& class_name,
+                                  const std::string& attr,
+                                  const Value& value) const;
+
+  /// Range scan over an ordered index. Null bounds are open ends.
+  Result<std::vector<Oid>> RangeLookup(const std::string& class_name,
+                                       const std::string& attr,
+                                       const Value* lo, bool lo_inclusive,
+                                       const Value* hi,
+                                       bool hi_inclusive) const;
+
+  uint64_t maintenance_ops() const { return maintenance_ops_.load(); }
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return (a <=> b) == std::partial_ordering::less;
+    }
+  };
+  struct Index {
+    std::string class_name;
+    std::string attr;
+    IndexKind kind = IndexKind::kHash;
+    std::unordered_map<std::string, std::vector<Oid>> buckets;  // key->oids
+    std::unordered_map<Oid, std::string> reverse;               // oid->key
+    std::map<Value, std::vector<Oid>, ValueLess> ordered;  // kOrdered only
+  };
+  struct UndoOp {
+    std::string index_key;  // "<class>.<attr>"
+    bool was_insert;        // true: remove on undo; false: re-insert
+    Oid oid;
+    std::string value_key;
+  };
+
+  static std::string KeyOf(const Value& v) {
+    std::string key;
+    v.Encode(&key);
+    return key;
+  }
+  static std::string IndexKey(const std::string& cls,
+                              const std::string& attr) {
+    return cls + "." + attr;
+  }
+
+  void InsertEntry(Index* index, const Oid& oid, const std::string& key,
+                   TxnId txn);
+  void RemoveEntry(Index* index, const Oid& oid, TxnId txn);
+
+  /// Indexes whose class covers `event_class` and attr matches.
+  std::vector<Index*> Covering(const std::string& event_class,
+                               const std::string& attr);
+
+  MetaBus* bus_;
+  TransactionManager* txns_;
+  TypeSystem* types_;
+  PersistencePm* persistence_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Index> indexes_;  // by IndexKey
+  std::unordered_map<TxnId, std::vector<UndoOp>> undo_;
+  std::atomic<uint64_t> maintenance_ops_{0};
+};
+
+}  // namespace reach

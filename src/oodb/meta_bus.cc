@@ -1,0 +1,108 @@
+#include "oodb/meta_bus.h"
+
+#include <algorithm>
+
+namespace reach {
+
+const char* SentryKindName(SentryKind kind) {
+  switch (kind) {
+    case SentryKind::kMethodBefore: return "method-before";
+    case SentryKind::kMethodAfter: return "method-after";
+    case SentryKind::kStateChange: return "state-change";
+    case SentryKind::kPersist: return "persist";
+    case SentryKind::kFetch: return "fetch";
+    case SentryKind::kDelete: return "delete";
+    case SentryKind::kTxnBegin: return "txn-begin";
+    case SentryKind::kTxnCommit: return "txn-commit";
+    case SentryKind::kTxnAbort: return "txn-abort";
+  }
+  return "?";
+}
+
+std::string SentryEvent::ToString() const {
+  std::string out = SentryKindName(kind);
+  if (!class_name.empty()) {
+    out += " " + class_name;
+    if (!member.empty()) out += "::" + member;
+  }
+  if (oid.valid()) out += " on " + oid.ToString();
+  if (txn != kNoTxn) out += " in txn " + std::to_string(txn);
+  return out;
+}
+
+void MetaBus::Subscribe(PolicyManager* pm, SentryKind kind,
+                        const std::string& class_name,
+                        const std::string& member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t k = static_cast<size_t>(kind);
+  subs_[k].push_back({pm, class_name, member});
+  if (class_name.empty() || member.empty()) {
+    wildcard_[k] = true;
+  } else {
+    exact_[k].insert(class_name + "::" + member);
+  }
+}
+
+void MetaBus::Unsubscribe(PolicyManager* pm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t k = 0; k < subs_.size(); ++k) {
+    auto& vec = subs_[k];
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [pm](const Subscription& s) {
+                               return s.pm == pm;
+                             }),
+              vec.end());
+    // Rebuild the interest tables for this kind.
+    wildcard_[k] = false;
+    exact_[k].clear();
+    for (const Subscription& s : vec) {
+      if (s.class_name.empty() || s.member.empty()) {
+        wildcard_[k] = true;
+      } else {
+        exact_[k].insert(s.class_name + "::" + s.member);
+      }
+    }
+  }
+}
+
+bool MetaBus::Monitored(SentryKind kind, const std::string& class_name,
+                        const std::string& member) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t k = static_cast<size_t>(kind);
+  if (wildcard_[k]) return true;
+  if (exact_[k].empty()) return false;
+  return exact_[k].contains(class_name + "::" + member);
+}
+
+size_t MetaBus::Announce(const SentryEvent& event) {
+  std::vector<PolicyManager*> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Subscription& sub : subs_[static_cast<size_t>(event.kind)]) {
+      if (MatchesFilter(sub, event)) targets.push_back(sub.pm);
+    }
+  }
+  if (targets.empty()) {
+    useless_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  useful_.fetch_add(1, std::memory_order_relaxed);
+  for (PolicyManager* pm : targets) pm->OnEvent(event);
+  return targets.size();
+}
+
+std::vector<std::string> MetaBus::PolicyManagerNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& vec : subs_) {
+    for (const Subscription& sub : vec) {
+      std::string n = sub.pm->name();
+      if (std::find(names.begin(), names.end(), n) == names.end()) {
+        names.push_back(n);
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace reach

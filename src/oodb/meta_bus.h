@@ -1,0 +1,79 @@
+// MetaBus: the Open OODB meta-architecture "software bus". Sentries
+// announce events; policy managers plugged into the bus receive the ones
+// they registered interest in. The interest table lets sentries skip
+// announcement entirely when nobody cares (eliminating useless overhead,
+// the paper's §6.2 classification).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "oodb/sentry_event.h"
+
+namespace reach {
+
+/// A pluggable database component (persistence, transactions, indexing,
+/// change tracking, rule management, ...).
+class PolicyManager {
+ public:
+  virtual ~PolicyManager() = default;
+  virtual std::string name() const = 0;
+  virtual void OnEvent(const SentryEvent& event) = 0;
+};
+
+class MetaBus {
+ public:
+  /// Plug `pm` into the bus for events of `kind`. A member filter of ""
+  /// means every class/member; otherwise interest is exact on
+  /// "<class>::<member>".
+  void Subscribe(PolicyManager* pm, SentryKind kind,
+                 const std::string& class_name = "",
+                 const std::string& member = "");
+
+  void Unsubscribe(PolicyManager* pm);
+
+  /// Is any policy manager interested? Sentries consult this before
+  /// constructing an event (useful vs. useless overhead).
+  bool Monitored(SentryKind kind, const std::string& class_name,
+                 const std::string& member) const;
+
+  /// Dispatch to every interested policy manager; returns how many
+  /// received it.
+  size_t Announce(const SentryEvent& event);
+
+  /// Overhead accounting (paper §6.2).
+  uint64_t useful_announcements() const { return useful_.load(); }
+  uint64_t useless_announcements() const { return useless_.load(); }
+
+  std::vector<std::string> PolicyManagerNames() const;
+
+ private:
+  struct Subscription {
+    PolicyManager* pm;
+    std::string class_name;  // empty = wildcard
+    std::string member;      // empty = wildcard
+  };
+
+  static bool MatchesFilter(const Subscription& sub, const SentryEvent& ev) {
+    if (!sub.class_name.empty() && sub.class_name != ev.class_name) {
+      return false;
+    }
+    if (!sub.member.empty() && sub.member != ev.member) return false;
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::array<std::vector<Subscription>, kNumSentryKinds> subs_;
+  // Fast interest test: per kind, whether a wildcard subscription exists
+  // plus the set of exact "<class>::<member>" keys.
+  std::array<bool, kNumSentryKinds> wildcard_{};
+  std::array<std::unordered_set<std::string>, kNumSentryKinds> exact_;
+  std::atomic<uint64_t> useful_{0};
+  std::atomic<uint64_t> useless_{0};
+};
+
+}  // namespace reach

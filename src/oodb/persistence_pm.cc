@@ -1,0 +1,315 @@
+#include "oodb/persistence_pm.h"
+
+#include <cstring>
+
+#include "storage/slotted_page.h"
+
+namespace reach {
+
+namespace {
+
+// Extent chunk layout: [next chunk oid (8)][count u16][oid]*count
+// Anchor layout: [head chunk oid (8)]
+
+struct Chunk {
+  Oid next;
+  std::vector<Oid> oids;
+};
+
+std::string EncodeChunk(const Chunk& c) {
+  std::string out;
+  char buf[SlottedPage::kOidEncodedSize];
+  SlottedPage::EncodeOid(c.next, buf);
+  out.append(buf, sizeof(buf));
+  uint16_t count = static_cast<uint16_t>(c.oids.size());
+  out.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Oid& oid : c.oids) {
+    SlottedPage::EncodeOid(oid, buf);
+    out.append(buf, sizeof(buf));
+  }
+  return out;
+}
+
+Result<Chunk> DecodeChunk(const std::string& bytes) {
+  Chunk c;
+  size_t pos = 0;
+  if (bytes.size() < SlottedPage::kOidEncodedSize + sizeof(uint16_t)) {
+    return Status::Corruption("extent chunk truncated");
+  }
+  c.next = SlottedPage::DecodeOid(bytes.data());
+  pos += SlottedPage::kOidEncodedSize;
+  uint16_t count = 0;
+  std::memcpy(&count, bytes.data() + pos, sizeof(count));
+  pos += sizeof(count);
+  if (pos + count * SlottedPage::kOidEncodedSize > bytes.size()) {
+    return Status::Corruption("extent chunk truncated (oids)");
+  }
+  c.oids.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    c.oids.push_back(SlottedPage::DecodeOid(bytes.data() + pos));
+    pos += SlottedPage::kOidEncodedSize;
+  }
+  return c;
+}
+
+std::string EncodeAnchor(const Oid& head) {
+  char buf[SlottedPage::kOidEncodedSize];
+  SlottedPage::EncodeOid(head, buf);
+  return std::string(buf, sizeof(buf));
+}
+
+Result<Oid> DecodeAnchor(const std::string& bytes) {
+  if (bytes.size() < SlottedPage::kOidEncodedSize) {
+    return Status::Corruption("extent anchor truncated");
+  }
+  return SlottedPage::DecodeOid(bytes.data());
+}
+
+}  // namespace
+
+PersistencePm::PersistencePm(StorageManager* storage,
+                             TransactionManager* txns,
+                             DataDictionary* dictionary, TypeSystem* types,
+                             MetaBus* bus)
+    : storage_(storage),
+      txns_(txns),
+      dictionary_(dictionary),
+      types_(types),
+      bus_(bus) {
+  txns_->AddListener(this);
+}
+
+PersistencePm::~PersistencePm() { txns_->RemoveListener(this); }
+
+void PersistencePm::OnAbort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = touched_.find(txn);
+  if (it == touched_.end()) return;
+  for (const Oid& oid : it->second) cache_.erase(oid);
+  touched_.erase(it);
+}
+
+void PersistencePm::OnCommit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  touched_.erase(txn);
+}
+
+void PersistencePm::OnCommitChild(TxnId child, TxnId parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = touched_.find(child);
+  if (it == touched_.end()) return;
+  touched_[parent].merge(it->second);
+  touched_.erase(child);
+}
+
+void PersistencePm::TrackTouch(TxnId txn, const Oid& oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  touched_[txn].insert(oid);
+}
+
+Result<Oid> PersistencePm::Persist(TxnId txn, DbObject* obj) {
+  if (txn == kNoTxn) {
+    return Status::FailedPrecondition("persist outside a transaction");
+  }
+  if (obj->persistent()) {
+    return Status::FailedPrecondition("object is already persistent");
+  }
+  if (!types_->IsRegistered(obj->class_name())) {
+    return Status::NotFound("class " + obj->class_name() +
+                            " not registered");
+  }
+  REACH_ASSIGN_OR_RETURN(Oid oid,
+                         storage_->objects()->Insert(txn, obj->Serialize()));
+  obj->set_oid(oid);
+  REACH_RETURN_IF_ERROR(
+      txns_->locks()->Acquire(txn, oid, LockMode::kExclusive));
+  REACH_RETURN_IF_ERROR(ExtentAdd(txn, obj->class_name(), oid));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[oid] = std::make_shared<DbObject>(*obj);
+  }
+  TrackTouch(txn, oid);
+
+  SentryEvent ev;
+  ev.kind = SentryKind::kPersist;
+  ev.class_name = obj->class_name();
+  ev.oid = oid;
+  ev.txn = txn;
+  bus_->Announce(ev);
+  return oid;
+}
+
+Result<std::shared_ptr<DbObject>> PersistencePm::Fetch(TxnId txn,
+                                                       const Oid& oid) {
+  if (txn == kNoTxn) {
+    return Status::FailedPrecondition("fetch outside a transaction");
+  }
+  REACH_RETURN_IF_ERROR(txns_->locks()->Acquire(txn, oid, LockMode::kShared));
+  std::shared_ptr<DbObject> obj;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(oid);
+    if (it != cache_.end()) obj = it->second;
+  }
+  if (!obj) {
+    REACH_ASSIGN_OR_RETURN(std::string bytes, storage_->objects()->Read(oid));
+    REACH_ASSIGN_OR_RETURN(DbObject parsed, DbObject::Deserialize(bytes));
+    parsed.set_oid(oid);
+    obj = std::make_shared<DbObject>(std::move(parsed));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++faults_;
+    cache_[oid] = obj;
+  }
+  if (bus_->Monitored(SentryKind::kFetch, obj->class_name(), "")) {
+    SentryEvent ev;
+    ev.kind = SentryKind::kFetch;
+    ev.class_name = obj->class_name();
+    ev.oid = oid;
+    ev.txn = txn;
+    bus_->Announce(ev);
+  }
+  return obj;
+}
+
+Status PersistencePm::Write(TxnId txn, const DbObject& obj) {
+  if (txn == kNoTxn) {
+    return Status::FailedPrecondition("write outside a transaction");
+  }
+  if (!obj.persistent()) {
+    return Status::FailedPrecondition("object is not persistent");
+  }
+  REACH_RETURN_IF_ERROR(
+      txns_->locks()->Acquire(txn, obj.oid(), LockMode::kExclusive));
+  REACH_RETURN_IF_ERROR(
+      storage_->objects()->Update(txn, obj.oid(), obj.Serialize()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[obj.oid()] = std::make_shared<DbObject>(obj);
+  }
+  TrackTouch(txn, obj.oid());
+  return Status::OK();
+}
+
+Status PersistencePm::Delete(TxnId txn, const Oid& oid) {
+  if (txn == kNoTxn) {
+    return Status::FailedPrecondition("delete outside a transaction");
+  }
+  REACH_RETURN_IF_ERROR(
+      txns_->locks()->Acquire(txn, oid, LockMode::kExclusive));
+  // Need the class to fix the extent and parameterize the delete event.
+  REACH_ASSIGN_OR_RETURN(std::shared_ptr<DbObject> obj, Fetch(txn, oid));
+  REACH_RETURN_IF_ERROR(ExtentRemove(txn, obj->class_name(), oid));
+
+  // Announce before the storage delete so rules can still read the object
+  // (the persistent-C++ destructor-event semantics of §4).
+  SentryEvent ev;
+  ev.kind = SentryKind::kDelete;
+  ev.class_name = obj->class_name();
+  ev.oid = oid;
+  ev.txn = txn;
+  bus_->Announce(ev);
+
+  REACH_RETURN_IF_ERROR(storage_->objects()->Delete(txn, oid));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.erase(oid);
+  }
+  TrackTouch(txn, oid);
+  return Status::OK();
+}
+
+Result<Oid> PersistencePm::ExtentAnchor(TxnId txn,
+                                        const std::string& class_name) {
+  std::string name = ExtentName(class_name);
+  auto found = dictionary_->Lookup(name);
+  if (found.ok()) return found;
+  if (!found.status().IsNotFound()) return found.status();
+  // Create a fresh anchor; a concurrent creator may win the Bind race.
+  REACH_ASSIGN_OR_RETURN(
+      Oid anchor,
+      storage_->objects()->Insert(txn, EncodeAnchor(kInvalidOid)));
+  Status bind = dictionary_->Bind(txn, name, anchor);
+  if (bind.IsAlreadyExists()) {
+    REACH_RETURN_IF_ERROR(storage_->objects()->Delete(txn, anchor));
+    return dictionary_->Lookup(name);
+  }
+  if (!bind.ok()) return bind;
+  return anchor;
+}
+
+Status PersistencePm::ExtentAdd(TxnId txn, const std::string& class_name,
+                                const Oid& oid) {
+  REACH_ASSIGN_OR_RETURN(Oid anchor, ExtentAnchor(txn, class_name));
+  REACH_RETURN_IF_ERROR(
+      txns_->locks()->Acquire(txn, anchor, LockMode::kExclusive));
+  REACH_ASSIGN_OR_RETURN(std::string anchor_bytes,
+                         storage_->objects()->Read(anchor));
+  REACH_ASSIGN_OR_RETURN(Oid head, DecodeAnchor(anchor_bytes));
+  if (head.valid()) {
+    REACH_ASSIGN_OR_RETURN(std::string chunk_bytes,
+                           storage_->objects()->Read(head));
+    REACH_ASSIGN_OR_RETURN(Chunk chunk, DecodeChunk(chunk_bytes));
+    if (chunk.oids.size() < kChunkCapacity) {
+      chunk.oids.push_back(oid);
+      return storage_->objects()->Update(txn, head, EncodeChunk(chunk));
+    }
+  }
+  Chunk fresh;
+  fresh.next = head;
+  fresh.oids.push_back(oid);
+  REACH_ASSIGN_OR_RETURN(Oid new_head,
+                         storage_->objects()->Insert(txn, EncodeChunk(fresh)));
+  return storage_->objects()->Update(txn, anchor, EncodeAnchor(new_head));
+}
+
+Status PersistencePm::ExtentRemove(TxnId txn, const std::string& class_name,
+                                   const Oid& oid) {
+  REACH_ASSIGN_OR_RETURN(Oid anchor, ExtentAnchor(txn, class_name));
+  REACH_RETURN_IF_ERROR(
+      txns_->locks()->Acquire(txn, anchor, LockMode::kExclusive));
+  REACH_ASSIGN_OR_RETURN(std::string anchor_bytes,
+                         storage_->objects()->Read(anchor));
+  REACH_ASSIGN_OR_RETURN(Oid cur, DecodeAnchor(anchor_bytes));
+  while (cur.valid()) {
+    REACH_ASSIGN_OR_RETURN(std::string chunk_bytes,
+                           storage_->objects()->Read(cur));
+    REACH_ASSIGN_OR_RETURN(Chunk chunk, DecodeChunk(chunk_bytes));
+    for (size_t i = 0; i < chunk.oids.size(); ++i) {
+      if (chunk.oids[i] == oid) {
+        chunk.oids.erase(chunk.oids.begin() + i);
+        return storage_->objects()->Update(txn, cur, EncodeChunk(chunk));
+      }
+    }
+    cur = chunk.next;
+  }
+  return Status::NotFound("oid not in extent of " + class_name);
+}
+
+Result<std::vector<Oid>> PersistencePm::Extent(TxnId txn,
+                                               const std::string& class_name) {
+  std::string name = ExtentName(class_name);
+  auto anchor = dictionary_->Lookup(name);
+  if (anchor.status().IsNotFound()) return std::vector<Oid>{};  // empty
+  if (!anchor.ok()) return anchor.status();
+  REACH_RETURN_IF_ERROR(
+      txns_->locks()->Acquire(txn, anchor.value(), LockMode::kShared));
+  REACH_ASSIGN_OR_RETURN(std::string anchor_bytes,
+                         storage_->objects()->Read(anchor.value()));
+  REACH_ASSIGN_OR_RETURN(Oid cur, DecodeAnchor(anchor_bytes));
+  std::vector<Oid> out;
+  while (cur.valid()) {
+    REACH_ASSIGN_OR_RETURN(std::string chunk_bytes,
+                           storage_->objects()->Read(cur));
+    REACH_ASSIGN_OR_RETURN(Chunk chunk, DecodeChunk(chunk_bytes));
+    out.insert(out.end(), chunk.oids.begin(), chunk.oids.end());
+    cur = chunk.next;
+  }
+  return out;
+}
+
+size_t PersistencePm::cached_objects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace reach

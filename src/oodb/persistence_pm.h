@@ -1,0 +1,92 @@
+// Persistence policy manager: object faulting, the object cache, class
+// extents (as chunked linked lists), and write-through of attribute
+// updates. Announces persist/fetch/delete events on the meta bus.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "oodb/data_dictionary.h"
+#include "oodb/db_object.h"
+#include "oodb/meta_bus.h"
+#include "oodb/type_system.h"
+#include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+
+class PersistencePm : public PolicyManager, public TxnListener {
+ public:
+  PersistencePm(StorageManager* storage, TransactionManager* txns,
+                DataDictionary* dictionary, TypeSystem* types, MetaBus* bus);
+  ~PersistencePm() override;
+
+  std::string name() const override { return "Persistence PM"; }
+  void OnEvent(const SentryEvent& event) override { (void)event; }
+
+  /// TxnListener: drop cached versions of objects an aborted transaction
+  /// touched (the store already rolled them back).
+  void OnAbort(TxnId txn) override;
+  void OnCommit(TxnId txn) override;
+  /// Nested commit: the child's touch set moves into the parent so a later
+  /// parent abort still invalidates the child's cache entries.
+  void OnCommitChild(TxnId child, TxnId parent) override;
+
+  /// Make a transient object persistent: assigns an OID, stores it, adds
+  /// it to its class extent, announces kPersist.
+  Result<Oid> Persist(TxnId txn, DbObject* obj);
+
+  /// Fault an object in (S-locks it). Announces kFetch.
+  Result<std::shared_ptr<DbObject>> Fetch(TxnId txn, const Oid& oid);
+
+  /// Write an updated attribute set back to the store (X-locks the OID).
+  Status Write(TxnId txn, const DbObject& obj);
+
+  /// Delete a persistent object: removes it from its extent, announces
+  /// kDelete (with the object's class so deletion-triggered rules fire —
+  /// the §4 layered-architecture pain point), then frees storage.
+  Status Delete(TxnId txn, const Oid& oid);
+
+  /// OIDs in the extent of exactly `class_name`.
+  Result<std::vector<Oid>> Extent(TxnId txn, const std::string& class_name);
+
+  /// Cache statistics.
+  size_t cached_objects() const;
+  uint64_t faults() const { return faults_; }
+
+ private:
+  static constexpr size_t kChunkCapacity = 256;
+
+  /// Extent anchors are named "__extent::<Class>" in the dictionary.
+  static std::string ExtentName(const std::string& class_name) {
+    return "__extent::" + class_name;
+  }
+
+  /// Get (creating on demand) the anchor object for a class extent.
+  Result<Oid> ExtentAnchor(TxnId txn, const std::string& class_name);
+
+  Status ExtentAdd(TxnId txn, const std::string& class_name, const Oid& oid);
+  Status ExtentRemove(TxnId txn, const std::string& class_name,
+                      const Oid& oid);
+
+  void TrackTouch(TxnId txn, const Oid& oid);
+
+  StorageManager* storage_;
+  TransactionManager* txns_;
+  DataDictionary* dictionary_;
+  TypeSystem* types_;
+  MetaBus* bus_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Oid, std::shared_ptr<DbObject>> cache_;
+  std::unordered_map<TxnId, std::unordered_set<Oid>> touched_;
+  uint64_t faults_ = 0;
+};
+
+}  // namespace reach

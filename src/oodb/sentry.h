@@ -1,0 +1,145 @@
+// In-line wrapper sentries for native C++ classes.
+//
+// Open OODB's preprocessor rewrites application classes so every member
+// function announces before/after events without changing declarations or
+// call syntax. The modern C++ equivalent is a zero-dependency wrapper
+// template: `Sentried<T>` holds a T and forwards member calls through
+// `Call(...)`, announcing to the MetaBus only when the bus reports interest
+// (useless overhead reduces to one hash probe — the paper's §6.2 goal).
+//
+//   Sentried<River> river(bus, "River", River{});
+//   river.Call("updateWaterLevel", &River::updateWaterLevel, 35);
+//
+// Unmonitored types keep calling methods directly; monitored and
+// unmonitored declarations and call sites stay structurally identical,
+// which is the transparency requirement of §6.1.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "oodb/meta_bus.h"
+
+namespace reach {
+
+namespace sentry_detail {
+
+/// Best-effort conversion of a native argument to a Value for event
+/// parameters; unconvertible types become null (the rule can still react to
+/// the event, it just cannot inspect that parameter).
+template <typename A>
+Value ToValue(const A& arg) {
+  using D = std::decay_t<A>;
+  if constexpr (std::is_same_v<D, bool>) {
+    return Value(arg);
+  } else if constexpr (std::is_integral_v<D>) {
+    return Value(static_cast<int64_t>(arg));
+  } else if constexpr (std::is_floating_point_v<D>) {
+    return Value(static_cast<double>(arg));
+  } else if constexpr (std::is_convertible_v<D, std::string>) {
+    return Value(std::string(arg));
+  } else if constexpr (std::is_same_v<D, Oid>) {
+    return Value(arg);
+  } else {
+    return Value();
+  }
+}
+
+}  // namespace sentry_detail
+
+template <typename T>
+class Sentried {
+ public:
+  Sentried(MetaBus* bus, std::string class_name, T instance)
+      : bus_(bus),
+        class_name_(std::move(class_name)),
+        instance_(std::move(instance)) {}
+
+  /// Direct access for state the application reads without a sentry (the
+  /// paper notes C++ allows this; state-change detection then requires the
+  /// Session/StateChange path instead).
+  T* operator->() { return &instance_; }
+  T& get() { return instance_; }
+  const T& get() const { return instance_; }
+
+  /// Invoke a member function through the sentry: announces method-before
+  /// and method-after events when the bus shows interest.
+  template <typename R, typename... MArgs, typename... Args>
+  R Call(const char* method, R (T::*fn)(MArgs...), Args&&... args) {
+    bool before = bus_->Monitored(SentryKind::kMethodBefore, class_name_,
+                                  method);
+    bool after =
+        bus_->Monitored(SentryKind::kMethodAfter, class_name_, method);
+    if (!before && !after) {
+      // Potentially-useful overhead only: two interest probes.
+      return (instance_.*fn)(std::forward<Args>(args)...);
+    }
+    SentryEvent ev;
+    ev.class_name = class_name_;
+    ev.member = method;
+    ev.args = {sentry_detail::ToValue(args)...};
+    if (before) {
+      ev.kind = SentryKind::kMethodBefore;
+      bus_->Announce(ev);
+    }
+    if constexpr (std::is_void_v<R>) {
+      (instance_.*fn)(std::forward<Args>(args)...);
+      if (after) {
+        ev.kind = SentryKind::kMethodAfter;
+        bus_->Announce(ev);
+      }
+    } else {
+      R result = (instance_.*fn)(std::forward<Args>(args)...);
+      if (after) {
+        ev.kind = SentryKind::kMethodAfter;
+        ev.result = sentry_detail::ToValue(result);
+        bus_->Announce(ev);
+      }
+      return result;
+    }
+  }
+
+  /// Const-member overload.
+  template <typename R, typename... MArgs, typename... Args>
+  R Call(const char* method, R (T::*fn)(MArgs...) const,
+         Args&&... args) const {
+    bool before = bus_->Monitored(SentryKind::kMethodBefore, class_name_,
+                                  method);
+    bool after =
+        bus_->Monitored(SentryKind::kMethodAfter, class_name_, method);
+    if (!before && !after) {
+      return (instance_.*fn)(std::forward<Args>(args)...);
+    }
+    SentryEvent ev;
+    ev.class_name = class_name_;
+    ev.member = method;
+    ev.args = {sentry_detail::ToValue(args)...};
+    if (before) {
+      ev.kind = SentryKind::kMethodBefore;
+      bus_->Announce(ev);
+    }
+    if constexpr (std::is_void_v<R>) {
+      (instance_.*fn)(std::forward<Args>(args)...);
+      if (after) {
+        ev.kind = SentryKind::kMethodAfter;
+        bus_->Announce(ev);
+      }
+    } else {
+      R result = (instance_.*fn)(std::forward<Args>(args)...);
+      if (after) {
+        ev.kind = SentryKind::kMethodAfter;
+        ev.result = sentry_detail::ToValue(result);
+        bus_->Announce(ev);
+      }
+      return result;
+    }
+  }
+
+ private:
+  MetaBus* bus_;
+  std::string class_name_;
+  T instance_;
+};
+
+}  // namespace reach

@@ -1,0 +1,45 @@
+// SentryEvent: what a sentry announces on the meta-architecture bus. Any
+// operation performed in the context of the application — method calls,
+// state changes, persistence operations, transaction boundaries — becomes a
+// SentryEvent, and policy managers (persistence, indexing, change, and the
+// REACH rule subsystem) extend behaviour by reacting to them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "oodb/value.h"
+
+namespace reach {
+
+enum class SentryKind : uint8_t {
+  kMethodBefore = 0,
+  kMethodAfter = 1,
+  kStateChange = 2,  // attribute written; args = {old value, new value}
+  kPersist = 3,      // object made persistent
+  kFetch = 4,        // object dereferenced / faulted in
+  kDelete = 5,       // object deleted
+  kTxnBegin = 6,
+  kTxnCommit = 7,
+  kTxnAbort = 8,
+};
+
+inline constexpr int kNumSentryKinds = 9;
+
+const char* SentryKindName(SentryKind kind);
+
+struct SentryEvent {
+  SentryKind kind = SentryKind::kMethodAfter;
+  std::string class_name;  // class of the receiver (empty for txn events)
+  std::string member;      // method or attribute name
+  Oid oid;                 // receiver (invalid for transient/txn events)
+  TxnId txn = kNoTxn;      // transaction in which the event was raised
+  Timestamp timestamp = 0;
+  std::vector<Value> args;  // method args / {old, new} for state changes
+  Value result;             // return value (kMethodAfter only)
+
+  std::string ToString() const;
+};
+
+}  // namespace reach

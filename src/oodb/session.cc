@@ -1,0 +1,202 @@
+#include "oodb/session.h"
+
+namespace reach {
+
+Session::~Session() { (void)AbortAll(); }
+
+Status Session::Begin() {
+  REACH_ASSIGN_OR_RETURN(TxnId txn, db_->txns()->Begin(current_txn()));
+  txn_stack_.push_back(txn);
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  TxnId txn = txn_stack_.back();
+  txn_stack_.pop_back();
+  Status st = db_->txns()->Commit(txn);
+  if (st.IsAborted()) return st;  // aborted during commit (deps / hooks)
+  return st;
+}
+
+Status Session::Abort() {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  TxnId txn = txn_stack_.back();
+  txn_stack_.pop_back();
+  return db_->txns()->Abort(txn);
+}
+
+Status Session::AbortAll() {
+  Status first = Status::OK();
+  while (!txn_stack_.empty()) {
+    TxnId txn = txn_stack_.back();
+    txn_stack_.pop_back();
+    if (db_->txns()->IsActive(txn)) {
+      Status st = db_->txns()->Abort(txn);
+      if (first.ok() && !st.ok()) first = st;
+    }
+  }
+  return first;
+}
+
+Status Session::InTxn(const std::function<Status(Session&)>& fn) {
+  REACH_RETURN_IF_ERROR(Begin());
+  Status st = fn(*this);
+  if (!st.ok()) {
+    Status abort_st = Abort();
+    (void)abort_st;
+    return st;
+  }
+  return Commit();
+}
+
+Result<DbObject> Session::New(const std::string& class_name) {
+  return DbObject::Create(*db_->types(), class_name);
+}
+
+Result<Oid> Session::Persist(DbObject* obj) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  return db_->persistence()->Persist(current_txn(), obj);
+}
+
+Result<Oid> Session::PersistNew(
+    const std::string& class_name,
+    std::vector<std::pair<std::string, Value>> attrs) {
+  REACH_ASSIGN_OR_RETURN(DbObject obj, New(class_name));
+  for (auto& [name, value] : attrs) {
+    if (db_->types()->ResolveAttribute(class_name, name) == nullptr) {
+      return Status::NotFound("attribute " + class_name + "." + name);
+    }
+    obj.Set(name, std::move(value));
+  }
+  return Persist(&obj);
+}
+
+Result<std::shared_ptr<DbObject>> Session::Fetch(const Oid& oid) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  return db_->persistence()->Fetch(current_txn(), oid);
+}
+
+Result<std::shared_ptr<DbObject>> Session::FetchByName(
+    const std::string& name) {
+  REACH_ASSIGN_OR_RETURN(Oid oid, Lookup(name));
+  return Fetch(oid);
+}
+
+Status Session::Delete(const Oid& oid) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  return db_->persistence()->Delete(current_txn(), oid);
+}
+
+Status Session::Bind(const std::string& name, const Oid& oid) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  return db_->dictionary()->Bind(current_txn(), name, oid);
+}
+
+Result<Oid> Session::Lookup(const std::string& name) {
+  return db_->dictionary()->Lookup(name);
+}
+
+Status Session::Unbind(const std::string& name) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  return db_->dictionary()->Unbind(current_txn(), name);
+}
+
+Status Session::SetAttr(const Oid& oid, const std::string& attr,
+                        Value value) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  REACH_ASSIGN_OR_RETURN(std::shared_ptr<DbObject> obj, Fetch(oid));
+  if (db_->types()->ResolveAttribute(obj->class_name(), attr) == nullptr) {
+    return Status::NotFound("attribute " + obj->class_name() + "." + attr);
+  }
+  Value old = obj->Get(attr);
+  // Write-through under an X lock; the cache copy is replaced atomically.
+  DbObject updated = *obj;
+  updated.Set(attr, value);
+  REACH_RETURN_IF_ERROR(db_->persistence()->Write(current_txn(), updated));
+
+  if (db_->bus()->Monitored(SentryKind::kStateChange, obj->class_name(),
+                            attr)) {
+    SentryEvent ev;
+    ev.kind = SentryKind::kStateChange;
+    ev.class_name = obj->class_name();
+    ev.member = attr;
+    ev.oid = oid;
+    ev.txn = current_txn();
+    ev.timestamp = db_->clock()->Now();
+    ev.args = {std::move(old), std::move(value)};
+    db_->bus()->Announce(ev);
+  }
+  return Status::OK();
+}
+
+Result<Value> Session::GetAttr(const Oid& oid, const std::string& attr) {
+  REACH_ASSIGN_OR_RETURN(std::shared_ptr<DbObject> obj, Fetch(oid));
+  return obj->Get(attr);
+}
+
+Result<Value> Session::DoInvoke(DbObject* obj, const std::string& method,
+                                std::vector<Value>* args) {
+  const MethodDescriptor* m =
+      db_->types()->ResolveMethod(obj->class_name(), method);
+  if (m == nullptr) {
+    return Status::NotFound("method " + obj->class_name() + "::" + method);
+  }
+  bool before = db_->bus()->Monitored(SentryKind::kMethodBefore,
+                                      obj->class_name(), method);
+  bool after = db_->bus()->Monitored(SentryKind::kMethodAfter,
+                                     obj->class_name(), method);
+  SentryEvent ev;
+  if (before || after) {
+    ev.class_name = obj->class_name();
+    ev.member = method;
+    ev.oid = obj->oid();
+    ev.txn = current_txn();
+    ev.args = *args;
+  }
+  if (before) {
+    ev.kind = SentryKind::kMethodBefore;
+    ev.timestamp = db_->clock()->Now();
+    db_->bus()->Announce(ev);
+  }
+  REACH_ASSIGN_OR_RETURN(Value result, m->impl(*this, *obj, *args));
+  if (after) {
+    ev.kind = SentryKind::kMethodAfter;
+    ev.timestamp = db_->clock()->Now();
+    ev.result = result;
+    db_->bus()->Announce(ev);
+  }
+  return result;
+}
+
+Result<Value> Session::Invoke(const Oid& oid, const std::string& method,
+                              std::vector<Value> args) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  REACH_ASSIGN_OR_RETURN(std::shared_ptr<DbObject> obj, Fetch(oid));
+  // Work on a copy so method bodies mutate through SetAttr (sentried), not
+  // by aliasing the shared cache entry.
+  DbObject copy = *obj;
+  return DoInvoke(&copy, method, &args);
+}
+
+Result<Value> Session::Invoke(DbObject* obj, const std::string& method,
+                              std::vector<Value> args) {
+  return DoInvoke(obj, method, &args);
+}
+
+Result<std::vector<Oid>> Session::Extent(const std::string& class_name,
+                                         bool include_subclasses) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  std::vector<Oid> out;
+  std::vector<std::string> classes =
+      include_subclasses ? db_->types()->SelfAndSubclasses(class_name)
+                         : std::vector<std::string>{class_name};
+  for (const std::string& cls : classes) {
+    REACH_ASSIGN_OR_RETURN(std::vector<Oid> part,
+                           db_->persistence()->Extent(current_txn(), cls));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace reach

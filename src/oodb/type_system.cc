@@ -1,0 +1,113 @@
+#include "oodb/type_system.h"
+
+namespace reach {
+
+Status TypeSystem::RegisterClass(std::unique_ptr<ClassDescriptor> desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = desc->name();
+  if (classes_.contains(name)) {
+    return Status::AlreadyExists("class " + name);
+  }
+  if (!desc->parent().empty() && !classes_.contains(desc->parent())) {
+    return Status::NotFound("parent class " + desc->parent());
+  }
+  classes_[name] = std::move(desc);
+  return Status::OK();
+}
+
+const ClassDescriptor* TypeSystem::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+bool TypeSystem::IsSubclassOf(const std::string& cls,
+                              const std::string& ancestor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string cur = cls;
+  while (!cur.empty()) {
+    if (cur == ancestor) return true;
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) return false;
+    cur = it->second->parent();
+  }
+  return false;
+}
+
+const AttributeDescriptor* TypeSystem::ResolveAttribute(
+    const std::string& cls, const std::string& attr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string cur = cls;
+  while (!cur.empty()) {
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) return nullptr;
+    if (const AttributeDescriptor* a = it->second->FindAttribute(attr)) {
+      return a;
+    }
+    cur = it->second->parent();
+  }
+  return nullptr;
+}
+
+const MethodDescriptor* TypeSystem::ResolveMethod(
+    const std::string& cls, const std::string& method) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string cur = cls;
+  while (!cur.empty()) {
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) return nullptr;
+    if (const MethodDescriptor* m = it->second->FindMethod(method)) {
+      return m;
+    }
+    cur = it->second->parent();
+  }
+  return nullptr;
+}
+
+std::vector<const AttributeDescriptor*> TypeSystem::AllAttributes(
+    const std::string& cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Collect the chain root-first so base attributes come first.
+  std::vector<const ClassDescriptor*> chain;
+  std::string cur = cls;
+  while (!cur.empty()) {
+    auto it = classes_.find(cur);
+    if (it == classes_.end()) break;
+    chain.push_back(it->second.get());
+    cur = it->second->parent();
+  }
+  std::vector<const AttributeDescriptor*> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const auto& a : (*it)->attributes()) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<std::string> TypeSystem::SelfAndSubclasses(
+    const std::string& cls) const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, desc] : classes_) {
+    std::string cur = name;
+    while (!cur.empty()) {
+      if (cur == cls) {
+        out.push_back(name);
+        break;
+      }
+      auto it = classes_.find(cur);
+      if (it == classes_.end()) break;
+      cur = it->second->parent();
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TypeSystem::AllClassNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, _] : classes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace reach

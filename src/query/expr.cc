@@ -1,0 +1,198 @@
+#include "query/expr.h"
+
+namespace reach {
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprOp::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Path(std::vector<std::string> segments) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprOp::kPath));
+  e->path_ = std::move(segments);
+  return e;
+}
+
+ExprPtr Expr::Binary(ExprOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr(op));
+  e->operands_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Unary(ExprOp op, ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr(op));
+  e->operands_ = {std::move(operand)};
+  return e;
+}
+
+namespace {
+const char* OpSymbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kMod: return "%";
+    case ExprOp::kAnd: return "and";
+    case ExprOp::kOr: return "or";
+    default: return "?";
+  }
+}
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case ExprOp::kLiteral:
+      return literal_.ToString();
+    case ExprOp::kPath: {
+      std::string out;
+      for (size_t i = 0; i < path_.size(); ++i) {
+        if (i > 0) out += ".";
+        out += path_[i];
+      }
+      return out;
+    }
+    case ExprOp::kNot:
+      return "(not " + operands_[0]->ToString() + ")";
+    case ExprOp::kNeg:
+      return "(-" + operands_[0]->ToString() + ")";
+    default:
+      return "(" + operands_[0]->ToString() + " " + OpSymbol(op_) + " " +
+             operands_[1]->ToString() + ")";
+  }
+}
+
+namespace {
+
+Result<Value> Arith(ExprOp op, const Value& l, const Value& r) {
+  if (op == ExprOp::kAdd && l.is_string() && r.is_string()) {
+    return Value(l.as_string() + r.as_string());
+  }
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric values");
+  }
+  if (l.is_int() && r.is_int()) {
+    int64_t a = l.as_int(), b = r.as_int();
+    switch (op) {
+      case ExprOp::kAdd: return Value(a + b);
+      case ExprOp::kSub: return Value(a - b);
+      case ExprOp::kMul: return Value(a * b);
+      case ExprOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value(a / b);
+      case ExprOp::kMod:
+        if (b == 0) return Status::InvalidArgument("modulo by zero");
+        return Value(a % b);
+      default: break;
+    }
+  }
+  double a = l.AsNumber(), b = r.AsNumber();
+  switch (op) {
+    case ExprOp::kAdd: return Value(a + b);
+    case ExprOp::kSub: return Value(a - b);
+    case ExprOp::kMul: return Value(a * b);
+    case ExprOp::kDiv:
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Value(a / b);
+    default:
+      return Status::InvalidArgument("modulo requires integers");
+  }
+}
+
+Result<Value> Compare(ExprOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) {
+    // SQL-ish: comparisons against null are false, except equality checks
+    // of two nulls.
+    if (op == ExprOp::kEq) return Value(l.is_null() && r.is_null());
+    if (op == ExprOp::kNe) return Value(l.is_null() != r.is_null());
+    return Value(false);
+  }
+  auto c = l <=> r;
+  if (c == std::partial_ordering::unordered) {
+    return Status::InvalidArgument("incomparable values");
+  }
+  switch (op) {
+    case ExprOp::kEq: return Value(l == r);
+    case ExprOp::kNe: return Value(!(l == r));
+    case ExprOp::kLt: return Value(c == std::partial_ordering::less);
+    case ExprOp::kLe: return Value(c != std::partial_ordering::greater);
+    case ExprOp::kGt: return Value(c == std::partial_ordering::greater);
+    case ExprOp::kGe: return Value(c != std::partial_ordering::less);
+    default:
+      return Status::Internal("bad comparison op");
+  }
+}
+
+bool Truthy(const Value& v) {
+  if (v.is_bool()) return v.as_bool();
+  if (v.is_null()) return false;
+  if (v.is_numeric()) return v.AsNumber() != 0;
+  return true;
+}
+
+}  // namespace
+
+Result<Value> Evaluate(const ExprPtr& expr, EvalEnv* env) {
+  switch (expr->op()) {
+    case ExprOp::kLiteral:
+      return expr->literal();
+    case ExprOp::kPath:
+      return env->Resolve(expr->path());
+    case ExprOp::kAnd: {
+      REACH_ASSIGN_OR_RETURN(Value l, Evaluate(expr->operands()[0], env));
+      if (!Truthy(l)) return Value(false);
+      REACH_ASSIGN_OR_RETURN(Value r, Evaluate(expr->operands()[1], env));
+      return Value(Truthy(r));
+    }
+    case ExprOp::kOr: {
+      REACH_ASSIGN_OR_RETURN(Value l, Evaluate(expr->operands()[0], env));
+      if (Truthy(l)) return Value(true);
+      REACH_ASSIGN_OR_RETURN(Value r, Evaluate(expr->operands()[1], env));
+      return Value(Truthy(r));
+    }
+    case ExprOp::kNot: {
+      REACH_ASSIGN_OR_RETURN(Value v, Evaluate(expr->operands()[0], env));
+      return Value(!Truthy(v));
+    }
+    case ExprOp::kNeg: {
+      REACH_ASSIGN_OR_RETURN(Value v, Evaluate(expr->operands()[0], env));
+      if (v.is_int()) return Value(-v.as_int());
+      if (v.is_double()) return Value(-v.as_double());
+      return Status::InvalidArgument("negation of non-numeric value");
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      REACH_ASSIGN_OR_RETURN(Value l, Evaluate(expr->operands()[0], env));
+      REACH_ASSIGN_OR_RETURN(Value r, Evaluate(expr->operands()[1], env));
+      return Compare(expr->op(), l, r);
+    }
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv:
+    case ExprOp::kMod: {
+      REACH_ASSIGN_OR_RETURN(Value l, Evaluate(expr->operands()[0], env));
+      REACH_ASSIGN_OR_RETURN(Value r, Evaluate(expr->operands()[1], env));
+      return Arith(expr->op(), l, r);
+    }
+  }
+  return Status::Internal("unknown expression op");
+}
+
+Result<bool> EvaluateBool(const ExprPtr& expr, EvalEnv* env) {
+  REACH_ASSIGN_OR_RETURN(Value v, Evaluate(expr, env));
+  return Truthy(v);
+}
+
+}  // namespace reach

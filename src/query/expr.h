@@ -1,0 +1,63 @@
+// Predicate/expression AST shared by OQL[C++] queries and REACH rule
+// conditions, with an environment-based evaluator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "oodb/value.h"
+
+namespace reach {
+
+enum class ExprOp {
+  kLiteral,
+  kPath,      // ident(.ident)* — resolved by the environment
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kNot,
+  kNeg,       // unary minus
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  static ExprPtr Literal(Value v);
+  static ExprPtr Path(std::vector<std::string> segments);
+  static ExprPtr Binary(ExprOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Unary(ExprOp op, ExprPtr operand);
+
+  ExprOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+  const std::vector<std::string>& path() const { return path_; }
+  const std::vector<ExprPtr>& operands() const { return operands_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit Expr(ExprOp op) : op_(op) {}
+
+  ExprOp op_;
+  Value literal_;
+  std::vector<std::string> path_;
+  std::vector<ExprPtr> operands_;
+};
+
+/// Resolves path expressions ("river.waterTemp", "x") to values.
+class EvalEnv {
+ public:
+  virtual ~EvalEnv() = default;
+  virtual Result<Value> Resolve(const std::vector<std::string>& path) = 0;
+};
+
+/// Evaluate `expr` under `env`. Comparison with null yields false; `and` /
+/// `or` short-circuit; arithmetic requires numeric operands.
+Result<Value> Evaluate(const ExprPtr& expr, EvalEnv* env);
+
+/// Evaluate and coerce to a condition result (null/false => false).
+Result<bool> EvaluateBool(const ExprPtr& expr, EvalEnv* env);
+
+}  // namespace reach

@@ -1,0 +1,144 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace reach {
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: // to end of line, /* ... */.
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      size_t end = input.find("*/", i + 2);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated comment at " +
+                                       std::to_string(i));
+      }
+      i = end + 2;
+      continue;
+    }
+
+    Token tok;
+    tok.position = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = input.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string text = input.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.double_value = std::stod(text);
+      } else {
+        tok.type = TokenType::kInt;
+        tok.int_value = std::stoll(text);
+      }
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '"') {
+      ++i;
+      std::string content;
+      while (i < n && input[i] != '"') {
+        if (input[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (input[i]) {
+            case 'n': content.push_back('\n'); break;
+            case 't': content.push_back('\t'); break;
+            default: content.push_back(input[i]); break;
+          }
+        } else {
+          content.push_back(input[i]);
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string at " +
+                                       std::to_string(tok.position));
+      }
+      ++i;  // closing quote
+      tok.type = TokenType::kString;
+      tok.text = std::move(content);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-character operators first.
+    static const char* kTwoChar[] = {"<=", ">=", "==", "!=", "&&", "||",
+                                     "->"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && i + 1 < n && input[i + 1] == op[1]) {
+        tok.type = TokenType::kSymbol;
+        tok.text = op;
+        i += 2;
+        out.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static const std::string kSingles = "()[]{},;.<>=+-*/%!";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace reach

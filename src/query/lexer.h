@@ -1,0 +1,40 @@
+// Lexer shared by the OQL[C++] subset and the REACH rule language.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace reach {
+
+enum class TokenType {
+  kIdent,      // identifiers and keywords (keyword check happens in parsers)
+  kInt,
+  kDouble,
+  kString,     // "..." (supports \" and \\ escapes)
+  kSymbol,     // punctuation / operators, one entry per lexeme
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // raw text (unescaped content for strings)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;  // byte offset in the input (for error messages)
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-sensitive keyword/identifier match.
+  bool IsIdent(const char* s) const {
+    return type == TokenType::kIdent && text == s;
+  }
+};
+
+/// Tokenize `input`. Recognized symbols include the multi-character
+/// operators <= >= == != && || -> and single characters ()[]{},;.<>=+-*/%!.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace reach

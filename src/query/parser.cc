@@ -1,0 +1,295 @@
+#include "query/parser.h"
+
+namespace reach {
+
+namespace {
+Status Unexpected(const Token& tok, const std::string& what) {
+  return Status::InvalidArgument("expected " + what + " near '" + tok.text +
+                                 "' at " + std::to_string(tok.position));
+}
+}  // namespace
+
+Result<ExprPtr> ExprParser::ParseOr() {
+  REACH_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Cur().IsIdent("or") || Cur().IsSymbol("||")) {
+    Advance();
+    REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Expr::Binary(ExprOp::kOr, left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> ExprParser::ParseAnd() {
+  REACH_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Cur().IsIdent("and") || Cur().IsSymbol("&&")) {
+    Advance();
+    REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = Expr::Binary(ExprOp::kAnd, left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> ExprParser::ParseNot() {
+  if (Cur().IsIdent("not") || Cur().IsSymbol("!")) {
+    Advance();
+    REACH_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Expr::Unary(ExprOp::kNot, operand);
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> ExprParser::ParseComparison() {
+  REACH_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  struct OpMap {
+    const char* sym;
+    ExprOp op;
+  };
+  static const OpMap kOps[] = {
+      {"==", ExprOp::kEq}, {"=", ExprOp::kEq},  {"!=", ExprOp::kNe},
+      {"<=", ExprOp::kLe}, {">=", ExprOp::kGe}, {"<", ExprOp::kLt},
+      {">", ExprOp::kGt},
+  };
+  for (const OpMap& m : kOps) {
+    if (Cur().IsSymbol(m.sym)) {
+      Advance();
+      REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::Binary(m.op, left, right);
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> ExprParser::ParseAdditive() {
+  REACH_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  for (;;) {
+    if (Cur().IsSymbol("+")) {
+      Advance();
+      REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(ExprOp::kAdd, left, right);
+    } else if (Cur().IsSymbol("-")) {
+      Advance();
+      REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(ExprOp::kSub, left, right);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> ExprParser::ParseMultiplicative() {
+  REACH_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  for (;;) {
+    if (Cur().IsSymbol("*")) {
+      Advance();
+      REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Binary(ExprOp::kMul, left, right);
+    } else if (Cur().IsSymbol("/")) {
+      Advance();
+      REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Binary(ExprOp::kDiv, left, right);
+    } else if (Cur().IsSymbol("%")) {
+      Advance();
+      REACH_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Binary(ExprOp::kMod, left, right);
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> ExprParser::ParseUnary() {
+  if (Cur().IsSymbol("-")) {
+    Advance();
+    REACH_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return Expr::Unary(ExprOp::kNeg, operand);
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> ExprParser::ParsePrimary() {
+  const Token& tok = Cur();
+  switch (tok.type) {
+    case TokenType::kInt: {
+      Advance();
+      return Expr::Literal(Value(tok.int_value));
+    }
+    case TokenType::kDouble: {
+      Advance();
+      return Expr::Literal(Value(tok.double_value));
+    }
+    case TokenType::kString: {
+      Advance();
+      return Expr::Literal(Value(tok.text));
+    }
+    case TokenType::kIdent: {
+      if (tok.IsIdent("true")) {
+        Advance();
+        return Expr::Literal(Value(true));
+      }
+      if (tok.IsIdent("false")) {
+        Advance();
+        return Expr::Literal(Value(false));
+      }
+      if (tok.IsIdent("null")) {
+        Advance();
+        return Expr::Literal(Value());
+      }
+      std::vector<std::string> path{tok.text};
+      Advance();
+      while (Cur().IsSymbol(".") || Cur().IsSymbol("->")) {
+        Advance();
+        if (Cur().type != TokenType::kIdent) {
+          return Unexpected(Cur(), "attribute name");
+        }
+        path.push_back(Cur().text);
+        Advance();
+      }
+      return Expr::Path(std::move(path));
+    }
+    case TokenType::kSymbol:
+      if (tok.IsSymbol("(")) {
+        Advance();
+        REACH_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        if (!Cur().IsSymbol(")")) return Unexpected(Cur(), "')'");
+        Advance();
+        return inner;
+      }
+      break;
+    default:
+      break;
+  }
+  return Unexpected(tok, "expression");
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  REACH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  size_t pos = 0;
+  ExprParser parser(&tokens, &pos);
+  REACH_ASSIGN_OR_RETURN(ExprPtr expr, parser.Parse());
+  if (tokens[pos].type != TokenType::kEnd) {
+    return Unexpected(tokens[pos], "end of expression");
+  }
+  return expr;
+}
+
+Result<SelectStatement> ParseSelect(const std::string& query) {
+  REACH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(query));
+  size_t pos = 0;
+  auto cur = [&]() -> const Token& { return tokens[pos]; };
+
+  SelectStatement stmt;
+  if (!cur().IsIdent("select")) return Unexpected(cur(), "'select'");
+  ++pos;
+  if (cur().IsSymbol("*")) {
+    ++pos;
+  } else {
+    for (;;) {
+      if (cur().type != TokenType::kIdent) {
+        return Unexpected(cur(), "attribute or aggregate");
+      }
+      SelectItem item;
+      std::string name = cur().text;
+      if (tokens[pos + 1].IsSymbol("(")) {
+        if (name == "count") {
+          item.kind = SelectItem::Kind::kCount;
+        } else if (name == "sum") {
+          item.kind = SelectItem::Kind::kSum;
+        } else if (name == "avg") {
+          item.kind = SelectItem::Kind::kAvg;
+        } else if (name == "min") {
+          item.kind = SelectItem::Kind::kMin;
+        } else if (name == "max") {
+          item.kind = SelectItem::Kind::kMax;
+        } else {
+          return Unexpected(cur(), "aggregate function");
+        }
+        pos += 2;  // name + '('
+        if (cur().IsSymbol("*")) {
+          if (item.kind != SelectItem::Kind::kCount) {
+            return Unexpected(cur(), "attribute (only count accepts *)");
+          }
+          ++pos;
+        } else if (cur().type == TokenType::kIdent) {
+          item.attr = cur().text;
+          ++pos;
+        } else {
+          return Unexpected(cur(), "attribute or '*'");
+        }
+        if (!cur().IsSymbol(")")) return Unexpected(cur(), "')'");
+        ++pos;
+      } else {
+        item.attr = name;
+        ++pos;
+      }
+      stmt.items.push_back(std::move(item));
+      if (!cur().IsSymbol(",")) break;
+      ++pos;
+    }
+  }
+  if (!cur().IsIdent("from")) return Unexpected(cur(), "'from'");
+  ++pos;
+  if (cur().type != TokenType::kIdent) return Unexpected(cur(), "class name");
+  stmt.class_name = cur().text;
+  ++pos;
+  if (cur().IsIdent("as")) {
+    ++pos;
+    if (cur().type != TokenType::kIdent) return Unexpected(cur(), "alias");
+    stmt.alias = cur().text;
+    ++pos;
+  } else {
+    stmt.alias = stmt.class_name;
+  }
+  if (cur().IsIdent("where")) {
+    ++pos;
+    ExprParser parser(&tokens, &pos);
+    REACH_ASSIGN_OR_RETURN(stmt.where, parser.Parse());
+  }
+  if (cur().IsIdent("group")) {
+    ++pos;
+    if (!cur().IsIdent("by")) return Unexpected(cur(), "'by'");
+    ++pos;
+    if (cur().type != TokenType::kIdent) {
+      return Unexpected(cur(), "group-by attribute");
+    }
+    stmt.group_by = cur().text;
+    ++pos;
+  }
+  if (cur().IsIdent("order")) {
+    ++pos;
+    if (!cur().IsIdent("by")) return Unexpected(cur(), "'by'");
+    ++pos;
+    if (cur().type != TokenType::kIdent) {
+      return Unexpected(cur(), "order-by path");
+    }
+    stmt.order_by.push_back(cur().text);
+    ++pos;
+    while (cur().IsSymbol(".")) {
+      ++pos;
+      if (cur().type != TokenType::kIdent) {
+        return Unexpected(cur(), "attribute name");
+      }
+      stmt.order_by.push_back(cur().text);
+      ++pos;
+    }
+    if (cur().IsIdent("desc")) {
+      stmt.order_desc = true;
+      ++pos;
+    } else if (cur().IsIdent("asc")) {
+      ++pos;
+    }
+  }
+  if (cur().IsIdent("limit")) {
+    ++pos;
+    if (cur().type != TokenType::kInt || cur().int_value < 0) {
+      return Unexpected(cur(), "limit count");
+    }
+    stmt.limit = static_cast<size_t>(cur().int_value);
+    ++pos;
+  }
+  if (cur().type != TokenType::kEnd) {
+    return Unexpected(cur(), "end of query");
+  }
+  return stmt;
+}
+
+}  // namespace reach

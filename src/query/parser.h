@@ -1,0 +1,82 @@
+// Parser for the OQL[C++] subset:
+//
+//   select <*| item [, item]*> from <Class> [as <alias>]
+//     [where <expr>] [group by <attr>]
+//     [order by <path> [asc|desc]] [limit <n>]
+//
+//   item := attr | count(*) | count(attr) | sum(attr) | avg(attr)
+//         | min(attr) | max(attr)
+//
+// and for standalone predicate expressions (rule conditions). Expressions
+// support C-style (&&, ||, !, ==) and keyword (and, or, not, =) operators
+// so both the paper's rule syntax and OQL-style queries parse.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/expr.h"
+#include "query/lexer.h"
+
+namespace reach {
+
+struct SelectItem {
+  enum class Kind { kAttr, kCount, kSum, kAvg, kMin, kMax };
+  Kind kind = Kind::kAttr;
+  std::string attr;  // empty for count(*)
+
+  bool is_aggregate() const { return kind != Kind::kAttr; }
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;  // empty = select *
+  std::string class_name;
+  std::string alias;  // defaults to the class name
+  ExprPtr where;      // null = all
+  std::string group_by;  // attribute name; empty = no grouping
+  std::vector<std::string> order_by;  // path, empty = unordered
+  bool order_desc = false;
+  std::optional<size_t> limit;
+
+  bool has_aggregates() const {
+    for (const SelectItem& item : items) {
+      if (item.is_aggregate()) return true;
+    }
+    return false;
+  }
+};
+
+/// Token-stream expression parser usable as a sub-parser (rule language).
+class ExprParser {
+ public:
+  ExprParser(const std::vector<Token>* tokens, size_t* pos)
+      : tokens_(tokens), pos_(pos) {}
+
+  Result<ExprPtr> Parse() { return ParseOr(); }
+
+ private:
+  const Token& Cur() const { return (*tokens_)[*pos_]; }
+  void Advance() { ++*pos_; }
+
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  const std::vector<Token>* tokens_;
+  size_t* pos_;
+};
+
+/// Parse a full `select ...` statement.
+Result<SelectStatement> ParseSelect(const std::string& query);
+
+/// Parse a standalone predicate expression.
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace reach

@@ -1,0 +1,127 @@
+#include "storage/buffer_pool.h"
+
+namespace reach {
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
+  if (pool_size == 0) pool_size = 1;
+  frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size - 1 - i);
+  }
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // Evict the least-recently-used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t frame = *it;
+    Page* page = frames_[frame].get();
+    if (page->pin_count() > 0) continue;
+    if (page->dirty()) {
+      if (pre_write_hook_) REACH_RETURN_IF_ERROR(pre_write_hook_());
+      REACH_RETURN_IF_ERROR(disk_->WritePage(page->page_id(), page->data()));
+      page->set_dirty(false);
+    }
+    page_table_.erase(page->page_id());
+    lru_.erase(lru_pos_[frame]);
+    lru_pos_.erase(frame);
+    return frame;
+  }
+  return Status::Busy("all buffer frames pinned");
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    size_t frame = it->second;
+    Page* page = frames_[frame].get();
+    page->Pin();
+    lru_.erase(lru_pos_[frame]);
+    lru_.push_front(frame);
+    lru_pos_[frame] = lru_.begin();
+    return page;
+  }
+  ++misses_;
+  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  page->Reset();
+  if (Status st = disk_->ReadPage(page_id, page->data()); !st.ok()) {
+    free_frames_.push_back(frame);  // return the frame on failed read
+    return st;
+  }
+  page->set_page_id(page_id);
+  page->Pin();
+  page_table_[page_id] = frame;
+  lru_.push_front(frame);
+  lru_pos_[frame] = lru_.begin();
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  REACH_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  page->Reset();
+  page->set_page_id(page_id);
+  page->Pin();
+  page->set_dirty(true);
+  page_table_[page_id] = frame;
+  lru_.push_front(frame);
+  lru_pos_[frame] = lru_.begin();
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("page not in pool: " + std::to_string(page_id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count() == 0) {
+    return Status::FailedPrecondition("unpin of unpinned page");
+  }
+  page->Unpin();
+  if (dirty) page->set_dirty(true);
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();  // not cached
+  Page* page = frames_[it->second].get();
+  if (page->dirty()) {
+    if (pre_write_hook_) REACH_RETURN_IF_ERROR(pre_write_hook_());
+    REACH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data()));
+    page->set_dirty(false);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool flushed_log = false;
+  for (auto& [page_id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->dirty()) {
+      if (pre_write_hook_ && !flushed_log) {
+        REACH_RETURN_IF_ERROR(pre_write_hook_());
+        flushed_log = true;
+      }
+      REACH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data()));
+      page->set_dirty(false);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace reach

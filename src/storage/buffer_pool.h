@@ -1,0 +1,67 @@
+// Buffer pool: fixed set of in-memory frames with LRU replacement and
+// pin-count protection, fronting the DiskManager.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace reach {
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t pool_size);
+
+  /// Pin the page, reading it from disk if absent. Caller must Unpin.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Allocate a fresh page on disk and pin it.
+  Result<Page*> NewPage();
+
+  /// Drop a pin; `dirty` marks the frame as needing write-back.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Write a specific page back to disk if dirty.
+  Status FlushPage(PageId page_id);
+
+  /// Write all dirty frames back to disk.
+  Status FlushAll();
+
+  size_t pool_size() const { return frames_.size(); }
+
+  /// WAL rule hook: invoked before any page reaches disk, so the storage
+  /// manager can force the log first (write-ahead invariant).
+  void set_pre_write_hook(std::function<Status()> hook) {
+    pre_write_hook_ = std::move(hook);
+  }
+
+  /// Statistics for benchmarks.
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  /// Find a reusable frame (free list first, then LRU victim). Flushes the
+  /// victim if dirty. Returns nullptr if every frame is pinned.
+  Result<size_t> GetVictimFrame();
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = most recently used
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  std::function<Status()> pre_write_hook_;
+  std::mutex mu_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace reach

@@ -1,0 +1,86 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace reach {
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek " + path + ": " + std::strerror(errno));
+  }
+  if (size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::Corruption(path + ": size not a multiple of page size");
+  }
+  auto pages = static_cast<PageId>(size / static_cast<off_t>(kPageSize));
+  return std::unique_ptr<DiskManager>(new DiskManager(path, fd, pages));
+}
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page_id >= num_pages_) {
+      return Status::OutOfRange("read past end: page " +
+                                std::to_string(page_id));
+    }
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pread page " + std::to_string(page_id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (page_id >= num_pages_) {
+      return Status::OutOfRange("write past end: page " +
+                                std::to_string(page_id));
+    }
+  }
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite page " + std::to_string(page_id));
+  }
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId id = num_pages_;
+  char zeros[kPageSize] = {};
+  ssize_t n =
+      ::pwrite(fd_, zeros, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("extend to page " + std::to_string(id));
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status DiskManager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace reach

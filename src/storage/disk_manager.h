@@ -1,0 +1,49 @@
+// Page-granular file I/O. One database = one data file + one WAL file,
+// managed by DiskManager and Wal respectively.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace reach {
+
+class DiskManager {
+ public:
+  ~DiskManager();
+
+  /// Open (creating if necessary) the data file at `path`.
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& path);
+
+  Status ReadPage(PageId page_id, char* out);
+  Status WritePage(PageId page_id, const char* data);
+
+  /// Extend the file by one page and return its id.
+  Result<PageId> AllocatePage();
+
+  /// Flush OS buffers to stable storage.
+  Status Sync();
+
+  PageId num_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_pages_;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DiskManager(std::string path, int fd, PageId num_pages)
+      : path_(std::move(path)), fd_(fd), num_pages_(num_pages) {}
+
+  std::string path_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  PageId num_pages_ = 0;
+};
+
+}  // namespace reach

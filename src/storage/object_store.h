@@ -1,0 +1,135 @@
+// OID-addressed object storage on slotted pages (the EXODUS role).
+//
+// Properties:
+//  * OIDs are stable: updates that no longer fit on the home page relocate
+//    the body and leave a forwarding stub; readers follow it transparently.
+//  * Objects larger than a page are split into a head cell plus a chain of
+//    continuation segments on other pages.
+//  * Every cell mutation is logged to the WAL as a physical before/after
+//    image, making redo and undo idempotent.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+#include "storage/wal.h"
+
+namespace reach {
+
+class ObjectStore {
+ public:
+  /// `first_data_page`: pages below this are reserved (meta page 0).
+  ObjectStore(BufferPool* pool, Wal* wal, PageId first_data_page = 1);
+
+  /// Rebuild the free-space map by scanning existing pages. Call once after
+  /// recovery / open.
+  Status Bootstrap();
+
+  /// Store a new object; returns its stable OID.
+  Result<Oid> Insert(TxnId txn, std::string_view bytes);
+
+  /// Read an object (follows forwarding stubs and segment chains).
+  Result<std::string> Read(const Oid& oid);
+
+  /// Replace an object's bytes. The OID remains valid.
+  Status Update(TxnId txn, const Oid& oid, std::string_view bytes);
+
+  /// Remove an object (frees its body and any segments).
+  Status Delete(TxnId txn, const Oid& oid);
+
+  /// True if `oid` currently names a live object.
+  bool Exists(const Oid& oid);
+
+  /// Home OIDs of every live object.
+  Result<std::vector<Oid>> ScanAll();
+
+  /// Recovery support: apply a physical image directly to a page. Not
+  /// WAL-logged — only recovery may use this.
+  Status ApplyImage(PageId page, SlotId slot, const WalCellImage& img);
+
+  /// Transaction-rollback support: restore a cell to `target`, logging the
+  /// change as a regular (compensating) physical record of `txn` so a crash
+  /// during rollback still recovers correctly.
+  Status ApplyImageLogged(TxnId txn, PageId page, SlotId slot,
+                          const WalCellImage& target);
+
+  /// Before-image notification for every logged cell mutation; the
+  /// transaction manager uses it to build per-transaction undo chains.
+  using MutationListener = std::function<void(
+      TxnId, PageId, SlotId, const WalCellImage& before)>;
+  void set_mutation_listener(MutationListener listener) {
+    mutation_listener_ = std::move(listener);
+  }
+
+  /// Number of allocated data pages (benchmark statistic).
+  size_t data_page_count();
+
+ private:
+  // Envelope kinds prefixed to each stored cell payload.
+  static constexpr char kWhole = 0;  // [kWhole][bytes]
+  static constexpr char kHead = 1;   // [kHead][next oid][u32 total][chunk]
+  static constexpr char kCont = 2;   // [kCont][next oid][chunk]
+
+  static constexpr size_t kEnvelopeMax =
+      1 + SlottedPage::kOidEncodedSize + sizeof(uint32_t);
+  // Extra bytes requested from PageWithSpace to cover capacity rounding.
+  static constexpr size_t kMinCellSlack = SlottedPage::kMinCellSize;
+  // Largest single-cell payload we will ever write: leaves room for the page
+  // header, one slot entry, and compaction slack on a fresh page.
+  static constexpr size_t kMaxCellBytes = kPageSize - 64;
+  // Data bytes carried by one continuation segment.
+  static constexpr size_t kContChunk = kMaxCellBytes - kEnvelopeMax;
+  // Data bytes kept in the head cell of a segmented object (small enough
+  // that in-place head updates usually succeed).
+  static constexpr size_t kHeadChunk = 1024;
+
+  /// Pick (or allocate) a page with at least `need` insertable bytes.
+  Result<PageId> PageWithSpace(size_t need);
+
+  /// Insert one raw cell; logs the mutation; returns its OID.
+  Result<Oid> InsertCell(TxnId txn, std::string_view payload, SlotFlag flag);
+
+  /// Delete one raw cell (logs it).
+  Status DeleteCell(TxnId txn, const Oid& oid);
+
+  /// Replace the raw payload of `oid`'s cell in place; fails if it no
+  /// longer fits there. `new_flag` lets callers convert live<->forward.
+  Status UpdateCellInPlace(TxnId txn, const Oid& oid,
+                           std::string_view payload, SlotFlag new_flag);
+
+  /// Read the raw cell payload + flag at exactly `oid` (no forwarding).
+  Status ReadCell(const Oid& oid, std::string* payload, SlotFlag* flag);
+
+  /// Encode `bytes` into a head payload, inserting continuation segments as
+  /// needed (tail first). Returns the head cell payload.
+  Result<std::string> BuildBody(TxnId txn, std::string_view bytes);
+
+  /// Free the continuation chain hanging off a head payload.
+  Status FreeChain(TxnId txn, const std::string& head_payload);
+
+  /// Concatenate a head payload and its chain into the full object bytes.
+  Result<std::string> AssembleBody(const std::string& head_payload);
+
+  Status LogPhysical(TxnId txn, PageId page, SlotId slot,
+                     const WalCellImage& before, const WalCellImage& after);
+
+  void NoteFreeSpace(PageId page, const SlottedPage& sp);
+
+  BufferPool* pool_;
+  Wal* wal_;
+  PageId first_data_page_;
+  std::mutex mu_;
+  std::unordered_map<PageId, size_t> free_space_;  // insertable bytes
+  MutationListener mutation_listener_;
+};
+
+}  // namespace reach

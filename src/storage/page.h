@@ -1,0 +1,48 @@
+// Fixed-size page: the unit of disk I/O and buffering.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace reach {
+
+inline constexpr size_t kPageSize = 4096;
+
+/// A page frame. The raw bytes are interpreted by SlottedPage (data pages)
+/// or by the storage manager (meta page 0).
+class Page {
+ public:
+  Page() { Reset(); }
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    dirty_ = false;
+  }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  void set_page_id(PageId id) { page_id_ = id; }
+
+  int pin_count() const { return pin_count_; }
+  void Pin() { ++pin_count_; }
+  void Unpin() {
+    if (pin_count_ > 0) --pin_count_;
+  }
+
+  bool dirty() const { return dirty_; }
+  void set_dirty(bool dirty) { dirty_ = dirty; }
+
+ private:
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace reach

@@ -1,0 +1,53 @@
+#include "storage/recovery.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace reach {
+
+Status RecoveryManager::Recover(RecoveryStats* stats) {
+  std::vector<WalRecord> records;
+  REACH_RETURN_IF_ERROR(wal_->ReadAll(&records));
+  stats->records_scanned = records.size();
+
+  std::unordered_set<TxnId> finished;  // committed or fully aborted
+  std::unordered_set<TxnId> seen;
+  size_t committed = 0, aborted = 0;
+  for (const WalRecord& rec : records) {
+    if (rec.txn != kNoTxn) seen.insert(rec.txn);
+    if (rec.type == WalRecordType::kCommit) {
+      finished.insert(rec.txn);
+      ++committed;
+    } else if (rec.type == WalRecordType::kAbort) {
+      // An abort record means the compensating records are already in the
+      // log, so redo alone restores the rolled-back state.
+      finished.insert(rec.txn);
+      ++aborted;
+    }
+  }
+  stats->committed_txns = committed;
+  stats->aborted_txns = aborted;
+
+  // Pass 1: repeat history.
+  for (const WalRecord& rec : records) {
+    if (rec.type != WalRecordType::kPhysical) continue;
+    REACH_RETURN_IF_ERROR(store_->ApplyImage(rec.page, rec.slot, rec.after));
+    ++stats->records_redone;
+  }
+
+  // Pass 2: roll back losers.
+  std::unordered_set<TxnId> losers;
+  for (TxnId txn : seen) {
+    if (!finished.contains(txn)) losers.insert(txn);
+  }
+  stats->loser_txns = losers.size();
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->type != WalRecordType::kPhysical) continue;
+    if (!losers.contains(it->txn)) continue;
+    REACH_RETURN_IF_ERROR(store_->ApplyImage(it->page, it->slot, it->before));
+    ++stats->records_undone;
+  }
+  return Status::OK();
+}
+
+}  // namespace reach

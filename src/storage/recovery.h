@@ -1,0 +1,36 @@
+// Crash recovery: repeat history (redo every physical record in LSN order),
+// then roll back losers (apply before-images of unfinished transactions in
+// reverse LSN order). Full before/after images make both passes idempotent.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/object_store.h"
+#include "storage/wal.h"
+
+namespace reach {
+
+struct RecoveryStats {
+  size_t records_scanned = 0;
+  size_t records_redone = 0;
+  size_t records_undone = 0;
+  size_t committed_txns = 0;
+  size_t aborted_txns = 0;
+  size_t loser_txns = 0;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(Wal* wal, ObjectStore* store) : wal_(wal), store_(store) {}
+
+  /// Run the two recovery passes. Pages are modified in the buffer pool;
+  /// the caller is responsible for flushing and truncating the log after.
+  Status Recover(RecoveryStats* stats);
+
+ private:
+  Wal* wal_;
+  ObjectStore* store_;
+};
+
+}  // namespace reach

@@ -1,0 +1,99 @@
+#include "storage/storage_manager.h"
+
+#include <cstring>
+
+namespace reach {
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const std::string& base_path, const StorageOptions& options) {
+  auto sm = std::unique_ptr<StorageManager>(new StorageManager());
+  REACH_ASSIGN_OR_RETURN(sm->disk_, DiskManager::Open(base_path + ".db"));
+  REACH_ASSIGN_OR_RETURN(sm->wal_, Wal::Open(base_path + ".wal"));
+  sm->pool_ = std::make_unique<BufferPool>(sm->disk_.get(),
+                                           options.buffer_pool_pages);
+  Wal* wal = sm->wal_.get();
+  sm->pool_->set_pre_write_hook([wal] { return wal->Flush(); });
+  sm->objects_ = std::make_unique<ObjectStore>(sm->pool_.get(), wal,
+                                               /*first_data_page=*/1);
+
+  // Ensure the meta page exists.
+  if (sm->disk_->num_pages() == 0) {
+    REACH_ASSIGN_OR_RETURN(Page * meta, sm->pool_->NewPage());
+    if (meta->page_id() != 0) {
+      return Status::Internal("meta page must be page 0");
+    }
+    uint32_t magic = kMetaMagic;
+    std::memcpy(meta->data(), &magic, sizeof(magic));
+    char invalid[SlottedPage::kOidEncodedSize];
+    SlottedPage::EncodeOid(kInvalidOid, invalid);
+    std::memcpy(meta->data() + sizeof(magic), invalid, sizeof(invalid));
+    REACH_RETURN_IF_ERROR(sm->pool_->UnpinPage(0, /*dirty=*/true));
+    REACH_RETURN_IF_ERROR(sm->pool_->FlushPage(0));
+  }
+
+  // Crash recovery, then checkpoint so the log starts empty.
+  RecoveryManager recovery(wal, sm->objects_.get());
+  REACH_RETURN_IF_ERROR(recovery.Recover(&sm->recovery_stats_));
+  REACH_RETURN_IF_ERROR(sm->pool_->FlushAll());
+  REACH_RETURN_IF_ERROR(sm->disk_->Sync());
+  REACH_RETURN_IF_ERROR(wal->Truncate());
+
+  REACH_RETURN_IF_ERROR(sm->objects_->Bootstrap());
+  return sm;
+}
+
+Status StorageManager::LogBegin(TxnId txn) {
+  WalRecord rec;
+  rec.type = WalRecordType::kBegin;
+  rec.txn = txn;
+  auto lsn = wal_->Append(std::move(rec));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+Status StorageManager::LogCommit(TxnId txn) {
+  WalRecord rec;
+  rec.type = WalRecordType::kCommit;
+  rec.txn = txn;
+  auto lsn = wal_->Append(std::move(rec));
+  if (!lsn.ok()) return lsn.status();
+  return wal_->Flush();
+}
+
+Status StorageManager::LogAbort(TxnId txn) {
+  WalRecord rec;
+  rec.type = WalRecordType::kAbort;
+  rec.txn = txn;
+  auto lsn = wal_->Append(std::move(rec));
+  if (!lsn.ok()) return lsn.status();
+  return wal_->Flush();
+}
+
+Status StorageManager::Checkpoint() {
+  REACH_RETURN_IF_ERROR(pool_->FlushAll());
+  REACH_RETURN_IF_ERROR(disk_->Sync());
+  return wal_->Truncate();
+}
+
+Result<Oid> StorageManager::GetMetaRoot() {
+  REACH_ASSIGN_OR_RETURN(Page * meta, pool_->FetchPage(0));
+  uint32_t magic = 0;
+  std::memcpy(&magic, meta->data(), sizeof(magic));
+  if (magic != kMetaMagic) {
+    pool_->UnpinPage(0, false);
+    return Status::Corruption("bad meta page magic");
+  }
+  Oid root = SlottedPage::DecodeOid(meta->data() + sizeof(magic));
+  REACH_RETURN_IF_ERROR(pool_->UnpinPage(0, false));
+  return root;
+}
+
+Status StorageManager::SetMetaRoot(const Oid& root) {
+  REACH_ASSIGN_OR_RETURN(Page * meta, pool_->FetchPage(0));
+  char buf[SlottedPage::kOidEncodedSize];
+  SlottedPage::EncodeOid(root, buf);
+  std::memcpy(meta->data() + sizeof(uint32_t), buf, sizeof(buf));
+  REACH_RETURN_IF_ERROR(pool_->UnpinPage(0, /*dirty=*/true));
+  return pool_->FlushPage(0);
+}
+
+}  // namespace reach

@@ -1,0 +1,64 @@
+// StorageManager: the facade the OODB layers talk to. Owns the disk
+// manager, WAL, buffer pool and object store of one database, and runs
+// recovery on open (the EXODUS role in the REACH stack).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/object_store.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace reach {
+
+struct StorageOptions {
+  size_t buffer_pool_pages = 256;
+};
+
+class StorageManager {
+ public:
+  /// Open (or create) the database rooted at `base_path`; the data file is
+  /// `<base_path>.db` and the log `<base_path>.wal`. Runs crash recovery.
+  static Result<std::unique_ptr<StorageManager>> Open(
+      const std::string& base_path, const StorageOptions& options = {});
+
+  ObjectStore* objects() { return objects_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  Wal* wal() { return wal_.get(); }
+
+  /// Statistics from the recovery pass executed by Open().
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// Transaction log hooks used by the transaction manager.
+  Status LogBegin(TxnId txn);
+  /// Appends a commit record and forces the log (durability point).
+  Status LogCommit(TxnId txn);
+  /// Appends an abort record (after compensations have been logged).
+  Status LogAbort(TxnId txn);
+
+  /// Flush all pages and truncate the log. Precondition: no transaction is
+  /// active (all undo information in the log becomes unavailable).
+  Status Checkpoint();
+
+  /// Meta page (page 0) root pointer: where the data dictionary lives.
+  Result<Oid> GetMetaRoot();
+  Status SetMetaRoot(const Oid& root);
+
+ private:
+  StorageManager() = default;
+
+  static constexpr uint32_t kMetaMagic = 0x52454d54;  // "REMT"
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<ObjectStore> objects_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace reach

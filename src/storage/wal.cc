@@ -1,0 +1,186 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace reach {
+
+namespace {
+
+uint32_t Fnv1a(const char* data, size_t len) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+template <typename T>
+void PutScalar(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(const char* data, size_t len, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > len) return false;
+  std::memcpy(v, data + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutImage(std::string* out, const WalCellImage& img) {
+  PutScalar<uint16_t>(out, img.flag);
+  PutScalar<uint16_t>(out, img.generation);
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(img.bytes.size()));
+  out->append(img.bytes);
+}
+
+bool GetImage(const char* data, size_t len, size_t* pos, WalCellImage* img) {
+  uint32_t n = 0;
+  if (!GetScalar(data, len, pos, &img->flag)) return false;
+  if (!GetScalar(data, len, pos, &img->generation)) return false;
+  if (!GetScalar(data, len, pos, &n)) return false;
+  if (*pos + n > len) return false;
+  img->bytes.assign(data + *pos, n);
+  *pos += n;
+  return true;
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  auto wal = std::unique_ptr<Wal>(new Wal(path, fd));
+  // Restore next_lsn from the existing log tail.
+  std::vector<WalRecord> records;
+  Status st = wal->ReadAll(&records);
+  if (!st.ok()) return st;
+  for (const WalRecord& r : records) {
+    if (r.lsn >= wal->next_lsn_) wal->next_lsn_ = r.lsn + 1;
+  }
+  return wal;
+}
+
+void Wal::EncodeRecord(const WalRecord& rec, std::string* out) {
+  std::string body;
+  PutScalar<uint8_t>(&body, static_cast<uint8_t>(rec.type));
+  PutScalar<uint64_t>(&body, rec.lsn);
+  PutScalar<uint64_t>(&body, rec.txn);
+  if (rec.type == WalRecordType::kPhysical) {
+    PutScalar<uint32_t>(&body, rec.page);
+    PutScalar<uint16_t>(&body, rec.slot);
+    PutImage(&body, rec.before);
+    PutImage(&body, rec.after);
+  }
+  uint32_t crc = Fnv1a(body.data(), body.size());
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(body.size()));
+  out->append(body);
+  PutScalar<uint32_t>(out, crc);
+}
+
+bool Wal::DecodeRecord(const char* data, size_t len, size_t* consumed,
+                       WalRecord* out) {
+  size_t pos = 0;
+  uint32_t body_len = 0;
+  if (!GetScalar(data, len, &pos, &body_len)) return false;
+  if (pos + body_len + sizeof(uint32_t) > len) return false;
+  const char* body = data + pos;
+  uint32_t crc_stored = 0;
+  size_t crc_pos = pos + body_len;
+  if (!GetScalar(data, len, &crc_pos, &crc_stored)) return false;
+  if (Fnv1a(body, body_len) != crc_stored) return false;
+
+  size_t bpos = 0;
+  uint8_t type = 0;
+  uint64_t lsn = 0, txn = 0;
+  if (!GetScalar(body, body_len, &bpos, &type)) return false;
+  if (!GetScalar(body, body_len, &bpos, &lsn)) return false;
+  if (!GetScalar(body, body_len, &bpos, &txn)) return false;
+  out->type = static_cast<WalRecordType>(type);
+  out->lsn = lsn;
+  out->txn = txn;
+  if (out->type == WalRecordType::kPhysical) {
+    uint32_t page = 0;
+    uint16_t slot = 0;
+    if (!GetScalar(body, body_len, &bpos, &page)) return false;
+    if (!GetScalar(body, body_len, &bpos, &slot)) return false;
+    out->page = page;
+    out->slot = slot;
+    if (!GetImage(body, body_len, &bpos, &out->before)) return false;
+    if (!GetImage(body, body_len, &bpos, &out->after)) return false;
+  }
+  *consumed = pos + body_len + sizeof(uint32_t);
+  return true;
+}
+
+Result<Lsn> Wal::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.lsn = next_lsn_++;
+  EncodeRecord(record, &buffer_);
+  ++buffer_count_;
+  return record.lsn;
+}
+
+Status Wal::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffer_.empty()) {
+    ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
+    if (n != static_cast<ssize_t>(buffer_.size())) {
+      return Status::IoError("wal write");
+    }
+    buffer_.clear();
+    buffer_count_ = 0;
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("wal fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Wal::ReadAll(std::vector<WalRecord>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IoError("wal lseek");
+  std::string data(static_cast<size_t>(size), '\0');
+  if (size > 0) {
+    ssize_t n = ::pread(fd_, data.data(), data.size(), 0);
+    if (n != size) return Status::IoError("wal read");
+  }
+  size_t pos = 0;
+  while (pos < data.size()) {
+    WalRecord rec;
+    size_t consumed = 0;
+    if (!DecodeRecord(data.data() + pos, data.size() - pos, &consumed, &rec)) {
+      // Torn tail write: stop at the last complete record.
+      break;
+    }
+    out->push_back(std::move(rec));
+    pos += consumed;
+  }
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.clear();
+  buffer_count_ = 0;
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError(std::string("wal truncate: ") +
+                           std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) return Status::IoError("wal fsync");
+  return Status::OK();
+}
+
+}  // namespace reach

@@ -1,0 +1,89 @@
+// Write-ahead log. Every object mutation is logged as a physical
+// before/after image, which makes redo and undo idempotent: recovery replays
+// after-images of committed transactions and before-images of losers.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace reach {
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kPhysical = 2,  // insert/update/delete/forward, all as state transitions
+  kCommit = 3,
+  kAbort = 4,
+  kCheckpoint = 5,
+};
+
+/// Cell state on a page: flag + generation + payload bytes. flag==0 (kFree)
+/// means "no cell" (the payload must be empty then).
+struct WalCellImage {
+  uint16_t flag = 0;
+  uint16_t generation = 0;
+  std::string bytes;
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  Lsn lsn = kInvalidLsn;
+  TxnId txn = kNoTxn;
+  // kPhysical only:
+  PageId page = kInvalidPageId;
+  SlotId slot = 0;
+  WalCellImage before;
+  WalCellImage after;
+};
+
+class Wal {
+ public:
+  ~Wal();
+
+  /// Open (creating if necessary) the log file at `path`.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  /// Append a record; assigns and returns its LSN. Buffered until Flush.
+  Result<Lsn> Append(WalRecord record);
+
+  /// Force buffered records to stable storage (fsync).
+  Status Flush();
+
+  /// Read every record currently in the log (for recovery).
+  Status ReadAll(std::vector<WalRecord>* out);
+
+  /// Discard the log contents (after a checkpoint has made them redundant).
+  Status Truncate();
+
+  Lsn next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_;
+  }
+
+  /// Number of appends that have not yet been fsynced.
+  size_t unflushed_records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_count_;
+  }
+
+ private:
+  Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  static void EncodeRecord(const WalRecord& rec, std::string* out);
+  static bool DecodeRecord(const char* data, size_t len, size_t* consumed,
+                           WalRecord* out);
+
+  std::string path_;
+  int fd_;
+  mutable std::mutex mu_;
+  Lsn next_lsn_ = 1;
+  std::string buffer_;
+  size_t buffer_count_ = 0;
+};
+
+}  // namespace reach

@@ -1,0 +1,154 @@
+// The §4 layered baseline: what works, and which capabilities are
+// structurally unavailable without access to the OODBMS internals.
+#include <gtest/gtest.h>
+
+#include "baseline/layered_adbms.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+class LayeredTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = ClosedDb::Open(dir_.DbPath());
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ClassBuilder sensor("Sensor");
+    sensor.Attribute("value", ValueType::kInt, Value(0));
+    sensor.Method("report",
+                  [](Session& s, DbObject& self,
+                     const std::vector<Value>& args) -> Result<Value> {
+                    REACH_RETURN_IF_ERROR(
+                        s.SetAttr(self.oid(), "value", args[0]));
+                    return Value();
+                  });
+    ASSERT_TRUE(db_->RegisterClass(sensor).ok());
+    layer_ = std::make_unique<LayeredAdbms>(db_.get());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<ClosedDb> db_;
+  std::unique_ptr<LayeredAdbms> layer_;
+};
+
+TEST_F(LayeredTest, FlatTransactionsOnly) {
+  ASSERT_TRUE(db_->Begin().ok());
+  EXPECT_TRUE(db_->Begin().IsNotSupported());  // no nesting
+  ASSERT_TRUE(db_->Commit().ok());
+}
+
+TEST_F(LayeredTest, DetachedModesUnavailable) {
+  EXPECT_TRUE(layer_->DefineDetachedRule("contingency").IsNotSupported());
+}
+
+TEST_F(LayeredTest, AnnouncedEventsFireImmediateRules) {
+  int fired = 0;
+  ASSERT_TRUE(layer_
+                  ->DefineRule(
+                      "watch", "Sensor", "report",
+                      LayeredAdbms::Coupling::kImmediate,
+                      [](ClosedDb&, const std::vector<Value>& args) {
+                        return args[0].as_int() > 10;
+                      },
+                      [&](ClosedDb&, const std::vector<Value>&) {
+                        fired++;
+                        return Status::OK();
+                      })
+                  .ok());
+  ASSERT_TRUE(layer_->Begin().ok());
+  auto oid = db_->PersistNew("Sensor", {});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(layer_->WrappedInvoke(*oid, "Sensor", "report", {Value(5)}).ok());
+  EXPECT_EQ(fired, 0);
+  ASSERT_TRUE(
+      layer_->WrappedInvoke(*oid, "Sensor", "report", {Value(50)}).ok());
+  EXPECT_EQ(fired, 1);
+  ASSERT_TRUE(layer_->Commit().ok());
+  // Every wrapped call paid the journal write regardless of matches.
+  EXPECT_EQ(layer_->announced(), 2u);
+  EXPECT_EQ(layer_->journal_writes(), 2u);
+}
+
+TEST_F(LayeredTest, UnwrappedCallsEscapeDetection) {
+  // The §4 problem: calls through the plain interface raise no events.
+  int fired = 0;
+  ASSERT_TRUE(layer_
+                  ->DefineRule("watch", "Sensor", "report",
+                               LayeredAdbms::Coupling::kImmediate, nullptr,
+                               [&](ClosedDb&, const std::vector<Value>&) {
+                                 fired++;
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_TRUE(layer_->Begin().ok());
+  auto oid = db_->PersistNew("Sensor", {});
+  // Application (or another tool) calls the closed API directly.
+  ASSERT_TRUE(db_->Invoke(*oid, "report", {Value(99)}).ok());
+  EXPECT_EQ(fired, 0);  // silently missed
+  ASSERT_TRUE(layer_->Commit().ok());
+}
+
+TEST_F(LayeredTest, DeferredRulesRunSeriallyAtCommit) {
+  std::vector<int> seen;
+  ASSERT_TRUE(layer_
+                  ->DefineRule("def", "Sensor", "report",
+                               LayeredAdbms::Coupling::kDeferred, nullptr,
+                               [&](ClosedDb&, const std::vector<Value>& args) {
+                                 seen.push_back(
+                                     static_cast<int>(args[0].as_int()));
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_TRUE(layer_->Begin().ok());
+  auto oid = db_->PersistNew("Sensor", {});
+  for (int v : {1, 2, 3}) {
+    ASSERT_TRUE(
+        layer_->WrappedInvoke(*oid, "Sensor", "report", {Value(v)}).ok());
+  }
+  EXPECT_TRUE(seen.empty());
+  ASSERT_TRUE(layer_->Commit().ok());
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(LayeredTest, AbortDropsDeferredRules) {
+  int fired = 0;
+  ASSERT_TRUE(layer_
+                  ->DefineRule("def", "Sensor", "report",
+                               LayeredAdbms::Coupling::kDeferred, nullptr,
+                               [&](ClosedDb&, const std::vector<Value>&) {
+                                 fired++;
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_TRUE(layer_->Begin().ok());
+  auto oid = db_->PersistNew("Sensor", {});
+  ASSERT_TRUE(layer_->WrappedInvoke(*oid, "Sensor", "report", {Value(1)}).ok());
+  ASSERT_TRUE(layer_->Abort().ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(LayeredTest, WrappedSetAttrAnnouncesStateChange) {
+  int fired = 0;
+  ASSERT_TRUE(layer_
+                  ->DefineRule("state", "Sensor", "set_value",
+                               LayeredAdbms::Coupling::kImmediate, nullptr,
+                               [&](ClosedDb&, const std::vector<Value>&) {
+                                 fired++;
+                                 return Status::OK();
+                               })
+                  .ok());
+  ASSERT_TRUE(layer_->Begin().ok());
+  auto oid = db_->PersistNew("Sensor", {});
+  ASSERT_TRUE(layer_->WrappedSetAttr(*oid, "Sensor", "value", Value(7)).ok());
+  EXPECT_EQ(fired, 1);
+  // Direct SetAttr misses detection (low-level value change, §4).
+  ASSERT_TRUE(db_->SetAttr(*oid, "value", Value(8)).ok());
+  EXPECT_EQ(fired, 1);
+  ASSERT_TRUE(layer_->Commit().ok());
+}
+
+}  // namespace
+}  // namespace reach

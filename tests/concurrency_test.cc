@@ -1,0 +1,194 @@
+// Concurrency: deadlock detection and retry at the session level, lock
+// isolation between sessions, parallel detached rules, and compositor
+// thread-safety.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/reach/reach_db.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = ReachDb::Open(dir_.DbPath());
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->RegisterClass(
+                       ClassBuilder("Cell")
+                           .Attribute("v", ValueType::kInt, Value(0)))
+                    .ok());
+  }
+  TempDir dir_;
+  std::unique_ptr<ReachDb> db_;
+};
+
+TEST_F(ConcurrencyTest, WriteLocksIsolateUncommittedState) {
+  Session a(db_->database()), b(db_->database());
+  ASSERT_TRUE(a.Begin().ok());
+  auto oid = a.PersistNew("Cell", {{"v", Value(1)}});
+  ASSERT_TRUE(a.Commit().ok());
+
+  ASSERT_TRUE(a.Begin().ok());
+  ASSERT_TRUE(a.SetAttr(*oid, "v", Value(2)).ok());
+
+  // Reader blocks on the X lock until the writer commits.
+  std::atomic<int64_t> seen{-1};
+  std::thread reader([&] {
+    ASSERT_TRUE(b.Begin().ok());
+    auto v = b.GetAttr(*oid, "v");
+    ASSERT_TRUE(v.ok());
+    seen = v->as_int();
+    ASSERT_TRUE(b.Commit().ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(seen.load(), -1);  // still blocked
+  ASSERT_TRUE(a.Commit().ok());
+  reader.join();
+  EXPECT_EQ(seen.load(), 2);  // only the committed value was visible
+}
+
+TEST_F(ConcurrencyTest, DeadlockVictimCanRetry) {
+  Session setup(db_->database());
+  ASSERT_TRUE(setup.Begin().ok());
+  auto x = setup.PersistNew("Cell", {});
+  auto y = setup.PersistNew("Cell", {});
+  ASSERT_TRUE(setup.Commit().ok());
+
+  std::atomic<int> successes{0}, aborted{0};
+  auto worker = [&](const Oid& first, const Oid& second) {
+    Session s(db_->database());
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      if (!s.Begin().ok()) continue;
+      Status st1 = s.SetAttr(first, "v", Value(attempt));
+      if (st1.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        Status st2 = s.SetAttr(second, "v", Value(attempt));
+        if (st2.ok() && s.Commit().ok()) {
+          successes++;
+          continue;
+        }
+        if (st2.IsAborted()) aborted++;
+      } else if (st1.IsAborted()) {
+        aborted++;
+      }
+      (void)s.AbortAll();
+    }
+  };
+  std::thread t1(worker, *x, *y);
+  std::thread t2(worker, *y, *x);  // opposite order: deadlock-prone
+  t1.join();
+  t2.join();
+  // Both workers finish; deadlocks (if any occurred) were broken by the
+  // wait-for-graph detector, not by hanging.
+  EXPECT_GT(successes.load(), 0);
+  Session check(db_->database());
+  ASSERT_TRUE(check.Begin().ok());
+  EXPECT_TRUE(check.GetAttr(*x, "v").ok());
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST_F(ConcurrencyTest, DetachedRulesFromManyTxnsAllRun) {
+  auto ev = db_->events()->DefineFlowEvent("cell_persist",
+                                           SentryKind::kPersist, "Cell");
+  std::atomic<int> runs{0};
+  RuleSpec spec;
+  spec.name = "count";
+  spec.event = *ev;
+  spec.coupling = CouplingMode::kDetached;
+  spec.action = [&](Session&, const EventOccurrence&) -> Status {
+    runs++;
+    return Status::OK();
+  };
+  ASSERT_TRUE(db_->rules()->DefineRule(std::move(spec)).ok());
+
+  constexpr int kThreads = 4, kTxns = 20;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      Session s(db_->database());
+      for (int i = 0; i < kTxns; ++i) {
+        ASSERT_TRUE(s.Begin().ok());
+        ASSERT_TRUE(s.PersistNew("Cell", {}).ok());
+        ASSERT_TRUE(s.Commit().ok());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  db_->Drain();
+  EXPECT_EQ(runs.load(), kThreads * kTxns);
+}
+
+TEST_F(ConcurrencyTest, CompositorSafeUnderConcurrentFeeds) {
+  EventRegistry registry;
+  EventTypeId a = *registry.RegisterMethodEvent("A", "C", "a");
+  EventTypeId b = *registry.RegisterMethodEvent("B", "C", "b");
+  auto id = registry.RegisterComposite(
+      "AB", EventExpr::Seq(EventExpr::Prim(a), EventExpr::Prim(b)),
+      CompositeScope::kSingleTxn, ConsumptionPolicy::kChronicle);
+  ASSERT_TRUE(id.ok());
+  Compositor compositor(registry.Find(*id));
+
+  constexpr int kThreads = 4, kPairs = 2000;
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> completions{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<EventOccurrencePtr> out;
+      for (int i = 0; i < kPairs; ++i) {
+        for (EventTypeId type : {a, b}) {
+          auto occ = std::make_shared<EventOccurrence>();
+          occ->type = type;
+          occ->sequence = seq.fetch_add(1) + 1;
+          occ->timestamp = static_cast<Timestamp>(occ->sequence);
+          occ->txn = static_cast<TxnId>(t + 1);  // one txn per thread
+          compositor.Feed(occ, &out);
+        }
+        completions.fetch_add(out.size());
+        out.clear();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Each thread's txn-scoped instance pairs its own a;b stream; some pairs
+  // may interleave as b;a within a thread's loop, but every a eventually
+  // has a later b, so completions per thread = kPairs (chronicle).
+  EXPECT_EQ(completions.load(),
+            static_cast<uint64_t>(kThreads) * kPairs);
+}
+
+TEST_F(ConcurrencyTest, ExtentConsistentUnderConcurrentPersists) {
+  constexpr int kThreads = 4, kObjects = 50;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      Session s(db_->database());
+      for (int i = 0; i < kObjects; ++i) {
+        if (!s.Begin().ok() || !s.PersistNew("Cell", {}).ok() ||
+            !s.Commit().ok()) {
+          failures++;
+          (void)s.AbortAll();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  Session check(db_->database());
+  ASSERT_TRUE(check.Begin().ok());
+  auto extent = check.Extent("Cell");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->size(), static_cast<size_t>(kThreads * kObjects));
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+}  // namespace
+}  // namespace reach

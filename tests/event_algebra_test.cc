@@ -1,0 +1,487 @@
+// Event algebra and compositor semantics (§3.1-§3.4): operators, the four
+// SNOOP consumption policies, life-span GC, and validity intervals.
+#include <gtest/gtest.h>
+
+#include "core/events/compositor.h"
+#include "core/events/event_expr.h"
+#include "core/events/event_registry.h"
+
+namespace reach {
+namespace {
+
+// Convenience: build primitive occurrences with increasing sequence.
+class OccFactory {
+ public:
+  EventOccurrencePtr Make(EventTypeId type, TxnId txn = 1,
+                          Timestamp ts = -1) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = type;
+    occ->sequence = ++seq_;
+    occ->timestamp = ts >= 0 ? ts : static_cast<Timestamp>(seq_ * 10);
+    occ->txn = txn;
+    return occ;
+  }
+
+ private:
+  uint64_t seq_ = 0;
+};
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  // Register three primitive method events E1 E2 E3.
+  void SetUp() override {
+    e1_ = *registry_.RegisterMethodEvent("E1", "C", "m1");
+    e2_ = *registry_.RegisterMethodEvent("E2", "C", "m2");
+    e3_ = *registry_.RegisterMethodEvent("E3", "C", "m3");
+  }
+
+  EventTypeId DefineComposite(EventExprPtr expr, ConsumptionPolicy policy,
+                              CompositeScope scope = CompositeScope::kSingleTxn,
+                              Timestamp validity = 0) {
+    static int n = 0;
+    auto id = registry_.RegisterComposite("X" + std::to_string(++n), expr,
+                                          scope, policy, validity);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+
+  std::vector<EventOccurrencePtr> FeedAll(
+      Compositor* c, const std::vector<EventOccurrencePtr>& stream) {
+    std::vector<EventOccurrencePtr> out;
+    for (const auto& occ : stream) c->Feed(occ, &out);
+    return out;
+  }
+
+  EventRegistry registry_;
+  OccFactory occ_;
+  EventTypeId e1_, e2_, e3_;
+};
+
+// ---------------------------------------------------------------------------
+// Expression validation and registry legality
+// ---------------------------------------------------------------------------
+
+TEST_F(AlgebraTest, ExprValidation) {
+  EXPECT_TRUE(EventExpr::Prim(e1_)->Validate().ok());
+  EXPECT_FALSE(EventExpr::Prim(kInvalidEventType)->Validate().ok());
+  EXPECT_TRUE(EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_))
+                  ->Validate()
+                  .ok());
+  EXPECT_FALSE(EventExpr::History(EventExpr::Prim(e1_), 0)->Validate().ok());
+  EXPECT_EQ(EventExpr::Seq(EventExpr::Prim(e1_),
+                           EventExpr::Or(EventExpr::Prim(e2_),
+                                         EventExpr::Prim(e1_)))
+                ->LeafTypes()
+                .size(),
+            2u);
+}
+
+TEST_F(AlgebraTest, CrossTxnCompositeRequiresValidity) {
+  auto expr = EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_));
+  auto bad = registry_.RegisterComposite("bad", expr, CompositeScope::kCrossTxn,
+                                         ConsumptionPolicy::kChronicle, 0);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  auto good = registry_.RegisterComposite("good", expr,
+                                          CompositeScope::kCrossTxn,
+                                          ConsumptionPolicy::kChronicle, 1000);
+  EXPECT_TRUE(good.ok());
+}
+
+TEST_F(AlgebraTest, ValidityInheritedFromConstituents) {
+  auto inner = *registry_.RegisterComposite(
+      "inner", EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle, 5000);
+  // Outer composite with no explicit validity inherits the smallest one.
+  auto outer = registry_.RegisterComposite(
+      "outer", EventExpr::Seq(EventExpr::Prim(inner), EventExpr::Prim(e3_)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle, 0);
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(registry_.Find(*outer)->validity_us, 5000);
+}
+
+TEST_F(AlgebraTest, SingleTxnScopeRejectsTemporalLeaves) {
+  auto timer = *registry_.RegisterPeriodicEvent("tick", 1000);
+  auto bad = registry_.RegisterComposite(
+      "bad1tx", EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(timer)),
+      CompositeScope::kSingleTxn, ConsumptionPolicy::kChronicle, 0);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST_F(AlgebraTest, RegistryLookupsAndDuplicates) {
+  EXPECT_TRUE(
+      registry_.RegisterMethodEvent("E1dup", "C", "m1").status().IsAlreadyExists());
+  EXPECT_TRUE(
+      registry_.RegisterMethodEvent("E1", "C", "other").status().IsAlreadyExists());
+  EXPECT_EQ(registry_.FindByName("E1")->id, e1_);
+  EXPECT_EQ(registry_.FindDbEvent(SentryKind::kMethodAfter, "C", "m1"), e1_);
+  EXPECT_EQ(registry_.FindDbEvent(SentryKind::kMethodAfter, "C", "zz"),
+            kInvalidEventType);
+}
+
+// ---------------------------------------------------------------------------
+// Sequence semantics under the four consumption policies (§3.4). The
+// canonical example from the paper: E3 = (E1 ; E2) with arrivals
+// e1, e1', e2.
+// ---------------------------------------------------------------------------
+
+TEST_F(AlgebraTest, SequenceRecentUsesLatestInitiator) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kRecent);
+  Compositor c(registry_.Find(id));
+  auto a1 = occ_.Make(e1_);   // e1
+  auto a2 = occ_.Make(e1_);   // e1'
+  auto b = occ_.Make(e2_);    // e2
+  auto out = FeedAll(&c, {a1, a2, b});
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0]->constituents.size(), 2u);
+  EXPECT_EQ(out[0]->constituents[0]->sequence, a2->sequence);  // e1' used
+  // Recent retains the initiator: another e2 pairs again.
+  auto out2 = FeedAll(&c, {occ_.Make(e2_)});
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0]->constituents[0]->sequence, a2->sequence);
+}
+
+TEST_F(AlgebraTest, SequenceChronicleUsesOldestAndConsumes) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  auto a1 = occ_.Make(e1_);
+  auto a2 = occ_.Make(e1_);
+  auto out = FeedAll(&c, {a1, a2, occ_.Make(e2_)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents[0]->sequence, a1->sequence);  // oldest
+  // a1 consumed; next terminator pairs with a2.
+  auto out2 = FeedAll(&c, {occ_.Make(e2_)});
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0]->constituents[0]->sequence, a2->sequence);
+  // Both consumed; a third terminator finds nothing.
+  EXPECT_TRUE(FeedAll(&c, {occ_.Make(e2_)}).empty());
+}
+
+TEST_F(AlgebraTest, SequenceContinuousPairsAllOpenInitiators) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kContinuous);
+  Compositor c(registry_.Find(id));
+  auto out =
+      FeedAll(&c, {occ_.Make(e1_), occ_.Make(e1_), occ_.Make(e2_)});
+  EXPECT_EQ(out.size(), 2u);  // each open window closes
+  // All consumed.
+  EXPECT_TRUE(FeedAll(&c, {occ_.Make(e2_)}).empty());
+}
+
+TEST_F(AlgebraTest, SequenceCumulativeMergesAllInitiators) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kCumulative);
+  Compositor c(registry_.Find(id));
+  auto out =
+      FeedAll(&c, {occ_.Make(e1_), occ_.Make(e1_), occ_.Make(e2_)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents.size(), 3u);  // both e1s + e2
+}
+
+TEST_F(AlgebraTest, SequenceRequiresStrictOrder) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  // Terminator before initiator: no composite.
+  auto out = FeedAll(&c, {occ_.Make(e2_), occ_.Make(e1_)});
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(c.LivePartialCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Other operators
+// ---------------------------------------------------------------------------
+
+TEST_F(AlgebraTest, ConjunctionEitherOrder) {
+  auto id = DefineComposite(
+      EventExpr::And(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e2_), occ_.Make(e1_)}).size(), 1u);
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e1_), occ_.Make(e2_)}).size(), 1u);
+}
+
+TEST_F(AlgebraTest, DisjunctionFiresOnEither) {
+  auto id = DefineComposite(
+      EventExpr::Or(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e1_)}).size(), 1u);
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e2_)}).size(), 1u);
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e3_)}).size(), 0u);
+}
+
+TEST_F(AlgebraTest, NegationFiresWithoutNegatedEvent) {
+  // E1; then E3 with no E2 in between.
+  auto id = DefineComposite(
+      EventExpr::Not(EventExpr::Prim(e1_), EventExpr::Prim(e2_),
+                     EventExpr::Prim(e3_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  auto out = FeedAll(&c, {occ_.Make(e1_), occ_.Make(e3_)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents.size(), 2u);
+}
+
+TEST_F(AlgebraTest, NegationSuppressedByNegatedEvent) {
+  auto id = DefineComposite(
+      EventExpr::Not(EventExpr::Prim(e1_), EventExpr::Prim(e2_),
+                     EventExpr::Prim(e3_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  auto out = FeedAll(&c, {occ_.Make(e1_), occ_.Make(e2_), occ_.Make(e3_)});
+  EXPECT_TRUE(out.empty());
+  // A new interval can still complete afterwards.
+  auto out2 = FeedAll(&c, {occ_.Make(e1_), occ_.Make(e3_)});
+  EXPECT_EQ(out2.size(), 1u);
+}
+
+TEST_F(AlgebraTest, ClosureCollectsBodiesUntilTerminator) {
+  auto id = DefineComposite(
+      EventExpr::Closure(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  auto out = FeedAll(
+      &c, {occ_.Make(e1_), occ_.Make(e1_), occ_.Make(e1_), occ_.Make(e2_)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents.size(), 4u);  // 3 bodies + terminator
+  // Bodies consumed; an immediate second terminator carries none.
+  auto out2 = FeedAll(&c, {occ_.Make(e2_)});
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0]->constituents.size(), 1u);
+}
+
+TEST_F(AlgebraTest, HistoryFiresOnNthOccurrence) {
+  auto id = DefineComposite(EventExpr::History(EventExpr::Prim(e1_), 3),
+                            ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  EXPECT_TRUE(FeedAll(&c, {occ_.Make(e1_), occ_.Make(e1_)}).empty());
+  auto out = FeedAll(&c, {occ_.Make(e1_)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents.size(), 3u);
+  // Counter reset.
+  EXPECT_TRUE(FeedAll(&c, {occ_.Make(e1_), occ_.Make(e1_)}).empty());
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e1_)}).size(), 1u);
+}
+
+TEST_F(AlgebraTest, NestedExpressions) {
+  // (E1; E2) or history(E3, 2)
+  auto id = DefineComposite(
+      EventExpr::Or(EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+                    EventExpr::History(EventExpr::Prim(e3_), 2)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e1_), occ_.Make(e2_)}).size(), 1u);
+  EXPECT_EQ(FeedAll(&c, {occ_.Make(e3_), occ_.Make(e3_)}).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Same-source correlation (event-parameter predicate extension)
+// ---------------------------------------------------------------------------
+
+TEST_F(AlgebraTest, SequenceSameSourceCorrelation) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_),
+                     Correlation::kSameSource),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  Oid obj_a{1, 0, 1}, obj_b{2, 0, 1};
+  auto mk = [&](EventTypeId t, Oid src) {
+    auto occ = std::const_pointer_cast<EventOccurrence>(occ_.Make(t));
+    occ->source = src;
+    return EventOccurrencePtr(occ);
+  };
+  // e1 on A, then e2 on B: different objects, no composite.
+  EXPECT_TRUE(FeedAll(&c, {mk(e1_, obj_a), mk(e2_, obj_b)}).empty());
+  // e2 on A completes the pair for A.
+  auto out = FeedAll(&c, {mk(e2_, obj_a)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents[0]->source, obj_a);
+  EXPECT_EQ(out[0]->constituents[1]->source, obj_a);
+}
+
+TEST_F(AlgebraTest, HistorySameSourceCountsPerObject) {
+  auto id = DefineComposite(
+      EventExpr::History(EventExpr::Prim(e1_), 3, Correlation::kSameSource),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  Oid obj_a{1, 0, 1}, obj_b{2, 0, 1};
+  auto mk = [&](Oid src) {
+    auto occ = std::const_pointer_cast<EventOccurrence>(occ_.Make(e1_));
+    occ->source = src;
+    return EventOccurrencePtr(occ);
+  };
+  // Interleaved: 2 on A, 2 on B — neither object reached 3.
+  EXPECT_TRUE(
+      FeedAll(&c, {mk(obj_a), mk(obj_b), mk(obj_a), mk(obj_b)}).empty());
+  // Third on A fires for A only.
+  auto out = FeedAll(&c, {mk(obj_a)});
+  ASSERT_EQ(out.size(), 1u);
+  for (const auto& part : out[0]->constituents) {
+    EXPECT_EQ(part->source, obj_a);
+  }
+  // B still needs one more.
+  EXPECT_EQ(FeedAll(&c, {mk(obj_b)}).size(), 1u);
+}
+
+TEST_F(AlgebraTest, NegationSameSourceOnlyKillsCorrelatedIntervals) {
+  auto id = DefineComposite(
+      EventExpr::Not(EventExpr::Prim(e1_), EventExpr::Prim(e2_),
+                     EventExpr::Prim(e3_), Correlation::kSameSource),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  Oid obj_a{1, 0, 1}, obj_b{2, 0, 1};
+  auto mk = [&](EventTypeId t, Oid src) {
+    auto occ = std::const_pointer_cast<EventOccurrence>(occ_.Make(t));
+    occ->source = src;
+    return EventOccurrencePtr(occ);
+  };
+  // Open intervals on A and B; negated event on A kills only A's.
+  auto out = FeedAll(&c, {mk(e1_, obj_a), mk(e1_, obj_b), mk(e2_, obj_a),
+                          mk(e3_, obj_a), mk(e3_, obj_b)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents[0]->source, obj_b);
+}
+
+// ---------------------------------------------------------------------------
+// Life-span (§3.3)
+// ---------------------------------------------------------------------------
+
+TEST_F(AlgebraTest, SingleTxnInstancesAreIsolated) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle, CompositeScope::kSingleTxn);
+  Compositor c(registry_.Find(id));
+  // e1 in txn 1, e2 in txn 2: never composed under single-txn scope.
+  auto out = FeedAll(&c, {occ_.Make(e1_, 1), occ_.Make(e2_, 2)});
+  EXPECT_TRUE(out.empty());
+  // Same txn composes.
+  auto out2 = FeedAll(&c, {occ_.Make(e2_, 1)});
+  EXPECT_EQ(out2.size(), 1u);
+}
+
+TEST_F(AlgebraTest, EotDiscardsSemiComposedEvents) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle, CompositeScope::kSingleTxn);
+  Compositor c(registry_.Find(id));
+  FeedAll(&c, {occ_.Make(e1_, 1)});
+  EXPECT_EQ(c.LivePartialCount(), 1u);
+  c.OnTxnEnd(1);
+  EXPECT_EQ(c.LivePartialCount(), 0u);
+  EXPECT_EQ(c.stats().discarded_at_eot, 1u);
+  // The transaction's automaton is gone: a late e2 composes nothing.
+  EXPECT_TRUE(FeedAll(&c, {occ_.Make(e2_, 1)}).empty());
+}
+
+TEST_F(AlgebraTest, ValidityIntervalExpiresPartials) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle, CompositeScope::kCrossTxn,
+      /*validity=*/100);
+  Compositor c(registry_.Find(id));
+  std::vector<EventOccurrencePtr> out;
+  c.Feed(occ_.Make(e1_, 1, /*ts=*/1000), &out);
+  EXPECT_EQ(c.LivePartialCount(), 1u);
+  // Terminator arrives 500us later: initiator expired (validity 100us).
+  c.Feed(occ_.Make(e2_, 2, /*ts=*/1500), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_GE(c.stats().expired_partials, 1u);
+  // Within the interval it works.
+  c.Feed(occ_.Make(e1_, 1, /*ts=*/2000), &out);
+  c.Feed(occ_.Make(e2_, 2, /*ts=*/2050), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(AlgebraTest, ExplicitExpireTick) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle, CompositeScope::kCrossTxn, 100);
+  Compositor c(registry_.Find(id));
+  std::vector<EventOccurrencePtr> out;
+  c.Feed(occ_.Make(e1_, 1, 1000), &out);
+  c.ExpireOlderThan(2000);
+  EXPECT_EQ(c.LivePartialCount(), 0u);
+}
+
+TEST_F(AlgebraTest, CompositeParamsComeFromTerminator) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle);
+  Compositor c(registry_.Find(id));
+  auto a = occ_.Make(e1_);
+  auto b = occ_.Make(e2_);
+  std::const_pointer_cast<EventOccurrence>(b)->params = {Value(42)};
+  std::const_pointer_cast<EventOccurrence>(b)->source = Oid{3, 3, 3};
+  auto out = FeedAll(&c, {a, b});
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0]->params.size(), 1u);
+  EXPECT_EQ(out[0]->params[0], Value(42));
+  EXPECT_EQ(out[0]->source, (Oid{3, 3, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep: every operator completes under every policy.
+// ---------------------------------------------------------------------------
+
+class PolicySweepTest
+    : public AlgebraTest,
+      public ::testing::WithParamInterface<ConsumptionPolicy> {};
+
+TEST_P(PolicySweepTest, AllOperatorsComplete) {
+  ConsumptionPolicy policy = GetParam();
+  struct Case {
+    EventExprPtr expr;
+    std::vector<EventTypeId> stream;
+    size_t min_completions;
+  };
+  std::vector<Case> cases = {
+      {EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+       {e1_, e2_},
+       1},
+      {EventExpr::And(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+       {e2_, e1_},
+       1},
+      {EventExpr::Or(EventExpr::Prim(e1_), EventExpr::Prim(e2_)), {e2_}, 1},
+      {EventExpr::Not(EventExpr::Prim(e1_), EventExpr::Prim(e2_),
+                      EventExpr::Prim(e3_)),
+       {e1_, e3_},
+       1},
+      {EventExpr::Closure(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+       {e1_, e1_, e2_},
+       1},
+      {EventExpr::History(EventExpr::Prim(e1_), 2), {e1_, e1_}, 1},
+  };
+  for (size_t i = 0; i < cases.size(); ++i) {
+    auto id = DefineComposite(cases[i].expr, policy);
+    Compositor c(registry_.Find(id));
+    std::vector<EventOccurrencePtr> stream;
+    for (EventTypeId t : cases[i].stream) stream.push_back(occ_.Make(t));
+    auto out = FeedAll(&c, stream);
+    EXPECT_GE(out.size(), cases[i].min_completions)
+        << "case " << i << " policy " << ConsumptionPolicyName(policy);
+    for (const auto& comp : out) {
+      EXPECT_EQ(comp->type, id);
+      EXPECT_FALSE(comp->constituents.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweepTest,
+    ::testing::Values(ConsumptionPolicy::kRecent,
+                      ConsumptionPolicy::kChronicle,
+                      ConsumptionPolicy::kContinuous,
+                      ConsumptionPolicy::kCumulative),
+    [](const ::testing::TestParamInfo<ConsumptionPolicy>& param_info) {
+      return ConsumptionPolicyName(param_info.param);
+    });
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,388 @@
+// End-to-end scenarios across the whole stack: active rules + persistence +
+// transactions + recovery + queries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/reach/reach_db.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+void RegisterAccountClass(ReachDb* db) {
+  ASSERT_TRUE(
+      db->RegisterClass(
+            ClassBuilder("Account")
+                .Attribute("owner", ValueType::kString, Value(""))
+                .Attribute("balance", ValueType::kInt, Value(0))
+                .Method("deposit",
+                        [](Session& s, DbObject& self,
+                           const std::vector<Value>& args) -> Result<Value> {
+                          int64_t now = self.Get("balance").as_int() +
+                                        args[0].as_int();
+                          REACH_RETURN_IF_ERROR(
+                              s.SetAttr(self.oid(), "balance", Value(now)));
+                          return Value(now);
+                        })
+                .Method("withdraw",
+                        [](Session& s, DbObject& self,
+                           const std::vector<Value>& args) -> Result<Value> {
+                          int64_t now = self.Get("balance").as_int() -
+                                        args[0].as_int();
+                          REACH_RETURN_IF_ERROR(
+                              s.SetAttr(self.oid(), "balance", Value(now)));
+                          return Value(now);
+                        }))
+          .ok());
+}
+
+TEST(IntegrationTest, ConstraintRuleAndRecovery) {
+  TempDir dir;
+  Oid account;
+  {
+    ReachOptions options;
+    options.events.async_composition = false;
+    auto db = ReachDb::Open(dir.DbPath(), options);
+    ASSERT_TRUE(db.ok());
+    RegisterAccountClass(db->get());
+
+    // Integrity rule: balances may not go negative; offending transactions
+    // abort (consistency enforcement as an active-database application).
+    auto ev = (*db)->events()->DefineStateChangeEvent("bal", "Account",
+                                                      "balance");
+    RuleSpec spec;
+    spec.name = "NoOverdraft";
+    spec.event = *ev;
+    spec.coupling = CouplingMode::kImmediate;
+    spec.condition = [](Session&, const EventOccurrence& occ) -> Result<bool> {
+      return occ.params[1].as_int() < 0;  // new balance negative
+    };
+    spec.action = [](Session&, const EventOccurrence&) -> Status {
+      return Status::Aborted("overdraft");
+    };
+    spec.abort_triggering_on_failure = true;
+    ASSERT_TRUE((*db)->rules()->DefineRule(std::move(spec)).ok());
+
+    Session s(db->get()->database());
+    ASSERT_TRUE(s.Begin().ok());
+    account = *s.PersistNew("Account", {{"owner", Value("alice")}});
+    ASSERT_TRUE(s.Bind("alice", account).ok());
+    ASSERT_TRUE(s.Invoke(account, "deposit", {Value(100)}).ok());
+    ASSERT_TRUE(s.Commit().ok());
+
+    // Overdraft attempt: the whole transaction dies.
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.Invoke(account, "deposit", {Value(50)}).ok());
+    (void)s.Invoke(account, "withdraw", {Value(500)});
+    EXPECT_FALSE(s.Commit().ok());
+
+    // Crash without checkpoint.
+  }
+  ReachOptions options;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  RegisterAccountClass(db->get());
+  Session s(db->get()->database());
+  ASSERT_TRUE(s.Begin().ok());
+  auto fetched = s.FetchByName("alice");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->Get("balance"), Value(100));
+  ASSERT_TRUE(s.Commit().ok());
+}
+
+TEST(IntegrationTest, AuditTrailViaDetachedRules) {
+  TempDir dir;
+  ReachOptions options;
+  options.events.async_composition = false;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  RegisterAccountClass(db->get());
+  ASSERT_TRUE((*db)->RegisterClass(
+                    ClassBuilder("AuditEntry")
+                        .Attribute("account", ValueType::kRef, Value())
+                        .Attribute("amount", ValueType::kInt, Value(0)))
+                  .ok());
+
+  auto ev =
+      (*db)->events()->DefineMethodEvent("dep", "Account", "deposit");
+  RuleSpec spec;
+  spec.name = "Audit";
+  spec.event = *ev;
+  spec.coupling = CouplingMode::kSequentialCausallyDependent;
+  spec.action = [](Session& s, const EventOccurrence& occ) -> Status {
+    auto r = s.PersistNew("AuditEntry", {{"account", Value(occ.source)},
+                                         {"amount", occ.params[0]}});
+    return r.ok() ? Status::OK() : r.status();
+  };
+  ASSERT_TRUE((*db)->rules()->DefineRule(std::move(spec)).ok());
+
+  Session s(db->get()->database());
+  Oid account;
+  ASSERT_TRUE(s.Begin().ok());
+  account = *s.PersistNew("Account", {});
+  ASSERT_TRUE(s.Invoke(account, "deposit", {Value(10)}).ok());
+  ASSERT_TRUE(s.Invoke(account, "deposit", {Value(20)}).ok());
+  ASSERT_TRUE(s.Commit().ok());
+  // An aborted transaction leaves no audit entries.
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Invoke(account, "deposit", {Value(99)}).ok());
+  ASSERT_TRUE(s.Abort().ok());
+  (*db)->rules()->WaitDetachedIdle();
+
+  ASSERT_TRUE(s.Begin().ok());
+  auto q = (*db)->Query(s, "select amount from AuditEntry order by amount");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->rows.size(), 2u);
+  EXPECT_EQ(q->rows[0].values[0], Value(10));
+  EXPECT_EQ(q->rows[1].values[0], Value(20));
+  ASSERT_TRUE(s.Commit().ok());
+}
+
+TEST(IntegrationTest, MaterializedAggregateViaDeferredRule) {
+  TempDir dir;
+  ReachOptions options;
+  options.events.async_composition = false;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  RegisterAccountClass(db->get());
+  ASSERT_TRUE((*db)->RegisterClass(
+                    ClassBuilder("Summary")
+                        .Attribute("total", ValueType::kInt, Value(0)))
+                  .ok());
+
+  auto ev = (*db)->events()->DefineStateChangeEvent("bal", "Account",
+                                                    "balance");
+  RuleSpec spec;
+  spec.name = "MaintainTotal";
+  spec.event = *ev;
+  spec.coupling = CouplingMode::kDeferred;
+  spec.action = [](Session& s, const EventOccurrence& occ) -> Status {
+    REACH_ASSIGN_OR_RETURN(Oid summary, s.Lookup("summary"));
+    REACH_ASSIGN_OR_RETURN(Value total, s.GetAttr(summary, "total"));
+    int64_t delta = occ.params[1].as_int() - occ.params[0].as_int();
+    return s.SetAttr(summary, "total", Value(total.as_int() + delta));
+  };
+  ASSERT_TRUE((*db)->rules()->DefineRule(std::move(spec)).ok());
+
+  Session s(db->get()->database());
+  ASSERT_TRUE(s.Begin().ok());
+  Oid summary = *s.PersistNew("Summary", {});
+  ASSERT_TRUE(s.Bind("summary", summary).ok());
+  Oid a = *s.PersistNew("Account", {});
+  Oid b = *s.PersistNew("Account", {});
+  ASSERT_TRUE(s.Commit().ok());
+
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Invoke(a, "deposit", {Value(100)}).ok());
+  ASSERT_TRUE(s.Invoke(b, "deposit", {Value(50)}).ok());
+  ASSERT_TRUE(s.Invoke(a, "withdraw", {Value(30)}).ok());
+  ASSERT_TRUE(s.Commit().ok());
+
+  ASSERT_TRUE(s.Begin().ok());
+  EXPECT_EQ(s.GetAttr(summary, "total")->as_int(), 120);
+  ASSERT_TRUE(s.Commit().ok());
+}
+
+TEST(IntegrationTest, ConcurrentSessionsWithRules) {
+  TempDir dir;
+  ReachOptions options;
+  options.events.async_composition = true;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  RegisterAccountClass(db->get());
+
+  std::atomic<int> rule_runs{0};
+  auto ev = (*db)->events()->DefineMethodEvent("dep", "Account", "deposit");
+  RuleSpec spec;
+  spec.name = "Count";
+  spec.event = *ev;
+  spec.coupling = CouplingMode::kImmediate;
+  spec.action = [&](Session&, const EventOccurrence&) -> Status {
+    rule_runs++;
+    return Status::OK();
+  };
+  ASSERT_TRUE((*db)->rules()->DefineRule(std::move(spec)).ok());
+
+  Session setup(db->get()->database());
+  ASSERT_TRUE(setup.Begin().ok());
+  std::vector<Oid> accounts;
+  for (int i = 0; i < 4; ++i) {
+    accounts.push_back(*setup.PersistNew("Account", {}));
+  }
+  ASSERT_TRUE(setup.Commit().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kDeposits = 25;
+  std::vector<std::thread> workers;
+  std::atomic<int> commits{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Session s(db->get()->database());
+      for (int i = 0; i < kDeposits; ++i) {
+        if (!s.Begin().ok()) continue;
+        auto r = s.Invoke(accounts[t], "deposit", {Value(1)});
+        if (r.ok() && s.Commit().ok()) {
+          commits++;
+        } else {
+          (void)s.AbortAll();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  (*db)->Drain();
+  EXPECT_EQ(commits.load(), kThreads * kDeposits);
+  EXPECT_EQ(rule_runs.load(), kThreads * kDeposits);
+
+  Session check(db->get()->database());
+  ASSERT_TRUE(check.Begin().ok());
+  int64_t total = 0;
+  for (const Oid& a : accounts) {
+    total += check.GetAttr(a, "balance")->as_int();
+  }
+  EXPECT_EQ(total, kThreads * kDeposits);
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST(IntegrationTest, CrossTransactionCorrelationScenario) {
+  // Telecom-style fault correlation: three alarms from different
+  // transactions within a validity window escalate once.
+  TempDir dir;
+  VirtualClock clock;
+  ReachOptions options;
+  options.database.clock = &clock;
+  options.events.async_composition = false;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->RegisterClass(
+                    ClassBuilder("Element")
+                        .Attribute("alarms", ValueType::kInt, Value(0))
+                        .Method("raiseAlarm",
+                                [](Session& s, DbObject& self,
+                                   const std::vector<Value>&) -> Result<Value> {
+                                  REACH_RETURN_IF_ERROR(s.SetAttr(
+                                      self.oid(), "alarms",
+                                      Value(self.Get("alarms").as_int() + 1)));
+                                  return Value();
+                                }))
+                  .ok());
+
+  auto alarm =
+      (*db)->events()->DefineMethodEvent("alarm", "Element", "raiseAlarm");
+  auto storm = (*db)->events()->DefineComposite(
+      "alarm_storm", EventExpr::History(EventExpr::Prim(*alarm), 3),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle,
+      /*validity=*/10 * 1000000);
+  ASSERT_TRUE(storm.ok());
+  std::atomic<int> escalations{0};
+  RuleSpec spec;
+  spec.name = "Escalate";
+  spec.event = *storm;
+  spec.coupling = CouplingMode::kDetached;
+  spec.action = [&](Session&, const EventOccurrence& occ) -> Status {
+    EXPECT_EQ(occ.constituents.size(), 3u);
+    escalations++;
+    return Status::OK();
+  };
+  ASSERT_TRUE((*db)->rules()->DefineRule(std::move(spec)).ok());
+
+  Session s(db->get()->database());
+  ASSERT_TRUE(s.Begin().ok());
+  Oid element = *s.PersistNew("Element", {});
+  ASSERT_TRUE(s.Commit().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.Invoke(element, "raiseAlarm").ok());
+    ASSERT_TRUE(s.Commit().ok());
+    clock.Advance(1000000);  // one second apart: inside the window
+  }
+  (*db)->Drain();
+  EXPECT_EQ(escalations.load(), 1);
+
+  // Alarms spread farther apart than the validity window never escalate.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.Invoke(element, "raiseAlarm").ok());
+    ASSERT_TRUE(s.Commit().ok());
+    clock.Advance(20 * 1000000);  // 20s apart
+  }
+  (*db)->Drain();
+  EXPECT_EQ(escalations.load(), 1);
+}
+
+TEST(IntegrationTest, CheckpointAndStatsReport) {
+  TempDir dir;
+  ReachOptions options;
+  options.events.async_composition = false;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  RegisterAccountClass(db->get());
+  auto ev = (*db)->events()->DefineMethodEvent("dep", "Account", "deposit");
+  RuleSpec spec;
+  spec.name = "noop";
+  spec.event = *ev;
+  spec.coupling = CouplingMode::kImmediate;
+  spec.action = [](Session&, const EventOccurrence&) { return Status::OK(); };
+  ASSERT_TRUE((*db)->rules()->DefineRule(std::move(spec)).ok());
+
+  Session s(db->get()->database());
+  ASSERT_TRUE(s.Begin().ok());
+  auto a = s.PersistNew("Account", {});
+  ASSERT_TRUE(s.Invoke(*a, "deposit", {Value(10)}).ok());
+  // Checkpoint with an active transaction is refused.
+  EXPECT_TRUE((*db)->Checkpoint().IsFailedPrecondition());
+  ASSERT_TRUE(s.Commit().ok());
+  EXPECT_TRUE((*db)->Checkpoint().ok());
+
+  std::string report = (*db)->StatsReport();
+  EXPECT_NE(report.find("events signaled"), std::string::npos);
+  EXPECT_NE(report.find("immediate rule runs:   1"), std::string::npos);
+
+  // The checkpoint truncated the WAL; reopening replays nothing but the
+  // data is all there.
+  db->get()->Drain();
+  db = Result<std::unique_ptr<ReachDb>>(Status::NotFound("closing"));
+  auto reopened = ReachDb::Open(dir.DbPath());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(
+      (*reopened)->database()->storage()->recovery_stats().records_scanned,
+      0u);
+}
+
+TEST(IntegrationTest, QueryOverRuleMaintainedIndex) {
+  TempDir dir;
+  ReachOptions options;
+  options.events.async_composition = false;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  RegisterAccountClass(db->get());
+
+  Session s(db->get()->database());
+  ASSERT_TRUE(s.Begin().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(s.PersistNew("Account", {{"owner", Value("owner" +
+                                                         std::to_string(i % 4))},
+                                         {"balance", Value(i * 10)}})
+                    .ok());
+  }
+  ASSERT_TRUE((*db)->database()
+                  ->indexing()
+                  ->CreateIndex(s.current_txn(), "Account", "owner")
+                  .ok());
+  auto q = (*db)->Query(
+      s, "select balance from Account as a where a.owner == \"owner2\" "
+         "order by balance desc");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->used_index);
+  ASSERT_EQ(q->rows.size(), 5u);
+  EXPECT_EQ(q->rows[0].values[0], Value(180));
+  ASSERT_TRUE(s.Commit().ok());
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,307 @@
+// Property-based tests: randomized streams and operation sequences checked
+// against invariants rather than fixed expectations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "core/events/compositor.h"
+#include "core/events/event_registry.h"
+#include "oodb/db_object.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+// ---------------------------------------------------------------------------
+// Value properties
+// ---------------------------------------------------------------------------
+
+Value RandomValue(Random* rng, int depth = 0) {
+  switch (rng->Uniform(depth >= 2 ? 6 : 7)) {
+    case 0: return Value();
+    case 1: return Value(rng->Bernoulli(0.5));
+    case 2: return Value(static_cast<int64_t>(rng->Next()));
+    case 3: return Value(rng->NextDouble() * 1e6 - 5e5);
+    case 4: {
+      std::string s;
+      for (size_t i = 0, n = rng->Uniform(20); i < n; ++i) {
+        s.push_back(static_cast<char>(rng->Uniform(256)));
+      }
+      return Value(std::move(s));
+    }
+    case 5:
+      return Value(Oid{static_cast<PageId>(rng->Uniform(1000)),
+                       static_cast<SlotId>(rng->Uniform(100)),
+                       static_cast<uint16_t>(rng->Uniform(10))});
+    default: {
+      std::vector<Value> list;
+      for (size_t i = 0, n = rng->Uniform(4); i < n; ++i) {
+        list.push_back(RandomValue(rng, depth + 1));
+      }
+      return Value(std::move(list));
+    }
+  }
+}
+
+TEST(ValueProperty, EncodeDecodeIsIdentity) {
+  Random rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Value v = RandomValue(&rng);
+    std::string buf;
+    v.Encode(&buf);
+    size_t pos = 0;
+    auto decoded = Value::Decode(buf, &pos);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(ValueProperty, ComparisonConsistency) {
+  Random rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    Value a = RandomValue(&rng);
+    Value b = RandomValue(&rng);
+    // Equality is symmetric and consistent with <=>.
+    EXPECT_EQ(a == b, b == a);
+    auto ab = a <=> b;
+    auto ba = b <=> a;
+    if (ab == std::partial_ordering::less) {
+      EXPECT_EQ(ba, std::partial_ordering::greater);
+    } else if (ab == std::partial_ordering::greater) {
+      EXPECT_EQ(ba, std::partial_ordering::less);
+    }
+  }
+}
+
+TEST(DbObjectProperty, SerializeDeserializeIsIdentity) {
+  Random rng(7);
+  for (int round = 0; round < 200; ++round) {
+    DbObject obj("Class" + std::to_string(rng.Uniform(5)));
+    for (size_t i = 0, n = rng.Uniform(10); i < n; ++i) {
+      obj.Set("attr" + std::to_string(i), RandomValue(&rng));
+    }
+    auto back = DbObject::Deserialize(obj.Serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->class_name(), obj.class_name());
+    EXPECT_EQ(back->attributes().size(), obj.attributes().size());
+    for (const auto& [name, value] : obj.attributes()) {
+      EXPECT_EQ(back->Get(name), value);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Object store: random op sequences vs an in-memory model
+// ---------------------------------------------------------------------------
+
+TEST(ObjectStoreProperty, MatchesInMemoryModel) {
+  TempDir dir;
+  auto sm = StorageManager::Open(dir.DbPath());
+  ASSERT_TRUE(sm.ok());
+  ObjectStore* store = (*sm)->objects();
+  Random rng(2025);
+  std::map<std::string, Oid> model;  // payload -> oid (payloads unique)
+  int seq = 0;
+  for (int round = 0; round < 3000; ++round) {
+    int op = static_cast<int>(rng.Uniform(4));
+    if (op == 0 || model.empty()) {
+      size_t len = 1 + rng.Uniform(rng.Bernoulli(0.05) ? 9000 : 400);
+      std::string payload =
+          "obj" + std::to_string(++seq) + std::string(len, 'x');
+      auto oid = store->Insert(1, payload);
+      ASSERT_TRUE(oid.ok());
+      model[payload] = *oid;
+    } else if (op == 1) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      auto read = store->Read(it->second);
+      ASSERT_TRUE(read.ok());
+      ASSERT_EQ(*read, it->first);
+    } else if (op == 2) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      size_t len = 1 + rng.Uniform(rng.Bernoulli(0.05) ? 9000 : 400);
+      std::string payload =
+          "obj" + std::to_string(++seq) + std::string(len, 'u');
+      ASSERT_TRUE(store->Update(1, it->second, payload).ok());
+      Oid oid = it->second;
+      model.erase(it);
+      model[payload] = oid;
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(store->Delete(1, it->second).ok());
+      ASSERT_TRUE(store->Read(it->second).status().IsNotFound());
+      model.erase(it);
+    }
+  }
+  // Full verification sweep at the end.
+  auto scan = store->ScanAll();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), model.size());
+  for (const auto& [payload, oid] : model) {
+    ASSERT_EQ(*store->Read(oid), payload);
+  }
+}
+
+TEST(ObjectStoreProperty, RandomWorkloadSurvivesCrash) {
+  TempDir dir;
+  Random rng(31);
+  std::map<std::string, Oid> committed_model;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE(sm.ok());
+    ObjectStore* store = (*sm)->objects();
+    int seq = 0;
+    for (TxnId txn = 1; txn <= 50; ++txn) {
+      ASSERT_TRUE((*sm)->LogBegin(txn).ok());
+      std::map<std::string, Oid> txn_model = committed_model;
+      for (int i = 0, n = 1 + static_cast<int>(rng.Uniform(8)); i < n; ++i) {
+        std::string payload = "p" + std::to_string(++seq) +
+                              std::string(rng.Uniform(300), 'd');
+        auto oid = store->Insert(txn, payload);
+        ASSERT_TRUE(oid.ok());
+        txn_model[payload] = *oid;
+      }
+      if (rng.Bernoulli(0.6)) {
+        ASSERT_TRUE((*sm)->LogCommit(txn).ok());
+        committed_model = std::move(txn_model);
+      }
+      // else: crash with this txn in flight (never aborted cleanly)
+      if (rng.Bernoulli(0.3)) {
+        ASSERT_TRUE((*sm)->buffer_pool()->FlushAll().ok());
+      }
+    }
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  ASSERT_TRUE(sm.ok());
+  for (const auto& [payload, oid] : committed_model) {
+    auto read = (*sm)->objects()->Read(oid);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    ASSERT_EQ(*read, payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compositor invariants under random streams
+// ---------------------------------------------------------------------------
+
+class CompositorProperty
+    : public ::testing::TestWithParam<ConsumptionPolicy> {};
+
+TEST_P(CompositorProperty, InvariantsUnderRandomStreams) {
+  ConsumptionPolicy policy = GetParam();
+  Random rng(static_cast<uint64_t>(policy) * 31 + 5);
+  EventRegistry registry;
+  std::vector<EventTypeId> prims;
+  for (int i = 0; i < 4; ++i) {
+    prims.push_back(*registry.RegisterMethodEvent(
+        "P" + std::to_string(i), "C", "m" + std::to_string(i)));
+  }
+  std::vector<EventExprPtr> exprs = {
+      EventExpr::Seq(EventExpr::Prim(prims[0]), EventExpr::Prim(prims[1])),
+      EventExpr::And(EventExpr::Prim(prims[0]), EventExpr::Prim(prims[2])),
+      EventExpr::Not(EventExpr::Prim(prims[0]), EventExpr::Prim(prims[1]),
+                     EventExpr::Prim(prims[2])),
+      EventExpr::Closure(EventExpr::Prim(prims[1]),
+                         EventExpr::Prim(prims[3])),
+      EventExpr::History(EventExpr::Prim(prims[2]), 3),
+      EventExpr::Seq(
+          EventExpr::Or(EventExpr::Prim(prims[0]), EventExpr::Prim(prims[1])),
+          EventExpr::And(EventExpr::Prim(prims[2]),
+                         EventExpr::Prim(prims[3]))),
+  };
+  for (size_t e = 0; e < exprs.size(); ++e) {
+    auto id = registry.RegisterComposite(
+        "X" + std::to_string(static_cast<int>(policy)) + "_" +
+            std::to_string(e),
+        exprs[e], CompositeScope::kSingleTxn, policy);
+    ASSERT_TRUE(id.ok());
+    Compositor compositor(registry.Find(*id));
+    uint64_t seq = 0;
+    std::vector<EventOccurrencePtr> out;
+    for (int i = 0; i < 3000; ++i) {
+      auto occ = std::make_shared<EventOccurrence>();
+      occ->type = prims[rng.Uniform(prims.size())];
+      occ->sequence = ++seq;
+      occ->timestamp = static_cast<Timestamp>(seq * 3);
+      occ->txn = 1 + rng.Uniform(3);
+      compositor.Feed(occ, &out);
+      if (rng.Bernoulli(0.01)) {
+        compositor.OnTxnEnd(1 + rng.Uniform(3));
+      }
+    }
+    for (const auto& comp : out) {
+      // 1. Completions carry the composite's type id.
+      ASSERT_EQ(comp->type, *id);
+      // 2. Constituents are non-empty leaves of the right primitive types.
+      ASSERT_FALSE(comp->constituents.empty());
+      std::vector<const EventOccurrence*> leaves;
+      comp->CollectLeaves(&leaves);
+      for (const EventOccurrence* leaf : leaves) {
+        ASSERT_NE(std::find(prims.begin(), prims.end(), leaf->type),
+                  prims.end());
+      }
+      // 3. Single-txn scope: every constituent from the same transaction.
+      ASSERT_EQ(comp->InvolvedTxns().size(), 1u);
+      // 4. The composite's sequence equals its last constituent's.
+      uint64_t max_seq = 0;
+      for (const EventOccurrence* leaf : leaves) {
+        max_seq = std::max(max_seq, leaf->sequence);
+      }
+      ASSERT_EQ(comp->sequence, max_seq);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CompositorProperty,
+    ::testing::Values(ConsumptionPolicy::kRecent,
+                      ConsumptionPolicy::kChronicle,
+                      ConsumptionPolicy::kContinuous,
+                      ConsumptionPolicy::kCumulative),
+    [](const ::testing::TestParamInfo<ConsumptionPolicy>& param_info) {
+      return ConsumptionPolicyName(param_info.param);
+    });
+
+TEST(CompositorProperty, ValidityWindowNeverViolated) {
+  Random rng(404);
+  EventRegistry registry;
+  EventTypeId a = *registry.RegisterMethodEvent("A", "C", "a");
+  EventTypeId b = *registry.RegisterMethodEvent("B", "C", "b");
+  constexpr Timestamp kValidity = 500;
+  auto id = registry.RegisterComposite(
+      "W", EventExpr::Seq(EventExpr::Prim(a), EventExpr::Prim(b)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kContinuous, kValidity);
+  ASSERT_TRUE(id.ok());
+  Compositor compositor(registry.Find(*id));
+  uint64_t seq = 0;
+  Timestamp now = 0;
+  std::vector<EventOccurrencePtr> out;
+  for (int i = 0; i < 5000; ++i) {
+    now += rng.Uniform(200);
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = rng.Bernoulli(0.5) ? a : b;
+    occ->sequence = ++seq;
+    occ->timestamp = now;
+    occ->txn = 1 + rng.Uniform(5);
+    compositor.Feed(occ, &out);
+  }
+  for (const auto& comp : out) {
+    std::vector<const EventOccurrence*> leaves;
+    comp->CollectLeaves(&leaves);
+    Timestamp first = leaves.front()->timestamp;
+    Timestamp last = leaves.back()->timestamp;
+    // No completion spans more than the validity interval.
+    EXPECT_LE(last - first, kValidity);
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,190 @@
+// Crash-recovery tests: a "crash" is simulated by destroying the storage
+// manager without flushing the buffer pool (dirty pages and unflushed WAL
+// buffer are lost), then reopening — Open() runs recovery.
+#include <gtest/gtest.h>
+
+#include "storage/storage_manager.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+TEST(RecoveryTest, CommittedInsertSurvivesCrash) {
+  TempDir dir;
+  Oid oid;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE(sm.ok());
+    ASSERT_TRUE((*sm)->LogBegin(1).ok());
+    auto r = (*sm)->objects()->Insert(1, "durable");
+    ASSERT_TRUE(r.ok());
+    oid = *r;
+    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    // Crash: no checkpoint, no flush.
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  ASSERT_TRUE(sm.ok());
+  EXPECT_GE((*sm)->recovery_stats().records_redone, 1u);
+  EXPECT_EQ((*sm)->recovery_stats().committed_txns, 1u);
+  auto read = (*sm)->objects()->Read(oid);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, "durable");
+}
+
+TEST(RecoveryTest, UncommittedInsertRolledBack) {
+  TempDir dir;
+  Oid committed_oid, loser_oid;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE((*sm)->LogBegin(1).ok());
+    committed_oid = *(*sm)->objects()->Insert(1, "keep");
+    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+
+    ASSERT_TRUE((*sm)->LogBegin(2).ok());
+    loser_oid = *(*sm)->objects()->Insert(2, "lose");
+    // Force everything to disk so the loser's page changes are durable —
+    // recovery must actively undo them.
+    ASSERT_TRUE((*sm)->buffer_pool()->FlushAll().ok());
+    // Crash before commit of txn 2.
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  ASSERT_TRUE(sm.ok());
+  EXPECT_EQ((*sm)->recovery_stats().loser_txns, 1u);
+  EXPECT_GE((*sm)->recovery_stats().records_undone, 1u);
+  EXPECT_EQ(*(*sm)->objects()->Read(committed_oid), "keep");
+  EXPECT_TRUE((*sm)->objects()->Read(loser_oid).status().IsNotFound());
+}
+
+TEST(RecoveryTest, CommittedUpdateAndDeleteSurvive) {
+  TempDir dir;
+  Oid updated, deleted;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE((*sm)->LogBegin(1).ok());
+    updated = *(*sm)->objects()->Insert(1, "v1");
+    deleted = *(*sm)->objects()->Insert(1, "doomed");
+    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE((*sm)->Checkpoint().ok());
+
+    ASSERT_TRUE((*sm)->LogBegin(2).ok());
+    ASSERT_TRUE((*sm)->objects()->Update(2, updated, "v2").ok());
+    ASSERT_TRUE((*sm)->objects()->Delete(2, deleted).ok());
+    ASSERT_TRUE((*sm)->LogCommit(2).ok());
+    // Crash after commit.
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  EXPECT_EQ(*(*sm)->objects()->Read(updated), "v2");
+  EXPECT_TRUE((*sm)->objects()->Read(deleted).status().IsNotFound());
+}
+
+TEST(RecoveryTest, UncommittedUpdateRestoresOldValue) {
+  TempDir dir;
+  Oid oid;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE((*sm)->LogBegin(1).ok());
+    oid = *(*sm)->objects()->Insert(1, "original");
+    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+
+    ASSERT_TRUE((*sm)->LogBegin(2).ok());
+    ASSERT_TRUE((*sm)->objects()->Update(2, oid, "tampered").ok());
+    ASSERT_TRUE((*sm)->buffer_pool()->FlushAll().ok());
+    // Crash: txn 2 never committed.
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  EXPECT_EQ(*(*sm)->objects()->Read(oid), "original");
+}
+
+TEST(RecoveryTest, AbortedTransactionStaysRolledBack) {
+  TempDir dir;
+  Oid oid;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE((*sm)->LogBegin(1).ok());
+    oid = *(*sm)->objects()->Insert(1, "original");
+    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+
+    // Abort with logged compensation, as the transaction manager does.
+    ASSERT_TRUE((*sm)->LogBegin(2).ok());
+    ASSERT_TRUE((*sm)->objects()->Update(2, oid, "scribble").ok());
+    WalCellImage restore;
+    restore.flag = 1;  // kLive
+    restore.generation = oid.generation;
+    restore.bytes = std::string(1, '\0') + "original";  // whole-envelope
+    ASSERT_TRUE((*sm)->objects()
+                    ->ApplyImageLogged(2, oid.page, oid.slot, restore)
+                    .ok());
+    ASSERT_TRUE((*sm)->LogAbort(2).ok());
+    // Crash.
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  EXPECT_EQ((*sm)->recovery_stats().aborted_txns, 1u);
+  EXPECT_EQ((*sm)->recovery_stats().loser_txns, 0u);
+  EXPECT_EQ(*(*sm)->objects()->Read(oid), "original");
+}
+
+TEST(RecoveryTest, RecoveryIsIdempotent) {
+  TempDir dir;
+  Oid oid;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE((*sm)->LogBegin(1).ok());
+    oid = *(*sm)->objects()->Insert(1, "stable");
+    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+  }
+  // Open/close repeatedly; state must not change.
+  for (int i = 0; i < 3; ++i) {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE(sm.ok());
+    EXPECT_EQ(*(*sm)->objects()->Read(oid), "stable");
+  }
+}
+
+TEST(RecoveryTest, LargeObjectRecovery) {
+  TempDir dir;
+  std::string big(20000, 'L');
+  Oid oid;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE((*sm)->LogBegin(1).ok());
+    oid = *(*sm)->objects()->Insert(1, big);
+    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  EXPECT_EQ(*(*sm)->objects()->Read(oid), big);
+}
+
+TEST(RecoveryTest, MixedWinnersAndLosers) {
+  TempDir dir;
+  std::vector<Oid> winners, losers;
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    for (TxnId t = 1; t <= 10; ++t) {
+      ASSERT_TRUE((*sm)->LogBegin(t).ok());
+      auto oid =
+          (*sm)->objects()->Insert(t, "txn" + std::to_string(t));
+      ASSERT_TRUE(oid.ok());
+      if (t % 2 == 0) {
+        ASSERT_TRUE((*sm)->LogCommit(t).ok());
+        winners.push_back(*oid);
+      } else {
+        losers.push_back(*oid);
+      }
+    }
+    ASSERT_TRUE((*sm)->buffer_pool()->FlushAll().ok());
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  EXPECT_EQ((*sm)->recovery_stats().committed_txns, 5u);
+  EXPECT_EQ((*sm)->recovery_stats().loser_txns, 5u);
+  for (const Oid& oid : winners) {
+    EXPECT_TRUE((*sm)->objects()->Read(oid).ok());
+  }
+  for (const Oid& oid : losers) {
+    EXPECT_TRUE((*sm)->objects()->Read(oid).status().IsNotFound());
+  }
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,426 @@
+// The REACH rule-definition language (§6.1), including the paper's
+// WaterLevel example.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/reach/reach_db.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+class RuleParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ReachOptions options;
+    options.events.async_composition = false;
+    auto db = ReachDb::Open(dir_.DbPath(), options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(
+        db_->RegisterClass(
+               ClassBuilder("River")
+                   .Attribute("waterLevel", ValueType::kInt, Value(100))
+                   .Attribute("waterTemp", ValueType::kDouble, Value(20.0))
+                   .Method("updateWaterLevel",
+                           [](Session& s, DbObject& self,
+                              const std::vector<Value>& args) -> Result<Value> {
+                             REACH_RETURN_IF_ERROR(s.SetAttr(
+                                 self.oid(), "waterLevel", args[0]));
+                             return Value();
+                           }))
+            .ok());
+    ASSERT_TRUE(
+        db_->RegisterClass(
+               ClassBuilder("Reactor")
+                   .Attribute("heatOutput", ValueType::kInt, Value(0))
+                   .Attribute("plannedPower", ValueType::kDouble,
+                              Value(1000.0))
+                   .Method("reducePlannedPower",
+                           [](Session& s, DbObject& self,
+                              const std::vector<Value>& args) -> Result<Value> {
+                             double factor = args[0].AsNumber();
+                             double now = self.Get("plannedPower").AsNumber() *
+                                          (1.0 - factor);
+                             REACH_RETURN_IF_ERROR(s.SetAttr(
+                                 self.oid(), "plannedPower", Value(now)));
+                             return Value(now);
+                           }))
+            .ok());
+
+    Session s(db_->database());
+    ASSERT_TRUE(s.Begin().ok());
+    river_ = *s.PersistNew("River", {});
+    reactor_ = *s.PersistNew(
+        "Reactor", {{"heatOutput", Value(2000000)}});
+    ASSERT_TRUE(s.Bind("BlockA", reactor_).ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<ReachDb> db_;
+  Oid river_, reactor_;
+};
+
+TEST_F(RuleParserTest, PaperWaterLevelRule) {
+  // The §6.1 example, adapted to attribute access for the condition.
+  auto rules = db_->DefineRules(R"(
+    rule WaterLevel {
+      prio 5;
+      decl River *river, int x, Reactor *reactor named "BlockA";
+      event after river->updateWaterLevel(x);
+      cond imm x < 37 and river.waterTemp > 24.5
+               and reactor.heatOutput > 1000000;
+      action imm reactor->reducePlannedPower(0.05);
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 1u);
+  const Rule* rule = db_->rules()->FindRule("WaterLevel");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->spec.priority, 5);
+  EXPECT_EQ(rule->spec.coupling, CouplingMode::kImmediate);
+
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  // Water temp too low: condition false.
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(30)}).ok());
+  EXPECT_DOUBLE_EQ(s.GetAttr(reactor_, "plannedPower")->AsNumber(), 1000.0);
+  // Raise the temperature; now a low level triggers the reduction.
+  ASSERT_TRUE(s.SetAttr(river_, "waterTemp", Value(25.0)).ok());
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(30)}).ok());
+  EXPECT_DOUBLE_EQ(s.GetAttr(reactor_, "plannedPower")->AsNumber(), 950.0);
+  // Level above the mark: no action.
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(50)}).ok());
+  EXPECT_DOUBLE_EQ(s.GetAttr(reactor_, "plannedPower")->AsNumber(), 950.0);
+  ASSERT_TRUE(s.Commit().ok());
+}
+
+TEST_F(RuleParserTest, RegistryFunctionsByNamingConvention) {
+  std::atomic<int> cond_calls{0}, action_calls{0};
+  ASSERT_TRUE(db_->functions()
+                  ->RegisterCondition(
+                      "AuditCond",
+                      [&](Session&, const EventOccurrence&) -> Result<bool> {
+                        cond_calls++;
+                        return true;
+                      })
+                  .ok());
+  ASSERT_TRUE(db_->functions()
+                  ->RegisterAction("AuditAction",
+                                   [&](Session&, const EventOccurrence&) {
+                                     action_calls++;
+                                     return Status::OK();
+                                   })
+                  .ok());
+  auto rules = db_->DefineRules(R"(
+    rule Audit {
+      decl River *river, int x;
+      event after river->updateWaterLevel(x);
+      cond imm;
+      action imm;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(1)}).ok());
+  ASSERT_TRUE(s.Commit().ok());
+  EXPECT_EQ(cond_calls.load(), 1);
+  EXPECT_EQ(action_calls.load(), 1);
+}
+
+TEST_F(RuleParserTest, SetActionAndStateChangeEvent) {
+  auto rules = db_->DefineRules(R"(
+    rule MirrorTemp {
+      decl River *river, Reactor *reactor named "BlockA";
+      event set river.waterTemp;
+      cond deferred river.waterTemp > 30;
+      action deferred set reactor.heatOutput = 0;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.SetAttr(river_, "waterTemp", Value(35.0)).ok());
+  // Deferred: not yet.
+  EXPECT_EQ(s.GetAttr(reactor_, "heatOutput")->as_int(), 2000000);
+  ASSERT_TRUE(s.Commit().ok());
+  Session check(db_->database());
+  ASSERT_TRUE(check.Begin().ok());
+  EXPECT_EQ(check.GetAttr(reactor_, "heatOutput")->as_int(), 0);
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST_F(RuleParserTest, AbortActionVetoesTransaction) {
+  auto rules = db_->DefineRules(R"(
+    rule NoDrought {
+      decl River *river, int x;
+      event after river->updateWaterLevel(x);
+      cond imm x < 5;
+      action imm abort;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(2)}).ok());
+  EXPECT_FALSE(db_->database()->txns()->IsActive(s.current_txn()));
+  EXPECT_FALSE(s.Commit().ok());
+  Session check(db_->database());
+  ASSERT_TRUE(check.Begin().ok());
+  EXPECT_EQ(check.GetAttr(river_, "waterLevel")->as_int(), 100);  // default
+  ASSERT_TRUE(check.Commit().ok());
+}
+
+TEST_F(RuleParserTest, NamedCompositeEvent) {
+  auto lvl = db_->events()->DefineStateChangeEvent("lvl", "River",
+                                                   "waterLevel");
+  auto twice = db_->events()->DefineComposite(
+      "TwoLevelChanges", EventExpr::History(EventExpr::Prim(*lvl), 2),
+      CompositeScope::kSingleTxn);
+  ASSERT_TRUE(twice.ok());
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_->functions()
+                  ->RegisterAction("OnTwoAction",
+                                   [&](Session&, const EventOccurrence&) {
+                                     fired++;
+                                     return Status::OK();
+                                   })
+                  .ok());
+  auto rules = db_->DefineRules(R"(
+    rule OnTwo {
+      event TwoLevelChanges;
+      cond deferred;
+      action deferred;
+    };
+  )");
+  // cond with no expression and no registered OnTwoCond -> NotFound.
+  EXPECT_TRUE(rules.status().IsNotFound());
+  rules = db_->DefineRules(R"(
+    rule OnTwo {
+      event TwoLevelChanges;
+      action deferred;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.SetAttr(river_, "waterLevel", Value(1)).ok());
+  ASSERT_TRUE(s.SetAttr(river_, "waterLevel", Value(2)).ok());
+  ASSERT_TRUE(s.Commit().ok());
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(RuleParserTest, PersistAndCommitEvents) {
+  std::atomic<int> persists{0}, commits{0};
+  ASSERT_TRUE(db_->functions()
+                  ->RegisterAction("OnPersistAction",
+                                   [&](Session&, const EventOccurrence&) {
+                                     persists++;
+                                     return Status::OK();
+                                   })
+                  .ok());
+  ASSERT_TRUE(db_->functions()
+                  ->RegisterAction("OnCommitAction",
+                                   [&](Session&, const EventOccurrence&) {
+                                     commits++;
+                                     return Status::OK();
+                                   })
+                  .ok());
+  auto rules = db_->DefineRules(R"(
+    rule OnPersist { event persist River; action immediate; };
+    rule OnCommit { event commit; action detached; };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules->size(), 2u);
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.PersistNew("River", {}).ok());
+  EXPECT_EQ(persists.load(), 1);
+  ASSERT_TRUE(s.Commit().ok());
+  db_->rules()->WaitDetachedIdle();
+  EXPECT_GE(commits.load(), 1);
+}
+
+TEST_F(RuleParserTest, InlineCompositeEventExpression) {
+  // Composite algebra inline in the rule language: fire when the level
+  // changes and THEN the temperature changes, within one transaction.
+  (void)db_->events()->DefineStateChangeEvent("LevelSet", "River",
+                                              "waterLevel");
+  (void)db_->events()->DefineStateChangeEvent("TempSet", "River",
+                                              "waterTemp");
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_->functions()
+                  ->RegisterAction("LevelThenTempAction",
+                                   [&](Session&, const EventOccurrence& occ) {
+                                     EXPECT_EQ(occ.constituents.size(), 2u);
+                                     fired++;
+                                     return Status::OK();
+                                   })
+                  .ok());
+  auto rules = db_->DefineRules(R"(
+    rule LevelThenTemp {
+      event seq(LevelSet, TempSet);
+      action deferred;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  const EventDescriptor* desc =
+      db_->events()->registry()->FindByName("ev_LevelThenTemp_composite");
+  ASSERT_NE(desc, nullptr);
+  EXPECT_EQ(desc->scope, CompositeScope::kSingleTxn);
+
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.SetAttr(river_, "waterLevel", Value(1)).ok());
+  ASSERT_TRUE(s.SetAttr(river_, "waterTemp", Value(2.0)).ok());
+  ASSERT_TRUE(s.Commit().ok());
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(RuleParserTest, InlineCompositeWithModifiers) {
+  (void)db_->events()->DefineStateChangeEvent("LevelSet", "River",
+                                              "waterLevel");
+  std::atomic<int> fired{0};
+  ASSERT_TRUE(db_->functions()
+                  ->RegisterAction("ThreeDropsAction",
+                                   [&](Session&, const EventOccurrence&) {
+                                     fired++;
+                                     return Status::OK();
+                                   })
+                  .ok());
+  auto rules = db_->DefineRules(R"(
+    rule ThreeDrops {
+      event times(3, LevelSet) within 10 s using chronicle same object;
+      action detached;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  const EventDescriptor* desc =
+      db_->events()->registry()->FindByName("ev_ThreeDrops_composite");
+  ASSERT_NE(desc, nullptr);
+  EXPECT_EQ(desc->scope, CompositeScope::kCrossTxn);
+  EXPECT_EQ(desc->validity_us, 10 * 1000000);
+  EXPECT_EQ(desc->expr->correlation(), Correlation::kSameSource);
+
+  // Three level changes across three transactions, same object: fires.
+  Session s(db_->database());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.SetAttr(river_, "waterLevel", Value(i)).ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  db_->Drain();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(RuleParserTest, InlineCompositeParseErrors) {
+  EXPECT_TRUE(db_->DefineRules(R"(
+      rule Bad { event seq(NoSuchEvent, AlsoMissing); action imm abort; };
+    )").status().IsNotFound());
+  EXPECT_TRUE(db_->DefineRules(R"(
+      rule Bad { event times(0, commitx); action imm abort; };
+    )").status().IsInvalidArgument());
+  (void)db_->events()->DefineStateChangeEvent("LevelSet", "River",
+                                              "waterLevel");
+  EXPECT_TRUE(db_->DefineRules(R"(
+      rule Bad { event seq(LevelSet); action imm abort; };
+    )").status().IsInvalidArgument());  // missing second operand
+  EXPECT_TRUE(db_->DefineRules(R"(
+      rule Bad {
+        event seq(LevelSet, LevelSet) within 10 parsecs;
+        action imm abort;
+      };
+    )").status().IsInvalidArgument());  // bad time unit
+}
+
+TEST_F(RuleParserTest, ExistsQueryCondition) {
+  // §7 extension: ECA + OQL[C++] — condition as a query existence test.
+  auto rules = db_->DefineRules(R"(
+    rule HotReactors {
+      decl River *river, int x;
+      event after river->updateWaterLevel(x);
+      cond imm exists (select * from Reactor as r
+                       where r.heatOutput > 1000000);
+      action imm set river.waterTemp = 99.0;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(10)}).ok());
+  EXPECT_DOUBLE_EQ(s.GetAttr(river_, "waterTemp")->AsNumber(), 99.0);
+  // Cool the reactor below the threshold: the condition turns false.
+  ASSERT_TRUE(s.SetAttr(reactor_, "heatOutput", Value(0)).ok());
+  ASSERT_TRUE(s.SetAttr(river_, "waterTemp", Value(5.0)).ok());
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(10)}).ok());
+  EXPECT_DOUBLE_EQ(s.GetAttr(river_, "waterTemp")->AsNumber(), 5.0);
+  ASSERT_TRUE(s.Commit().ok());
+}
+
+TEST_F(RuleParserTest, ParseErrorsAreInformative) {
+  EXPECT_TRUE(db_->DefineRules("rule {").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      db_->DefineRules("rule R { action imm; }").status().IsInvalidArgument());
+  EXPECT_TRUE(db_->DefineRules(R"(
+      rule R { event after x->m(); action imm call Nothing; };
+    )").status().IsInvalidArgument());  // x undeclared
+  EXPECT_TRUE(db_->DefineRules(R"(
+      rule R {
+        decl River *r;
+        event after r->m();
+        action imm call Nothing;
+      };
+    )").status().IsNotFound());  // action fn missing
+  // Unknown class in decl.
+  EXPECT_TRUE(db_->DefineRules(R"(
+      rule R {
+        decl Spaceship *s;
+        event after s->launch();
+        action imm abort;
+      };
+    )").status().IsNotFound());
+}
+
+TEST_F(RuleParserTest, ActionCouplingMayNotPrecedeCondition) {
+  auto bad = db_->DefineRules(R"(
+    rule Bad {
+      decl River *river, int x;
+      event after river->updateWaterLevel(x);
+      cond deferred x < 10;
+      action imm abort;
+    };
+  )");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST_F(RuleParserTest, MultipleRulesInOneSource) {
+  auto rules = db_->DefineRules(R"(
+    rule A {
+      decl River *river, int x;
+      event after river->updateWaterLevel(x);
+      action imm set river.waterTemp = 1.0;
+    };
+    rule B {
+      prio 2;
+      decl River *river, int x;
+      event after river->updateWaterLevel(x);
+      action imm set river.waterTemp = 2.0;
+    };
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules->size(), 2u);
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Invoke(river_, "updateWaterLevel", {Value(9)}).ok());
+  // B has higher priority, runs first; A overwrites.
+  EXPECT_DOUBLE_EQ(s.GetAttr(river_, "waterTemp")->AsNumber(), 1.0);
+  ASSERT_TRUE(s.Commit().ok());
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,159 @@
+// TemporalScheduler, event histories, and the function registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "core/events/event_history.h"
+#include "core/events/temporal_scheduler.h"
+#include "core/rules/function_registry.h"
+
+namespace reach {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheduler_ = std::make_unique<TemporalScheduler>(&clock_);
+    scheduler_->Start();
+  }
+  void TearDown() override { scheduler_->Stop(); }
+
+  void WaitForFires(uint64_t n) {
+    for (int i = 0; i < 500 && scheduler_->fired_count() < n; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<TemporalScheduler> scheduler_;
+};
+
+TEST_F(SchedulerTest, OneShotFiresAtDeadline) {
+  std::atomic<Timestamp> fired_at{-1};
+  scheduler_->ScheduleAt(1000, [&](Timestamp t) { fired_at = t; });
+  clock_.Advance(999);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(fired_at.load(), -1);
+  clock_.Advance(1);
+  WaitForFires(1);
+  EXPECT_EQ(fired_at.load(), 1000);
+}
+
+TEST_F(SchedulerTest, PastDeadlineFiresImmediately) {
+  clock_.Advance(5000);
+  std::atomic<int> fired{0};
+  scheduler_->ScheduleAt(1000, [&](Timestamp) { fired++; });
+  WaitForFires(1);
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(SchedulerTest, TimersFireInDeadlineOrder) {
+  std::vector<int> order;
+  std::mutex mu;
+  scheduler_->ScheduleAt(300, [&](Timestamp) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(3);
+  });
+  scheduler_->ScheduleAt(100, [&](Timestamp) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(1);
+  });
+  scheduler_->ScheduleAt(200, [&](Timestamp) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(2);
+  });
+  clock_.Advance(400);
+  WaitForFires(3);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SchedulerTest, PeriodicRepeatsAtFixedIntervals) {
+  std::vector<Timestamp> fires;
+  std::mutex mu;
+  scheduler_->SchedulePeriodic(100, [&](Timestamp t) {
+    std::lock_guard<std::mutex> lock(mu);
+    fires.push_back(t);
+  });
+  clock_.Advance(350);
+  WaitForFires(3);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(fires.size(), 3u);
+  EXPECT_EQ(fires[0], 100);
+  EXPECT_EQ(fires[1], 200);
+  EXPECT_EQ(fires[2], 300);
+}
+
+TEST_F(SchedulerTest, StopIsIdempotentAndJoins) {
+  scheduler_->ScheduleAt(1LL << 50, [](Timestamp) {});
+  scheduler_->Stop();
+  scheduler_->Stop();
+  EXPECT_EQ(scheduler_->pending_timers(), 1u);  // never fired
+}
+
+TEST(LocalHistoryTest, RingBufferBoundsSize) {
+  LocalHistory history(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->sequence = i;
+    history.Append(occ);
+  }
+  EXPECT_EQ(history.total(), 10u);
+  EXPECT_EQ(history.size(), 4u);
+  auto snap = history.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front()->sequence, 7u);  // oldest kept
+  EXPECT_EQ(snap.back()->sequence, 10u);
+}
+
+TEST(GlobalHistoryTest, MergesStaySorted) {
+  GlobalHistory history;
+  auto make = [](uint64_t seq, EventTypeId type) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->sequence = seq;
+    occ->type = type;
+    return occ;
+  };
+  history.Merge({make(5, 1), make(6, 2)});
+  history.Merge({make(1, 1), make(3, 1)});
+  history.Merge({make(2, 2), make(4, 2)});
+  auto snap = history.Snapshot();
+  ASSERT_EQ(snap.size(), 6u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1]->sequence, snap[i]->sequence);
+  }
+  EXPECT_EQ(history.OfType(1).size(), 3u);
+  EXPECT_EQ(history.OfType(2).size(), 3u);
+  EXPECT_EQ(history.merge_batches(), 3u);
+}
+
+TEST(FunctionRegistryTest, NamingConventionResolution) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry
+                  .RegisterCondition("WaterLevelCond",
+                                     [](Session&, const EventOccurrence&)
+                                         -> Result<bool> { return true; })
+                  .ok());
+  ASSERT_TRUE(registry
+                  .RegisterAction("WaterLevelAction",
+                                  [](Session&, const EventOccurrence&) {
+                                    return Status::OK();
+                                  })
+                  .ok());
+  EXPECT_NE(registry.ConditionForRule("WaterLevel"), nullptr);
+  EXPECT_NE(registry.ActionForRule("WaterLevel"), nullptr);
+  EXPECT_EQ(registry.ConditionForRule("Other"), nullptr);
+  EXPECT_EQ(registry.ActionForRule("Other"), nullptr);
+  EXPECT_TRUE(registry
+                  .RegisterCondition("WaterLevelCond",
+                                     [](Session&, const EventOccurrence&)
+                                         -> Result<bool> { return false; })
+                  .IsAlreadyExists());
+  EXPECT_EQ(registry.ConditionNames().size(), 1u);
+  EXPECT_EQ(registry.ActionNames().size(), 1u);
+}
+
+}  // namespace
+}  // namespace reach

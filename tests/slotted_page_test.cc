@@ -1,0 +1,236 @@
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace reach {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : sp_(&page_) { sp_.Init(); }
+  Page page_;
+  SlottedPage sp_;
+};
+
+TEST_F(SlottedPageTest, InitProducesEmptyPage) {
+  EXPECT_TRUE(sp_.IsInitialized());
+  EXPECT_EQ(sp_.slot_count(), 0);
+  EXPECT_GT(sp_.FreeSpaceForInsert(), 3900u);
+}
+
+TEST_F(SlottedPageTest, UninitializedPageDetected) {
+  Page fresh;
+  SlottedPage sp(&fresh);
+  EXPECT_FALSE(sp.IsInitialized());
+}
+
+TEST_F(SlottedPageTest, InsertAndRead) {
+  std::string payload = "hello world";
+  auto slot = sp_.Insert(payload.data(), payload.size(), SlotFlag::kLive);
+  ASSERT_TRUE(slot.ok());
+  std::string out;
+  SlotFlag flag;
+  ASSERT_TRUE(sp_.Read(*slot, &out, &flag).ok());
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(flag, SlotFlag::kLive);
+}
+
+TEST_F(SlottedPageTest, GenerationBumpsOnReuse) {
+  std::string a = "aaa";
+  auto s1 = sp_.Insert(a.data(), a.size(), SlotFlag::kLive);
+  ASSERT_TRUE(s1.ok());
+  uint16_t gen1 = sp_.Generation(*s1).value();
+  ASSERT_TRUE(sp_.Delete(*s1).ok());
+  auto s2 = sp_.Insert(a.data(), a.size(), SlotFlag::kLive);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, *s1);  // slot reused
+  EXPECT_EQ(sp_.Generation(*s2).value(), gen1 + 1);
+  EXPECT_FALSE(sp_.Matches(*s1, gen1));
+  EXPECT_TRUE(sp_.Matches(*s2, gen1 + 1));
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceAndGrow) {
+  std::string small = "xy";
+  auto slot = sp_.Insert(small.data(), small.size(), SlotFlag::kLive);
+  ASSERT_TRUE(slot.ok());
+  std::string bigger(100, 'z');
+  ASSERT_TRUE(sp_.Update(*slot, bigger.data(), bigger.size()).ok());
+  std::string out;
+  SlotFlag flag;
+  ASSERT_TRUE(sp_.Read(*slot, &out, &flag).ok());
+  EXPECT_EQ(out, bigger);
+}
+
+TEST_F(SlottedPageTest, UpdateKeepsGeneration) {
+  std::string a = "abc";
+  auto slot = sp_.Insert(a.data(), a.size(), SlotFlag::kLive);
+  uint16_t gen = sp_.Generation(*slot).value();
+  std::string b(500, 'b');
+  ASSERT_TRUE(sp_.Update(*slot, b.data(), b.size()).ok());
+  EXPECT_EQ(sp_.Generation(*slot).value(), gen);
+}
+
+TEST_F(SlottedPageTest, DeleteFreesSpaceViaCompaction) {
+  std::string chunk(500, 'c');
+  std::vector<SlotId> slots;
+  for (;;) {
+    auto s = sp_.Insert(chunk.data(), chunk.size(), SlotFlag::kLive);
+    if (!s.ok()) break;
+    slots.push_back(*s);
+  }
+  ASSERT_GE(slots.size(), 6u);
+  // Delete every other cell, then a payload bigger than any single hole
+  // must still fit thanks to compaction.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(sp_.Delete(slots[i]).ok());
+  }
+  std::string big(900, 'B');
+  auto s = sp_.Insert(big.data(), big.size(), SlotFlag::kLive);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  std::string out;
+  SlotFlag flag;
+  ASSERT_TRUE(sp_.Read(*s, &out, &flag).ok());
+  EXPECT_EQ(out, big);
+  // Remaining original cells intact.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    ASSERT_TRUE(sp_.Read(slots[i], &out, &flag).ok());
+    EXPECT_EQ(out, chunk);
+  }
+}
+
+TEST_F(SlottedPageTest, ForwardConversionAlwaysFitsInPlace) {
+  // Fill the page completely with minimum-size cells.
+  std::string tiny = "t";
+  std::vector<SlotId> slots;
+  for (;;) {
+    auto s = sp_.Insert(tiny.data(), tiny.size(), SlotFlag::kLive);
+    if (!s.ok()) break;
+    slots.push_back(*s);
+  }
+  ASSERT_FALSE(slots.empty());
+  // Even on a packed page every live cell can become a forward stub.
+  Oid target{9, 3, 1};
+  for (SlotId s : slots) {
+    ASSERT_TRUE(sp_.SetForward(s, target).ok());
+    std::string out;
+    SlotFlag flag;
+    ASSERT_TRUE(sp_.Read(s, &out, &flag).ok());
+    EXPECT_EQ(flag, SlotFlag::kForward);
+    EXPECT_EQ(SlottedPage::DecodeOid(out.data()), target);
+  }
+}
+
+TEST_F(SlottedPageTest, PlaceAtCreatesIntermediateSlots) {
+  std::string data = "recovered";
+  ASSERT_TRUE(sp_.PlaceAt(5, 7, data.data(), data.size(), SlotFlag::kLive)
+                  .ok());
+  EXPECT_EQ(sp_.slot_count(), 6);
+  EXPECT_TRUE(sp_.Matches(5, 7));
+  std::string out;
+  SlotFlag flag;
+  ASSERT_TRUE(sp_.Read(5, &out, &flag).ok());
+  EXPECT_EQ(out, data);
+  // Intermediate slots are free.
+  for (SlotId i = 0; i < 5; ++i) {
+    EXPECT_FALSE(sp_.Matches(i, 0));
+  }
+}
+
+TEST_F(SlottedPageTest, PlaceAtIsIdempotent) {
+  std::string data = "recovered";
+  ASSERT_TRUE(sp_.PlaceAt(2, 3, data.data(), data.size(), SlotFlag::kLive)
+                  .ok());
+  ASSERT_TRUE(sp_.PlaceAt(2, 3, data.data(), data.size(), SlotFlag::kLive)
+                  .ok());
+  std::string out;
+  SlotFlag flag;
+  ASSERT_TRUE(sp_.Read(2, &out, &flag).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(sp_.Generation(2).value(), 3);
+}
+
+TEST_F(SlottedPageTest, FreeAtSetsGeneration) {
+  std::string data = "x";
+  auto s = sp_.Insert(data.data(), data.size(), SlotFlag::kLive);
+  ASSERT_TRUE(sp_.FreeAt(*s, 9).ok());
+  EXPECT_FALSE(sp_.Matches(*s, 9));  // free slots never match
+  // Next insert reuses the slot with generation 10.
+  auto s2 = sp_.Insert(data.data(), data.size(), SlotFlag::kLive);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, *s);
+  EXPECT_EQ(sp_.Generation(*s2).value(), 10);
+}
+
+TEST_F(SlottedPageTest, OversizedInsertRejected) {
+  std::string huge(kPageSize, 'h');
+  auto s = sp_.Insert(huge.data(), huge.size(), SlotFlag::kLive);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsOutOfRange());
+}
+
+TEST_F(SlottedPageTest, OccupiedSlotsReportsFlags) {
+  std::string data = "d";
+  auto live = sp_.Insert(data.data(), data.size(), SlotFlag::kLive);
+  auto moved = sp_.Insert(data.data(), data.size(), SlotFlag::kMoved);
+  auto fwd = sp_.Insert(data.data(), data.size(), SlotFlag::kLive);
+  ASSERT_TRUE(sp_.SetForward(*fwd, Oid{1, 1, 1}).ok());
+  auto occupied = sp_.OccupiedSlots();
+  ASSERT_EQ(occupied.size(), 3u);
+  EXPECT_EQ(occupied[*live].second, SlotFlag::kLive);
+  EXPECT_EQ(occupied[*moved].second, SlotFlag::kMoved);
+  EXPECT_EQ(occupied[*fwd].second, SlotFlag::kForward);
+  EXPECT_EQ(sp_.LiveSlots().size(), 1u);
+}
+
+TEST_F(SlottedPageTest, OidRoundTrip) {
+  Oid oid{123456, 789, 42};
+  char buf[SlottedPage::kOidEncodedSize];
+  SlottedPage::EncodeOid(oid, buf);
+  EXPECT_EQ(SlottedPage::DecodeOid(buf), oid);
+}
+
+TEST_F(SlottedPageTest, RandomizedFillAndVerify) {
+  Random rng(2024);
+  std::unordered_map<SlotId, std::string> expected;
+  for (int round = 0; round < 2000; ++round) {
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0) {
+      size_t len = 1 + rng.Uniform(300);
+      std::string data;
+      for (size_t i = 0; i < len; ++i) {
+        data.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      }
+      auto s = sp_.Insert(data.data(), data.size(), SlotFlag::kLive);
+      if (s.ok()) expected[*s] = data;
+    } else if (op == 1 && !expected.empty()) {
+      auto it = expected.begin();
+      std::advance(it, rng.Uniform(expected.size()));
+      size_t len = 1 + rng.Uniform(300);
+      std::string data(len, static_cast<char>('A' + rng.Uniform(26)));
+      if (sp_.Update(it->first, data.data(), data.size()).ok()) {
+        it->second = data;
+      }
+    } else if (!expected.empty()) {
+      auto it = expected.begin();
+      std::advance(it, rng.Uniform(expected.size()));
+      ASSERT_TRUE(sp_.Delete(it->first).ok());
+      expected.erase(it);
+    }
+    // Invariant: every tracked cell reads back exactly.
+    if (round % 100 == 0) {
+      for (const auto& [slot, data] : expected) {
+        std::string out;
+        SlotFlag flag;
+        ASSERT_TRUE(sp_.Read(slot, &out, &flag).ok());
+        ASSERT_EQ(out, data);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach

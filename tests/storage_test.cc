@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/object_store.h"
+#include "storage/storage_manager.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+TEST(DiskManagerTest, AllocateReadWrite) {
+  TempDir dir;
+  auto dm = DiskManager::Open(dir.DbPath() + ".db");
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ((*dm)->num_pages(), 0u);
+  auto p0 = (*dm)->AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  char data[kPageSize];
+  std::fill(data, data + kPageSize, 'x');
+  ASSERT_TRUE((*dm)->WritePage(0, data).ok());
+  char in[kPageSize];
+  ASSERT_TRUE((*dm)->ReadPage(0, in).ok());
+  EXPECT_EQ(memcmp(data, in, kPageSize), 0);
+}
+
+TEST(DiskManagerTest, OutOfRangeAccessRejected) {
+  TempDir dir;
+  auto dm = DiskManager::Open(dir.DbPath() + ".db");
+  char buf[kPageSize];
+  EXPECT_TRUE((*dm)->ReadPage(3, buf).IsOutOfRange());
+  EXPECT_TRUE((*dm)->WritePage(3, buf).IsOutOfRange());
+}
+
+TEST(DiskManagerTest, ReopenPreservesPages) {
+  TempDir dir;
+  std::string path = dir.DbPath() + ".db";
+  {
+    auto dm = DiskManager::Open(path);
+    ASSERT_TRUE((*dm)->AllocatePage().ok());
+    ASSERT_TRUE((*dm)->AllocatePage().ok());
+    char data[kPageSize] = {'q'};
+    ASSERT_TRUE((*dm)->WritePage(1, data).ok());
+    ASSERT_TRUE((*dm)->Sync().ok());
+  }
+  auto dm = DiskManager::Open(path);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ((*dm)->num_pages(), 2u);
+  char in[kPageSize];
+  ASSERT_TRUE((*dm)->ReadPage(1, in).ok());
+  EXPECT_EQ(in[0], 'q');
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dm = DiskManager::Open(dir_.DbPath() + ".db");
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::move(*dm);
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 4);
+  }
+  TempDir dir_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BufferPoolTest, NewFetchUnpin) {
+  auto page = pool_->NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = (*page)->page_id();
+  (*page)->data()[0] = 'z';
+  ASSERT_TRUE(pool_->UnpinPage(id, true).ok());
+  auto again = pool_->FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->data()[0], 'z');
+  ASSERT_TRUE(pool_->UnpinPage(id, false).ok());
+  EXPECT_GE(pool_->hit_count(), 1u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {  // double the pool size
+    auto page = pool_->NewPage();
+    ASSERT_TRUE(page.ok());
+    (*page)->data()[0] = static_cast<char>('a' + i);
+    ids.push_back((*page)->page_id());
+    ASSERT_TRUE(pool_->UnpinPage(ids.back(), true).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto page = pool_->FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->data()[0], static_cast<char>('a' + i));
+    ASSERT_TRUE(pool_->UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST_F(BufferPoolTest, AllPinnedFails) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto page = pool_->NewPage();
+    ASSERT_TRUE(page.ok());
+    ids.push_back((*page)->page_id());  // keep pinned
+  }
+  auto fifth = pool_->NewPage();
+  EXPECT_FALSE(fifth.ok());
+  EXPECT_TRUE(fifth.status().IsBusy());
+  for (PageId id : ids) ASSERT_TRUE(pool_->UnpinPage(id, false).ok());
+  EXPECT_TRUE(pool_->NewPage().ok());
+}
+
+TEST_F(BufferPoolTest, DoubleUnpinRejected) {
+  auto page = pool_->NewPage();
+  PageId id = (*page)->page_id();
+  ASSERT_TRUE(pool_->UnpinPage(id, false).ok());
+  EXPECT_TRUE(pool_->UnpinPage(id, false).IsFailedPrecondition());
+}
+
+TEST(WalTest, AppendFlushReadBack) {
+  TempDir dir;
+  auto wal = Wal::Open(dir.DbPath() + ".wal");
+  ASSERT_TRUE(wal.ok());
+  WalRecord rec;
+  rec.type = WalRecordType::kPhysical;
+  rec.txn = 7;
+  rec.page = 3;
+  rec.slot = 1;
+  rec.before = {0, 0, ""};
+  rec.after = {1, 1, "payload"};
+  auto lsn = (*wal)->Append(rec);
+  ASSERT_TRUE(lsn.ok());
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  commit.txn = 7;
+  ASSERT_TRUE((*wal)->Append(commit).ok());
+  ASSERT_TRUE((*wal)->Flush().ok());
+
+  std::vector<WalRecord> records;
+  ASSERT_TRUE((*wal)->ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, WalRecordType::kPhysical);
+  EXPECT_EQ(records[0].txn, 7u);
+  EXPECT_EQ(records[0].page, 3u);
+  EXPECT_EQ(records[0].after.bytes, "payload");
+  EXPECT_EQ(records[1].type, WalRecordType::kCommit);
+  EXPECT_LT(records[0].lsn, records[1].lsn);
+}
+
+TEST(WalTest, UnflushedRecordsNotDurable) {
+  TempDir dir;
+  std::string path = dir.DbPath() + ".wal";
+  {
+    auto wal = Wal::Open(path);
+    WalRecord rec;
+    rec.type = WalRecordType::kBegin;
+    rec.txn = 1;
+    ASSERT_TRUE((*wal)->Append(rec).ok());
+    EXPECT_EQ((*wal)->unflushed_records(), 1u);
+    // dropped without Flush
+  }
+  auto wal = Wal::Open(path);
+  std::vector<WalRecord> records;
+  ASSERT_TRUE((*wal)->ReadAll(&records).ok());
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(WalTest, TornTailIgnored) {
+  TempDir dir;
+  std::string path = dir.DbPath() + ".wal";
+  {
+    auto wal = Wal::Open(path);
+    WalRecord rec;
+    rec.type = WalRecordType::kBegin;
+    rec.txn = 1;
+    ASSERT_TRUE((*wal)->Append(rec).ok());
+    ASSERT_TRUE((*wal)->Flush().ok());
+  }
+  // Append garbage to simulate a torn write.
+  {
+    FILE* f = fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x20\x00\x00\x00partial";
+    fwrite(garbage, 1, sizeof(garbage), f);
+    fclose(f);
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok());
+  std::vector<WalRecord> records;
+  ASSERT_TRUE((*wal)->ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].txn, 1u);
+}
+
+TEST(WalTest, LsnResumesAfterReopen) {
+  TempDir dir;
+  std::string path = dir.DbPath() + ".wal";
+  Lsn last = 0;
+  {
+    auto wal = Wal::Open(path);
+    WalRecord rec;
+    rec.type = WalRecordType::kBegin;
+    last = *(*wal)->Append(rec);
+    ASSERT_TRUE((*wal)->Flush().ok());
+  }
+  auto wal = Wal::Open(path);
+  WalRecord rec;
+  rec.type = WalRecordType::kBegin;
+  EXPECT_GT(*(*wal)->Append(rec), last);
+}
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sm = StorageManager::Open(dir_.DbPath());
+    ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+    sm_ = std::move(*sm);
+  }
+  ObjectStore* store() { return sm_->objects(); }
+  TempDir dir_;
+  std::unique_ptr<StorageManager> sm_;
+};
+
+TEST_F(ObjectStoreTest, InsertReadUpdateDelete) {
+  auto oid = store()->Insert(1, "hello");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(*store()->Read(*oid), "hello");
+  ASSERT_TRUE(store()->Update(1, *oid, "goodbye").ok());
+  EXPECT_EQ(*store()->Read(*oid), "goodbye");
+  ASSERT_TRUE(store()->Delete(1, *oid).ok());
+  EXPECT_TRUE(store()->Read(*oid).status().IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, DanglingOidDetectedAfterReuse) {
+  auto oid = store()->Insert(1, "first");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store()->Delete(1, *oid).ok());
+  auto oid2 = store()->Insert(1, "second");
+  ASSERT_TRUE(oid2.ok());
+  // Same slot, different generation.
+  EXPECT_EQ(oid2->page, oid->page);
+  EXPECT_EQ(oid2->slot, oid->slot);
+  EXPECT_NE(oid2->generation, oid->generation);
+  EXPECT_TRUE(store()->Read(*oid).status().IsNotFound());
+  EXPECT_EQ(*store()->Read(*oid2), "second");
+}
+
+TEST_F(ObjectStoreTest, UpdateThatOutgrowsPageKeepsOid) {
+  // Fill a page so the update cannot stay in place.
+  auto oid = store()->Insert(1, "tiny");
+  ASSERT_TRUE(oid.ok());
+  std::vector<Oid> fillers;
+  for (int i = 0; i < 10; ++i) {
+    auto f = store()->Insert(1, std::string(380, 'f'));
+    ASSERT_TRUE(f.ok());
+    if (f->page == oid->page) fillers.push_back(*f);
+  }
+  std::string big(3000, 'B');
+  ASSERT_TRUE(store()->Update(1, *oid, big).ok());
+  EXPECT_EQ(*store()->Read(*oid), big);  // OID stable through the move
+  // Update the moved object again (through the forward stub).
+  std::string bigger(3500, 'C');
+  ASSERT_TRUE(store()->Update(1, *oid, bigger).ok());
+  EXPECT_EQ(*store()->Read(*oid), bigger);
+  ASSERT_TRUE(store()->Delete(1, *oid).ok());
+  EXPECT_TRUE(store()->Read(*oid).status().IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, LargeObjectsChainAcrossPages) {
+  std::string big;
+  Random rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    big.push_back(static_cast<char>('a' + rng.Uniform(26)));
+  }
+  auto oid = store()->Insert(1, big);
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(*store()->Read(*oid), big);
+  // Update a large object to a different large value.
+  std::string other(15000, 'Q');
+  ASSERT_TRUE(store()->Update(1, *oid, other).ok());
+  EXPECT_EQ(*store()->Read(*oid), other);
+  // Shrink back to a small object.
+  ASSERT_TRUE(store()->Update(1, *oid, "small again").ok());
+  EXPECT_EQ(*store()->Read(*oid), "small again");
+  ASSERT_TRUE(store()->Delete(1, *oid).ok());
+}
+
+TEST_F(ObjectStoreTest, ScanAllReportsHomeOids) {
+  std::vector<Oid> created;
+  for (int i = 0; i < 50; ++i) {
+    auto oid = store()->Insert(1, "obj" + std::to_string(i));
+    ASSERT_TRUE(oid.ok());
+    created.push_back(*oid);
+  }
+  // Move one via an oversized update; scan must still report its home OID
+  // exactly once.
+  std::string big(3900, 'm');
+  ASSERT_TRUE(store()->Update(1, created[0], big).ok());
+  auto scan = store()->ScanAll();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), created.size());
+  for (const Oid& oid : created) {
+    EXPECT_NE(std::find(scan->begin(), scan->end(), oid), scan->end());
+  }
+}
+
+TEST_F(ObjectStoreTest, ExistsChecksLiveness) {
+  auto oid = store()->Insert(1, "x");
+  EXPECT_TRUE(store()->Exists(*oid));
+  ASSERT_TRUE(store()->Delete(1, *oid).ok());
+  EXPECT_FALSE(store()->Exists(*oid));
+  EXPECT_FALSE(store()->Exists(Oid{999, 1, 1}));
+}
+
+TEST_F(ObjectStoreTest, ManyObjectsAcrossManyPages) {
+  Random rng(77);
+  std::unordered_map<std::string, Oid> objects;
+  for (int i = 0; i < 2000; ++i) {
+    std::string payload = "payload_" + std::to_string(i) +
+                          std::string(rng.Uniform(200), 'p');
+    auto oid = store()->Insert(1, payload);
+    ASSERT_TRUE(oid.ok());
+    objects[payload] = *oid;
+  }
+  EXPECT_GT(store()->data_page_count(), 10u);
+  for (const auto& [payload, oid] : objects) {
+    ASSERT_EQ(*store()->Read(oid), payload);
+  }
+}
+
+TEST(StorageManagerTest, MetaRootRoundTrip) {
+  TempDir dir;
+  auto sm = StorageManager::Open(dir.DbPath());
+  ASSERT_TRUE(sm.ok());
+  EXPECT_FALSE((*sm)->GetMetaRoot()->valid());
+  Oid root{5, 2, 1};
+  ASSERT_TRUE((*sm)->SetMetaRoot(root).ok());
+  EXPECT_EQ(*(*sm)->GetMetaRoot(), root);
+}
+
+TEST(StorageManagerTest, MetaRootSurvivesReopen) {
+  TempDir dir;
+  Oid root{5, 2, 1};
+  {
+    auto sm = StorageManager::Open(dir.DbPath());
+    ASSERT_TRUE((*sm)->SetMetaRoot(root).ok());
+    ASSERT_TRUE((*sm)->Checkpoint().ok());
+  }
+  auto sm = StorageManager::Open(dir.DbPath());
+  ASSERT_TRUE(sm.ok());
+  EXPECT_EQ(*(*sm)->GetMetaRoot(), root);
+}
+
+}  // namespace
+}  // namespace reach

@@ -1,0 +1,38 @@
+// Shared test helpers.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace reach::testing {
+
+/// Unique scratch directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    auto base = std::filesystem::temp_directory_path() / "reach_test_XXXXXX";
+    std::string tmpl = base.string();
+    char* made = ::mkdtemp(tmpl.data());
+    path_ = made != nullptr ? made : base.string();
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Path for a database file base inside the directory.
+  std::string DbPath(const std::string& name = "db") const {
+    return (std::filesystem::path(path_) / name).string();
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace reach::testing

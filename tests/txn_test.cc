@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/storage_manager.h"
+#include "test_util.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+// ---------------------------------------------------------------------------
+// LockManager
+// ---------------------------------------------------------------------------
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManager lm_;
+  Oid res_a_{1, 0, 1};
+  Oid res_b_{2, 0, 1};
+};
+
+TEST_F(LockManagerTest, SharedLocksCompatible) {
+  lm_.RegisterTxn(1, kNoTxn);
+  lm_.RegisterTxn(2, kNoTxn);
+  EXPECT_TRUE(lm_.Acquire(1, res_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm_.Acquire(2, res_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(lm_.Holds(1, res_a_, LockMode::kShared));
+  EXPECT_TRUE(lm_.Holds(2, res_a_, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, ExclusiveBlocksOther) {
+  lm_.RegisterTxn(1, kNoTxn);
+  lm_.RegisterTxn(2, kNoTxn);
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kExclusive).ok());
+  Status st = lm_.Acquire(2, res_a_, LockMode::kShared, /*timeout_us=*/20000);
+  EXPECT_TRUE(st.IsTimedOut());
+  lm_.ReleaseAll(1);
+  EXPECT_TRUE(lm_.Acquire(2, res_a_, LockMode::kShared).ok());
+}
+
+TEST_F(LockManagerTest, ReacquireAndUpgrade) {
+  lm_.RegisterTxn(1, kNoTxn);
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kShared).ok());
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kShared).ok());
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm_.Holds(1, res_a_, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, UpgradeBlockedByOtherReader) {
+  lm_.RegisterTxn(1, kNoTxn);
+  lm_.RegisterTxn(2, kNoTxn);
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kShared).ok());
+  ASSERT_TRUE(lm_.Acquire(2, res_a_, LockMode::kShared).ok());
+  EXPECT_TRUE(
+      lm_.Acquire(1, res_a_, LockMode::kExclusive, 20000).IsTimedOut());
+  lm_.ReleaseAll(2);
+  EXPECT_TRUE(lm_.Acquire(1, res_a_, LockMode::kExclusive).ok());
+}
+
+TEST_F(LockManagerTest, ChildMayUseAncestorLocks) {
+  lm_.RegisterTxn(1, kNoTxn);
+  lm_.RegisterTxn(2, 1);  // child of 1
+  lm_.RegisterTxn(3, 2);  // grandchild
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kExclusive).ok());
+  // Moss rule: conflicting holders that are ancestors do not block.
+  EXPECT_TRUE(lm_.Acquire(2, res_a_, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm_.Acquire(3, res_a_, LockMode::kShared).ok());
+}
+
+TEST_F(LockManagerTest, ParentBlockedByActiveChildLock) {
+  lm_.RegisterTxn(1, kNoTxn);
+  lm_.RegisterTxn(2, 1);
+  ASSERT_TRUE(lm_.Acquire(2, res_a_, LockMode::kExclusive).ok());
+  // The parent is NOT an ancestor of itself w.r.t. the child's lock.
+  EXPECT_TRUE(
+      lm_.Acquire(1, res_a_, LockMode::kExclusive, 20000).IsTimedOut());
+  // After lock transfer (subcommit), the parent holds it.
+  lm_.TransferLocks(2, 1);
+  EXPECT_TRUE(lm_.Acquire(1, res_a_, LockMode::kExclusive).ok());
+}
+
+TEST_F(LockManagerTest, TransferMergesModes) {
+  lm_.RegisterTxn(1, kNoTxn);
+  lm_.RegisterTxn(2, 1);
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kShared).ok());
+  ASSERT_TRUE(lm_.Acquire(2, res_a_, LockMode::kExclusive).ok());
+  lm_.TransferLocks(2, 1);
+  EXPECT_TRUE(lm_.Holds(1, res_a_, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, DeadlockDetected) {
+  lm_.RegisterTxn(1, kNoTxn);
+  lm_.RegisterTxn(2, kNoTxn);
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm_.Acquire(2, res_b_, LockMode::kExclusive).ok());
+
+  std::atomic<bool> t2_blocked{false};
+  std::thread t2([&] {
+    t2_blocked = true;
+    // Blocks: txn 2 wants a (held by 1).
+    Status st = lm_.Acquire(2, res_a_, LockMode::kExclusive);
+    // Woken when txn 1 releases after its own deadlock abort.
+    (void)st;
+  });
+  while (!t2_blocked) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // txn 1 wants b (held by 2, which waits for 1) -> cycle -> abort.
+  Status st = lm_.Acquire(1, res_b_, LockMode::kExclusive);
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_GE(lm_.deadlocks_detected(), 1u);
+  lm_.ReleaseAll(1);
+  t2.join();
+  lm_.ReleaseAll(2);
+}
+
+TEST_F(LockManagerTest, ContendedHandoff) {
+  lm_.RegisterTxn(1, kNoTxn);
+  ASSERT_TRUE(lm_.Acquire(1, res_a_, LockMode::kExclusive).ok());
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> waiters;
+  for (TxnId t = 2; t <= 5; ++t) {
+    lm_.RegisterTxn(t, kNoTxn);
+    waiters.emplace_back([&, t] {
+      ASSERT_TRUE(lm_.Acquire(t, res_a_, LockMode::kShared).ok());
+      acquired.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(acquired.load(), 0);
+  lm_.ReleaseAll(1);
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(acquired.load(), 4);
+}
+
+// Parameterized lock-compatibility matrix: {held mode} x {requested mode}
+// x {same txn / sibling / child}.
+struct LockCase {
+  LockMode held;
+  LockMode requested;
+  int relationship;  // 0 = same txn, 1 = sibling, 2 = child of holder
+  bool granted;      // without waiting
+};
+
+class LockMatrixTest : public ::testing::TestWithParam<LockCase> {};
+
+TEST_P(LockMatrixTest, CompatibilityMatrix) {
+  const LockCase& c = GetParam();
+  LockManager lm;
+  Oid res{1, 0, 1};
+  lm.RegisterTxn(1, kNoTxn);
+  ASSERT_TRUE(lm.Acquire(1, res, c.held).ok());
+  TxnId requester = 1;
+  if (c.relationship == 1) {
+    lm.RegisterTxn(2, kNoTxn);
+    requester = 2;
+  } else if (c.relationship == 2) {
+    lm.RegisterTxn(2, 1);
+    requester = 2;
+  }
+  Status st = lm.Acquire(requester, res, c.requested, /*timeout_us=*/10000);
+  EXPECT_EQ(st.ok(), c.granted)
+      << "held=" << (c.held == LockMode::kShared ? "S" : "X")
+      << " req=" << (c.requested == LockMode::kShared ? "S" : "X")
+      << " rel=" << c.relationship << ": " << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, LockMatrixTest,
+    ::testing::Values(
+        // Same transaction: everything re-grants/upgrades.
+        LockCase{LockMode::kShared, LockMode::kShared, 0, true},
+        LockCase{LockMode::kShared, LockMode::kExclusive, 0, true},
+        LockCase{LockMode::kExclusive, LockMode::kShared, 0, true},
+        LockCase{LockMode::kExclusive, LockMode::kExclusive, 0, true},
+        // Sibling transactions: only S-S is compatible.
+        LockCase{LockMode::kShared, LockMode::kShared, 1, true},
+        LockCase{LockMode::kShared, LockMode::kExclusive, 1, false},
+        LockCase{LockMode::kExclusive, LockMode::kShared, 1, false},
+        LockCase{LockMode::kExclusive, LockMode::kExclusive, 1, false},
+        // Child of the holder (Moss): ancestors never block descendants.
+        LockCase{LockMode::kShared, LockMode::kShared, 2, true},
+        LockCase{LockMode::kShared, LockMode::kExclusive, 2, true},
+        LockCase{LockMode::kExclusive, LockMode::kShared, 2, true},
+        LockCase{LockMode::kExclusive, LockMode::kExclusive, 2, true}));
+
+// ---------------------------------------------------------------------------
+// TransactionManager
+// ---------------------------------------------------------------------------
+
+class TxnManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sm = StorageManager::Open(dir_.DbPath());
+    ASSERT_TRUE(sm.ok());
+    sm_ = std::move(*sm);
+    tm_ = std::make_unique<TransactionManager>(sm_.get());
+  }
+  TempDir dir_;
+  std::unique_ptr<StorageManager> sm_;
+  std::unique_ptr<TransactionManager> tm_;
+};
+
+TEST_F(TxnManagerTest, CommitMakesChangesVisible) {
+  auto txn = tm_->Begin();
+  ASSERT_TRUE(txn.ok());
+  auto oid = sm_->objects()->Insert(*txn, "data");
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(tm_->Commit(*txn).ok());
+  EXPECT_EQ(*sm_->objects()->Read(*oid), "data");
+  EXPECT_FALSE(tm_->IsActive(*txn));
+  EXPECT_TRUE(*tm_->WaitForOutcome(*txn));
+}
+
+TEST_F(TxnManagerTest, AbortUndoesChanges) {
+  auto setup = tm_->Begin();
+  auto oid = sm_->objects()->Insert(*setup, "original");
+  ASSERT_TRUE(tm_->Commit(*setup).ok());
+
+  auto txn = tm_->Begin();
+  ASSERT_TRUE(sm_->objects()->Update(*txn, *oid, "changed").ok());
+  auto extra = sm_->objects()->Insert(*txn, "extra");
+  ASSERT_TRUE(sm_->objects()->Delete(*txn, *oid).ok());
+  ASSERT_TRUE(tm_->Abort(*txn).ok());
+
+  EXPECT_EQ(*sm_->objects()->Read(*oid), "original");
+  EXPECT_TRUE(sm_->objects()->Read(*extra).status().IsNotFound());
+  EXPECT_FALSE(*tm_->WaitForOutcome(*txn));
+}
+
+TEST_F(TxnManagerTest, NestedCommitMergesIntoParent) {
+  auto parent = tm_->Begin();
+  auto child = tm_->Begin(*parent);
+  ASSERT_TRUE(child.ok());
+  auto oid = sm_->objects()->Insert(*child, "from child");
+  ASSERT_TRUE(tm_->Commit(*child).ok());
+  // Parent abort must also undo the committed child's work.
+  ASSERT_TRUE(tm_->Abort(*parent).ok());
+  EXPECT_TRUE(sm_->objects()->Read(*oid).status().IsNotFound());
+}
+
+TEST_F(TxnManagerTest, NestedAbortSparesParent) {
+  auto parent = tm_->Begin();
+  auto p_oid = sm_->objects()->Insert(*parent, "parent data");
+  auto child = tm_->Begin(*parent);
+  auto c_oid = sm_->objects()->Insert(*child, "child data");
+  ASSERT_TRUE(tm_->Abort(*child).ok());
+  EXPECT_TRUE(sm_->objects()->Read(*c_oid).status().IsNotFound());
+  EXPECT_TRUE(sm_->objects()->Read(*p_oid).ok());
+  ASSERT_TRUE(tm_->Commit(*parent).ok());
+  EXPECT_EQ(*sm_->objects()->Read(*p_oid), "parent data");
+}
+
+TEST_F(TxnManagerTest, CommitWithActiveChildRejected) {
+  auto parent = tm_->Begin();
+  auto child = tm_->Begin(*parent);
+  EXPECT_TRUE(tm_->Commit(*parent).IsFailedPrecondition());
+  ASSERT_TRUE(tm_->Commit(*child).ok());
+  EXPECT_TRUE(tm_->Commit(*parent).ok());
+}
+
+TEST_F(TxnManagerTest, AbortCascadesToActiveChildren) {
+  auto parent = tm_->Begin();
+  auto child = tm_->Begin(*parent);
+  auto grandchild = tm_->Begin(*child);
+  auto oid = sm_->objects()->Insert(*grandchild, "deep");
+  ASSERT_TRUE(tm_->Abort(*parent).ok());
+  EXPECT_FALSE(tm_->IsActive(*child));
+  EXPECT_FALSE(tm_->IsActive(*grandchild));
+  EXPECT_TRUE(sm_->objects()->Read(*oid).status().IsNotFound());
+}
+
+TEST_F(TxnManagerTest, RootOfResolvesChain) {
+  auto a = tm_->Begin();
+  auto b = tm_->Begin(*a);
+  auto c = tm_->Begin(*b);
+  EXPECT_EQ(tm_->RootOf(*c), *a);
+  EXPECT_EQ(tm_->RootOf(*a), *a);
+}
+
+TEST_F(TxnManagerTest, CommitDependencySatisfied) {
+  auto trigger = tm_->Begin();
+  auto dependent = tm_->Begin();
+  ASSERT_TRUE(tm_->AddCommitDependency(*dependent, *trigger).ok());
+
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(tm_->Commit(*trigger).ok());
+  });
+  // Blocks until the trigger commits, then succeeds.
+  EXPECT_TRUE(tm_->Commit(*dependent).ok());
+  committer.join();
+}
+
+TEST_F(TxnManagerTest, CommitDependencyViolatedAborts) {
+  auto trigger = tm_->Begin();
+  auto dependent = tm_->Begin();
+  auto oid = sm_->objects()->Insert(*dependent, "speculative");
+  ASSERT_TRUE(tm_->AddCommitDependency(*dependent, *trigger).ok());
+  ASSERT_TRUE(tm_->Abort(*trigger).ok());
+  Status st = tm_->Commit(*dependent);
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_TRUE(sm_->objects()->Read(*oid).status().IsNotFound());
+}
+
+TEST_F(TxnManagerTest, AbortDependencyExclusiveMode) {
+  // Exclusive causally dependent: commits only if the trigger aborts.
+  auto trigger1 = tm_->Begin();
+  auto contingency1 = tm_->Begin();
+  ASSERT_TRUE(tm_->AddAbortDependency(*contingency1, *trigger1).ok());
+  ASSERT_TRUE(tm_->Abort(*trigger1).ok());
+  EXPECT_TRUE(tm_->Commit(*contingency1).ok());
+
+  auto trigger2 = tm_->Begin();
+  auto contingency2 = tm_->Begin();
+  ASSERT_TRUE(tm_->AddAbortDependency(*contingency2, *trigger2).ok());
+  ASSERT_TRUE(tm_->Commit(*trigger2).ok());
+  EXPECT_TRUE(tm_->Commit(*contingency2).IsAborted());
+}
+
+TEST_F(TxnManagerTest, PreCommitListenerFailureAborts) {
+  class FailingListener : public TxnListener {
+   public:
+    Status OnPreCommit(TxnId) override {
+      return Status::Internal("constraint violated");
+    }
+  };
+  FailingListener listener;
+  tm_->AddListener(&listener);
+  auto txn = tm_->Begin();
+  auto oid = sm_->objects()->Insert(*txn, "poisoned");
+  EXPECT_TRUE(tm_->Commit(*txn).IsAborted());
+  EXPECT_TRUE(sm_->objects()->Read(*oid).status().IsNotFound());
+  tm_->RemoveListener(&listener);
+}
+
+TEST_F(TxnManagerTest, ListenerLifecycleCallbacks) {
+  class Recorder : public TxnListener {
+   public:
+    void OnBegin(TxnId, TxnId) override { begins++; }
+    void OnCommit(TxnId) override { commits++; }
+    void OnAbort(TxnId) override { aborts++; }
+    int begins = 0, commits = 0, aborts = 0;
+  };
+  Recorder rec;
+  tm_->AddListener(&rec);
+  auto a = tm_->Begin();
+  ASSERT_TRUE(tm_->Commit(*a).ok());
+  auto b = tm_->Begin();
+  ASSERT_TRUE(tm_->Abort(*b).ok());
+  EXPECT_EQ(rec.begins, 2);
+  EXPECT_EQ(rec.commits, 1);
+  EXPECT_EQ(rec.aborts, 1);
+  tm_->RemoveListener(&rec);
+}
+
+TEST_F(TxnManagerTest, NestedWorkDurableAfterCrash) {
+  Oid oid;
+  {
+    auto parent = tm_->Begin();
+    auto child = tm_->Begin(*parent);
+    auto r = sm_->objects()->Insert(*child, "nested durable");
+    oid = *r;
+    ASSERT_TRUE(tm_->Commit(*child).ok());
+    ASSERT_TRUE(tm_->Commit(*parent).ok());
+    // Crash without checkpoint.
+    tm_.reset();
+    sm_.reset();
+  }
+  auto sm = StorageManager::Open(dir_.DbPath());
+  ASSERT_TRUE(sm.ok());
+  EXPECT_EQ(*(*sm)->objects()->Read(oid), "nested durable");
+}
+
+TEST_F(TxnManagerTest, NestedLoserUndoneAfterCrash) {
+  Oid oid;
+  {
+    auto parent = tm_->Begin();
+    auto child = tm_->Begin(*parent);
+    auto r = sm_->objects()->Insert(*child, "lost");
+    oid = *r;
+    ASSERT_TRUE(tm_->Commit(*child).ok());
+    // Parent never commits; crash with pages flushed.
+    ASSERT_TRUE(sm_->buffer_pool()->FlushAll().ok());
+    tm_.reset();
+    sm_.reset();
+  }
+  auto sm = StorageManager::Open(dir_.DbPath());
+  ASSERT_TRUE(sm.ok());
+  EXPECT_TRUE((*sm)->objects()->Read(oid).status().IsNotFound());
+}
+
+TEST_F(TxnManagerTest, WaitForOutcomeUnknownTxn) {
+  EXPECT_TRUE(tm_->WaitForOutcome(9999).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace reach
