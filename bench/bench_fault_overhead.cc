@@ -1,0 +1,88 @@
+// Cost of a compiled-in fault point when injection is disabled — the number
+// that justifies leaving REACH_FAULT_POINT in production I/O paths. The
+// disabled gate is one relaxed atomic load; this bench pins that claim
+// against a baseline function of identical shape with no hook, and also
+// measures the armed-but-not-firing path (registry lock + countdown) so the
+// sweep tests' overhead is visible too.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
+namespace reach {
+namespace {
+
+// noinline keeps both functions honest: without it the optimizer can hoist
+// the (constant-false) gate out of the benchmark loop entirely and the
+// comparison measures nothing.
+__attribute__((noinline)) Status PlainOp(uint64_t* acc) {
+  *acc += 1;
+  return Status::OK();
+}
+
+__attribute__((noinline)) Status HookedOp(uint64_t* acc) {
+  REACH_FAULT_POINT(faults::kDiskWritePage);
+  *acc += 1;
+  return Status::OK();
+}
+
+void BM_NoFaultPoint(benchmark::State& state) {
+  FaultRegistry::Instance().DisarmAll();
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlainOp(&acc));
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_NoFaultPoint);
+
+void BM_FaultPointDisabled(benchmark::State& state) {
+  FaultRegistry::Instance().DisarmAll();
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HookedOp(&acc));
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_FaultPointDisabled);
+
+void BM_FaultPointArmedElsewhere(benchmark::State& state) {
+  // The global gate is open because *some other* point is armed: every hit
+  // now takes the registry lock and does a map lookup. This is the price
+  // the sweep tests pay, never production.
+  auto& reg = FaultRegistry::Instance();
+  reg.DisarmAll();
+  reg.ArmError(faults::kTxnBegin, Status::Code::kBusy,
+               /*nth=*/1'000'000'000'000ull);
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HookedOp(&acc));
+  }
+  benchmark::DoNotOptimize(acc);
+  reg.DisarmAll();
+}
+BENCHMARK(BM_FaultPointArmedElsewhere);
+
+void BM_FaultPointArmedCountdown(benchmark::State& state) {
+  // Worst case: the measured point itself is armed with a far-future nth —
+  // lock, lookup, and countdown decrement on every hit.
+  auto& reg = FaultRegistry::Instance();
+  reg.DisarmAll();
+  reg.ArmError(faults::kDiskWritePage, Status::Code::kIoError,
+               /*nth=*/1'000'000'000'000ull);
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HookedOp(&acc));
+  }
+  benchmark::DoNotOptimize(acc);
+  reg.DisarmAll();
+}
+BENCHMARK(BM_FaultPointArmedCountdown);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

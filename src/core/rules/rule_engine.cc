@@ -4,6 +4,9 @@
 #include <chrono>
 #include <future>
 
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
 namespace {
 int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -239,9 +242,14 @@ Status RuleEngine::ExecuteInSubtxn(Rule* rule, const EventOccurrencePtr& occ,
   Session session(db_);
   session.AdoptTxn(sub.value());
 
-  Status result = Status::OK();
+  // Keyed by (rule, occurrence) so the same firings fail under the serial
+  // ring-sequence and the parallel-subtransaction strategies — the
+  // differential torture suite depends on this.
+  Status result = REACH_FAULT_HIT_KEYED(
+      faults::kRuleSubtxnExec,
+      (static_cast<uint64_t>(rule->id) << 32) ^ occ->sequence);
   bool condition_true = true;
-  if (!action_only && rule->spec.condition) {
+  if (result.ok() && !action_only && rule->spec.condition) {
     auto cond = rule->spec.condition(session, *occ);
     if (!cond.ok()) {
       result = cond.status();
@@ -365,6 +373,9 @@ Status RuleEngine::ExecuteSet(const std::vector<Firing>& firings,
 }
 
 Status RuleEngine::OnPreCommit(TxnId txn) {
+  // An injected error here surfaces through the transaction manager's
+  // pre-commit failure path, which aborts the triggering transaction.
+  REACH_FAULT_POINT(faults::kRuleDeferredFlush);
   if (deferred_rule_count_.load(std::memory_order_relaxed) == 0) {
     std::lock_guard<std::mutex> lock(deferred_mu_);
     if (deferred_.empty()) return Status::OK();
@@ -481,9 +492,11 @@ void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
 
   Session session(db_);
   session.AdoptTxn(txn.value());
-  Status result = Status::OK();
+  Status result = REACH_FAULT_HIT_KEYED(
+      faults::kRuleDetachedExec,
+      (static_cast<uint64_t>(rule->id) << 32) ^ occ->sequence);
   bool condition_true = true;
-  if (!action_only && rule->spec.condition) {
+  if (result.ok() && !action_only && rule->spec.condition) {
     auto cond = rule->spec.condition(session, *occ);
     if (!cond.ok()) {
       result = cond.status();

@@ -15,7 +15,15 @@ Status Session::Commit() {
   TxnId txn = txn_stack_.back();
   txn_stack_.pop_back();
   Status st = db_->txns()->Commit(txn);
-  if (st.IsAborted()) return st;  // aborted during commit (deps / hooks)
+  // Failed commit implies rollback. Most failures (dependency misses,
+  // pre-commit hooks) abort inside the transaction manager, but an early
+  // failure (e.g. a log I/O error before the state change) can leave the
+  // transaction active and still holding locks — roll it back here rather
+  // than leak a lock-holding orphan that blocks later transactions.
+  if (!st.ok() && db_->txns()->IsActive(txn)) {
+    Status abort_st = db_->txns()->Abort(txn);
+    (void)abort_st;
+  }
   return st;
 }
 

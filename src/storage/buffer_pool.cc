@@ -1,5 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
 namespace reach {
 
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
@@ -23,6 +26,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
     Page* page = frames_[frame].get();
     if (page->pin_count() > 0) continue;
     if (page->dirty()) {
+      REACH_FAULT_POINT(faults::kBufEvictWriteback);
       if (pre_write_hook_) REACH_RETURN_IF_ERROR(pre_write_hook_());
       REACH_RETURN_IF_ERROR(disk_->WritePage(page->page_id(), page->data()));
       page->set_dirty(false);
@@ -36,6 +40,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  REACH_FAULT_POINT(faults::kBufFetch);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
@@ -95,6 +100,7 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
+  REACH_FAULT_POINT(faults::kBufFlushPage);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::OK();  // not cached
@@ -108,6 +114,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  REACH_FAULT_POINT(faults::kBufFlushAll);
   std::lock_guard<std::mutex> lock(mu_);
   bool flushed_log = false;
   for (auto& [page_id, frame] : page_table_) {

@@ -6,6 +6,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
 namespace reach {
 
 DiskManager::~DiskManager() {
@@ -32,6 +35,7 @@ Result<std::unique_ptr<DiskManager>> DiskManager::Open(
 }
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
+  REACH_FAULT_POINT(faults::kDiskReadPage);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (page_id >= num_pages_) {
@@ -48,6 +52,7 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status DiskManager::WritePage(PageId page_id, const char* data) {
+  REACH_FAULT_POINT(faults::kDiskWritePage);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (page_id >= num_pages_) {
@@ -64,6 +69,7 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 Result<PageId> DiskManager::AllocatePage() {
+  REACH_FAULT_POINT(faults::kDiskAllocatePage);
   std::lock_guard<std::mutex> lock(mu_);
   PageId id = num_pages_;
   char zeros[kPageSize] = {};
@@ -77,6 +83,7 @@ Result<PageId> DiskManager::AllocatePage() {
 }
 
 Status DiskManager::Sync() {
+  REACH_FAULT_POINT(faults::kDiskSync);
   if (::fsync(fd_) != 0) {
     return Status::IoError(std::string("fsync: ") + std::strerror(errno));
   }

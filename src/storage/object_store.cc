@@ -67,8 +67,8 @@ Status ObjectStore::Bootstrap() {
   return Status::OK();
 }
 
-Status ObjectStore::LogPhysical(TxnId txn, PageId page, SlotId slot,
-                                const WalCellImage& before,
+Status ObjectStore::LogPhysical(TxnId txn, SlottedPage* sp, PageId page,
+                                SlotId slot, const WalCellImage& before,
                                 const WalCellImage& after) {
   WalRecord rec;
   rec.type = WalRecordType::kPhysical;
@@ -79,6 +79,7 @@ Status ObjectStore::LogPhysical(TxnId txn, PageId page, SlotId slot,
   rec.after = after;
   auto lsn = wal_->Append(std::move(rec));
   if (!lsn.ok()) return lsn.status();
+  if (sp) sp->set_lsn(*lsn);
   if (mutation_listener_) mutation_listener_(txn, page, slot, before);
   return Status::OK();
 }
@@ -129,7 +130,7 @@ Result<Oid> ObjectStore::InsertCell(TxnId txn, std::string_view payload,
   after.generation = gen;
   after.bytes.assign(payload.data(), payload.size());
   REACH_RETURN_IF_ERROR(
-      LogPhysical(txn, page_id, slot.value(), before, after));
+      LogPhysical(txn, &sp, page_id, slot.value(), before, after));
 
   NoteFreeSpace(page_id, sp);
   Oid oid;
@@ -152,7 +153,7 @@ Status ObjectStore::DeleteCell(TxnId txn, const Oid& oid) {
   WalCellImage after;
   after.flag = static_cast<uint16_t>(SlotFlag::kFree);
   after.generation = oid.generation;
-  REACH_RETURN_IF_ERROR(LogPhysical(txn, oid.page, oid.slot, before, after));
+  REACH_RETURN_IF_ERROR(LogPhysical(txn, &sp, oid.page, oid.slot, before, after));
   NoteFreeSpace(oid.page, sp);
   return Status::OK();
 }
@@ -174,7 +175,7 @@ Status ObjectStore::UpdateCellInPlace(TxnId txn, const Oid& oid,
   after.flag = static_cast<uint16_t>(new_flag);
   after.generation = oid.generation;
   after.bytes.assign(payload.data(), payload.size());
-  REACH_RETURN_IF_ERROR(LogPhysical(txn, oid.page, oid.slot, before, after));
+  REACH_RETURN_IF_ERROR(LogPhysical(txn, &sp, oid.page, oid.slot, before, after));
   NoteFreeSpace(oid.page, sp);
   return Status::OK();
 }
@@ -396,7 +397,7 @@ Result<std::vector<Oid>> ObjectStore::ScanAll() {
 }
 
 Status ObjectStore::ApplyImage(PageId page_id, SlotId slot,
-                               const WalCellImage& img) {
+                               const WalCellImage& img, Lsn lsn) {
   std::lock_guard<std::mutex> lock(mu_);
   // Recovery may reference pages the (possibly truncated) data file does
   // not have yet; allocate up to the target page.
@@ -406,6 +407,11 @@ Status ObjectStore::ApplyImage(PageId page_id, SlotId slot,
       PageGuard guard(pool_, page.value());
       SlottedPage sp(page.value());
       if (!sp.IsInitialized()) sp.Init();
+      // Conditional redo: a flushed page image already reflects every
+      // record at or below its pageLSN. Re-applying them is not just
+      // wasted work — replaying old history on top of a newer page can
+      // transiently need more cell space than the page has.
+      if (lsn != 0 && sp.lsn() >= lsn) return Status::OK();
       Status st;
       if (img.flag == static_cast<uint16_t>(SlotFlag::kFree)) {
         st = sp.FreeAt(slot, img.generation);
@@ -414,6 +420,7 @@ Status ObjectStore::ApplyImage(PageId page_id, SlotId slot,
                         img.bytes.size(), static_cast<SlotFlag>(img.flag));
       }
       if (st.ok()) {
+        if (lsn != 0) sp.set_lsn(lsn);
         guard.MarkDirty();
         NoteFreeSpace(page_id, sp);
       }
@@ -450,7 +457,7 @@ Status ObjectStore::ApplyImageLogged(TxnId txn, PageId page_id, SlotId slot,
   if (!st.ok()) return st;
   guard.MarkDirty();
   NoteFreeSpace(page_id, sp);
-  return LogPhysical(txn, page_id, slot, before, target);
+  return LogPhysical(txn, &sp, page_id, slot, before, target);
 }
 
 size_t ObjectStore::data_page_count() {

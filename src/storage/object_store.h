@@ -53,8 +53,12 @@ class ObjectStore {
   Result<std::vector<Oid>> ScanAll();
 
   /// Recovery support: apply a physical image directly to a page. Not
-  /// WAL-logged — only recovery may use this.
-  Status ApplyImage(PageId page, SlotId slot, const WalCellImage& img);
+  /// WAL-logged — only recovery may use this. A nonzero `lsn` makes the
+  /// apply conditional (redo): pages whose pageLSN already covers `lsn`
+  /// are left untouched, and applied pages are stamped with `lsn`. Undo
+  /// passes 0 to apply unconditionally.
+  Status ApplyImage(PageId page, SlotId slot, const WalCellImage& img,
+                    Lsn lsn = 0);
 
   /// Transaction-rollback support: restore a cell to `target`, logging the
   /// change as a regular (compensating) physical record of `txn` so a crash
@@ -119,7 +123,10 @@ class ObjectStore {
   /// Concatenate a head payload and its chain into the full object bytes.
   Result<std::string> AssembleBody(const std::string& head_payload);
 
-  Status LogPhysical(TxnId txn, PageId page, SlotId slot,
+  /// Append a physical record and stamp `sp`'s page LSN with the record's
+  /// LSN, maintaining the ARIES invariant that a flushed page image reflects
+  /// exactly the records at or below its pageLSN.
+  Status LogPhysical(TxnId txn, SlottedPage* sp, PageId page, SlotId slot,
                      const WalCellImage& before, const WalCellImage& after);
 
   void NoteFreeSpace(PageId page, const SlottedPage& sp);

@@ -28,10 +28,12 @@ Status RecoveryManager::Recover(RecoveryStats* stats) {
   stats->committed_txns = committed;
   stats->aborted_txns = aborted;
 
-  // Pass 1: repeat history.
+  // Pass 1: repeat history. Conditional on the page LSN — pages flushed
+  // after a record already contain its effect and are left untouched.
   for (const WalRecord& rec : records) {
     if (rec.type != WalRecordType::kPhysical) continue;
-    REACH_RETURN_IF_ERROR(store_->ApplyImage(rec.page, rec.slot, rec.after));
+    REACH_RETURN_IF_ERROR(
+        store_->ApplyImage(rec.page, rec.slot, rec.after, rec.lsn));
     ++stats->records_redone;
   }
 

@@ -20,6 +20,7 @@ void SlottedPage::Init() {
   h->magic = kMagic;
   h->slot_count = 0;
   h->cell_start = kPageSize;
+  h->page_lsn = 0;
 }
 
 bool SlottedPage::IsInitialized() const { return header()->magic == kMagic; }
@@ -248,6 +249,18 @@ Status SlottedPage::PlaceAt(SlotId s, uint16_t generation, const char* data,
     return Status::OutOfRange("page full (slot directory)");
   }
   Slot* sl = slot(s);
+  // Recovery replays images into slots that may already own a cell (the
+  // page reached disk before the crash). Rewrite in place when it fits so
+  // repeated redo is idempotent instead of leaking a cell per replay until
+  // the page reads as full. Free slots don't own their cell (compaction
+  // reclaims it), so those always go through allocation.
+  if (sl->flag != FreeFlag() && sl->capacity >= len) {
+    std::memcpy(page_->data() + sl->offset, data, len);
+    sl->length = static_cast<uint16_t>(len);
+    sl->generation = generation;
+    sl->flag = static_cast<uint16_t>(flag);
+    return Status::OK();
+  }
   sl->flag = FreeFlag();
   sl->length = 0;
   auto cell = AllocateCell(len);

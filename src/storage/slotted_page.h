@@ -103,11 +103,18 @@ class SlottedPage {
   /// Largest payload a cell on a freshly initialized page can hold.
   static size_t MaxCellPayload();
 
+  /// LSN of the last WAL record applied to this page (ARIES pageLSN). Redo
+  /// skips records at or below it, so replaying history onto a page that
+  /// was flushed *after* those records is a no-op instead of a re-apply.
+  uint64_t lsn() const { return header()->page_lsn; }
+  void set_lsn(uint64_t lsn) { header()->page_lsn = lsn; }
+
  private:
   struct Header {
     uint32_t magic;
     uint16_t slot_count;
     uint16_t cell_start;  // offset of the lowest cell byte
+    uint64_t page_lsn;    // last WAL record reflected in this page image
   };
   struct Slot {
     uint16_t offset;

@@ -22,24 +22,58 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     if (meta->page_id() != 0) {
       return Status::Internal("meta page must be page 0");
     }
-    uint32_t magic = kMetaMagic;
-    std::memcpy(meta->data(), &magic, sizeof(magic));
-    char invalid[SlottedPage::kOidEncodedSize];
-    SlottedPage::EncodeOid(kInvalidOid, invalid);
-    std::memcpy(meta->data() + sizeof(magic), invalid, sizeof(invalid));
+    REACH_RETURN_IF_ERROR(sm->InitMetaPage(meta));
     REACH_RETURN_IF_ERROR(sm->pool_->UnpinPage(0, /*dirty=*/true));
     REACH_RETURN_IF_ERROR(sm->pool_->FlushPage(0));
+  } else {
+    // A crash between allocating page 0 and its first successful write
+    // leaves an all-zero meta page on disk; finish the interrupted
+    // initialization. A *nonzero* bad-magic page is real corruption and is
+    // left for GetMetaRoot to report.
+    REACH_ASSIGN_OR_RETURN(Page * meta, sm->pool_->FetchPage(0));
+    uint32_t magic = 0;
+    std::memcpy(&magic, meta->data(), sizeof(magic));
+    bool all_zero = true;
+    for (size_t i = 0; i < kPageSize && all_zero; ++i) {
+      all_zero = meta->data()[i] == 0;
+    }
+    if (magic != kMetaMagic && all_zero) {
+      REACH_RETURN_IF_ERROR(sm->InitMetaPage(meta));
+      REACH_RETURN_IF_ERROR(sm->pool_->UnpinPage(0, /*dirty=*/true));
+      REACH_RETURN_IF_ERROR(sm->pool_->FlushPage(0));
+    } else {
+      REACH_RETURN_IF_ERROR(sm->pool_->UnpinPage(0, /*dirty=*/false));
+    }
   }
 
-  // Crash recovery, then checkpoint so the log starts empty.
+  // Raise the WAL's LSN counter to the persisted floor before any record is
+  // appended, so this epoch's LSNs exceed every page LSN stamped before the
+  // last truncation.
+  REACH_ASSIGN_OR_RETURN(Lsn floor, sm->ReadLsnFloor());
+  wal->EnsureNextLsnAtLeast(floor);
+
+  // Crash recovery, then checkpoint so the log starts empty. The new floor
+  // must reach disk before the truncate makes the old LSNs unrecoverable.
   RecoveryManager recovery(wal, sm->objects_.get());
   REACH_RETURN_IF_ERROR(recovery.Recover(&sm->recovery_stats_));
   REACH_RETURN_IF_ERROR(sm->pool_->FlushAll());
+  REACH_RETURN_IF_ERROR(sm->WriteLsnFloor(wal->next_lsn()));
   REACH_RETURN_IF_ERROR(sm->disk_->Sync());
   REACH_RETURN_IF_ERROR(wal->Truncate());
 
   REACH_RETURN_IF_ERROR(sm->objects_->Bootstrap());
   return sm;
+}
+
+Status StorageManager::InitMetaPage(Page* meta) {
+  uint32_t magic = kMetaMagic;
+  std::memcpy(meta->data(), &magic, sizeof(magic));
+  char invalid[SlottedPage::kOidEncodedSize];
+  SlottedPage::EncodeOid(kInvalidOid, invalid);
+  std::memcpy(meta->data() + sizeof(magic), invalid, sizeof(invalid));
+  Lsn floor = 0;
+  std::memcpy(meta->data() + kLsnFloorOffset, &floor, sizeof(floor));
+  return Status::OK();
 }
 
 Status StorageManager::LogBegin(TxnId txn) {
@@ -70,8 +104,24 @@ Status StorageManager::LogAbort(TxnId txn) {
 
 Status StorageManager::Checkpoint() {
   REACH_RETURN_IF_ERROR(pool_->FlushAll());
+  REACH_RETURN_IF_ERROR(WriteLsnFloor(wal_->next_lsn()));
   REACH_RETURN_IF_ERROR(disk_->Sync());
   return wal_->Truncate();
+}
+
+Result<Lsn> StorageManager::ReadLsnFloor() {
+  REACH_ASSIGN_OR_RETURN(Page * meta, pool_->FetchPage(0));
+  Lsn floor = 0;
+  std::memcpy(&floor, meta->data() + kLsnFloorOffset, sizeof(floor));
+  REACH_RETURN_IF_ERROR(pool_->UnpinPage(0, /*dirty=*/false));
+  return floor;
+}
+
+Status StorageManager::WriteLsnFloor(Lsn floor) {
+  REACH_ASSIGN_OR_RETURN(Page * meta, pool_->FetchPage(0));
+  std::memcpy(meta->data() + kLsnFloorOffset, &floor, sizeof(floor));
+  REACH_RETURN_IF_ERROR(pool_->UnpinPage(0, /*dirty=*/true));
+  return pool_->FlushPage(0);
 }
 
 Result<Oid> StorageManager::GetMetaRoot() {

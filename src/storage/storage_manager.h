@@ -52,7 +52,18 @@ class StorageManager {
  private:
   StorageManager() = default;
 
+  /// Write the magic + invalid root pointer into a pinned page-0 frame.
+  static Status InitMetaPage(Page* meta);
+
+  /// LSN floor persisted in the meta page: on open, the WAL's LSN counter is
+  /// raised to this value so LSNs stay monotonic across log truncations
+  /// (page LSNs stamped in an earlier epoch must never exceed new LSNs).
+  Result<Lsn> ReadLsnFloor();
+  Status WriteLsnFloor(Lsn floor);
+
   static constexpr uint32_t kMetaMagic = 0x52454d54;  // "REMT"
+  static constexpr size_t kLsnFloorOffset =
+      sizeof(uint32_t) + SlottedPage::kOidEncodedSize;
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<Wal> wal_;

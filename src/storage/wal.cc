@@ -6,6 +6,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
 namespace reach {
 
 namespace {
@@ -125,6 +128,7 @@ bool Wal::DecodeRecord(const char* data, size_t len, size_t* consumed,
 }
 
 Result<Lsn> Wal::Append(WalRecord record) {
+  REACH_FAULT_POINT(faults::kWalAppend);
   std::lock_guard<std::mutex> lock(mu_);
   record.lsn = next_lsn_++;
   EncodeRecord(record, &buffer_);
@@ -135,6 +139,8 @@ Result<Lsn> Wal::Append(WalRecord record) {
 Status Wal::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!buffer_.empty()) {
+    // Crash here: the buffered records are lost entirely.
+    REACH_FAULT_POINT(faults::kWalFlushWrite);
     ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
     if (n != static_cast<ssize_t>(buffer_.size())) {
       return Status::IoError("wal write");
@@ -142,6 +148,9 @@ Status Wal::Flush() {
     buffer_.clear();
     buffer_count_ = 0;
   }
+  // Crash here: records reached the file but were never fsynced (with no OS
+  // crash behind it they still replay — the durability-uncertain window).
+  REACH_FAULT_POINT(faults::kWalFlushFsync);
   if (::fsync(fd_) != 0) {
     return Status::IoError(std::string("wal fsync: ") + std::strerror(errno));
   }
@@ -172,6 +181,7 @@ Status Wal::ReadAll(std::vector<WalRecord>* out) {
 }
 
 Status Wal::Truncate() {
+  REACH_FAULT_POINT(faults::kWalTruncate);
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.clear();
   buffer_count_ = 0;

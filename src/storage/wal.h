@@ -65,6 +65,15 @@ class Wal {
     return next_lsn_;
   }
 
+  /// Raise next_lsn to at least `floor`. The storage manager persists an LSN
+  /// floor in the meta page before each truncation so LSNs stay monotonic
+  /// across restarts — otherwise a fresh (truncated) log would restart at 1
+  /// and page LSNs stamped in an earlier epoch would wrongly suppress redo.
+  void EnsureNextLsnAtLeast(Lsn floor) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (next_lsn_ < floor) next_lsn_ = floor;
+  }
+
   /// Number of appends that have not yet been fsynced.
   size_t unflushed_records() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,50 @@
+// Central manifest of named fault points. Every REACH_FAULT_POINT call site
+// uses one of these constants, and the registry pre-registers the whole
+// list, so torture suites can enumerate every point without first having to
+// drive execution through it.
+//
+// Naming scheme: `component.operation[.phase]` — e.g. `wal.flush.fsync` is
+// the phase of Wal::Flush between the buffered write and the fsync. See
+// docs/TESTING.md.
+#pragma once
+
+namespace reach::faults {
+
+// -- DiskManager -----------------------------------------------------------
+inline constexpr const char* kDiskReadPage = "disk.read_page";
+inline constexpr const char* kDiskWritePage = "disk.write_page";
+inline constexpr const char* kDiskAllocatePage = "disk.allocate_page";
+inline constexpr const char* kDiskSync = "disk.sync";
+
+// -- Wal -------------------------------------------------------------------
+inline constexpr const char* kWalAppend = "wal.append";
+inline constexpr const char* kWalFlushWrite = "wal.flush.write";
+inline constexpr const char* kWalFlushFsync = "wal.flush.fsync";
+inline constexpr const char* kWalTruncate = "wal.truncate";
+
+// -- BufferPool ------------------------------------------------------------
+inline constexpr const char* kBufFetch = "bufferpool.fetch";
+inline constexpr const char* kBufEvictWriteback = "bufferpool.evict.writeback";
+inline constexpr const char* kBufFlushPage = "bufferpool.flush_page";
+inline constexpr const char* kBufFlushAll = "bufferpool.flush_all";
+
+// -- TransactionManager ----------------------------------------------------
+inline constexpr const char* kTxnBegin = "txn.begin";
+inline constexpr const char* kTxnCommitEntry = "txn.commit.entry";
+inline constexpr const char* kTxnCommitForce = "txn.commit.force";
+inline constexpr const char* kTxnAbortEntry = "txn.abort.entry";
+
+// -- RuleEngine ------------------------------------------------------------
+inline constexpr const char* kRuleDeferredFlush = "rule.deferred.flush";
+inline constexpr const char* kRuleSubtxnExec = "rule.subtxn.exec";
+inline constexpr const char* kRuleDetachedExec = "rule.detached.exec";
+
+inline constexpr const char* kAll[] = {
+    kDiskReadPage,    kDiskWritePage,     kDiskAllocatePage, kDiskSync,
+    kWalAppend,       kWalFlushWrite,     kWalFlushFsync,    kWalTruncate,
+    kBufFetch,        kBufEvictWriteback, kBufFlushPage,     kBufFlushAll,
+    kTxnBegin,        kTxnCommitEntry,    kTxnCommitForce,   kTxnAbortEntry,
+    kRuleDeferredFlush, kRuleSubtxnExec,  kRuleDetachedExec,
+};
+
+}  // namespace reach::faults

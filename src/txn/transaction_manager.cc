@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
 namespace reach {
 
 TransactionManager::TransactionManager(StorageManager* storage)
@@ -24,6 +27,7 @@ void TransactionManager::RecordUndo(TxnId txn, PageId page, SlotId slot,
 }
 
 Result<TxnId> TransactionManager::Begin(TxnId parent) {
+  REACH_FAULT_POINT(faults::kTxnBegin);
   TxnId id;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -50,6 +54,9 @@ Result<TxnId> TransactionManager::Begin(TxnId parent) {
 }
 
 Status TransactionManager::Commit(TxnId txn_id) {
+  // Before any state change: an injected error leaves the transaction
+  // active so the caller can still abort it cleanly.
+  REACH_FAULT_POINT(faults::kTxnCommitEntry);
   TxnId parent;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -109,7 +116,12 @@ Status TransactionManager::Commit(TxnId txn_id) {
       }
     }
 
-    // Durability point: commit records for the whole tree, then force.
+    // Durability point: commit records for the whole tree, then force. If
+    // the log cannot be written or forced, the commit never happened — the
+    // tree must roll back. Returning with the transaction parked in
+    // kCommitted would leak its locks and wedge every later transaction, so
+    // revert to active and abort (the compensations redo over any buffered
+    // commit records, keeping recovery correct either way).
     std::vector<TxnId> merged;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -117,14 +129,33 @@ Status TransactionManager::Commit(TxnId txn_id) {
       merged = it->second.merged;
       it->second.state = TxnState::kCommitted;
     }
+    Status force = Status::OK();
     for (TxnId m : merged) {
       WalRecord rec;
       rec.type = WalRecordType::kCommit;
       rec.txn = m;
       auto lsn = storage_->wal()->Append(std::move(rec));
-      if (!lsn.ok()) return lsn.status();
+      if (!lsn.ok()) {
+        force = lsn.status();
+        break;
+      }
     }
-    REACH_RETURN_IF_ERROR(storage_->LogCommit(txn_id));
+    if (force.ok()) {
+      // Crash here: commit records are buffered but never forced — recovery
+      // must roll the whole tree back.
+      force = REACH_FAULT_HIT(faults::kTxnCommitForce);
+      if (force.ok()) force = storage_->LogCommit(txn_id);
+    }
+    if (!force.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = txns_.find(txn_id);
+        if (it != txns_.end()) it->second.state = TxnState::kActive;
+      }
+      Status abort_st = DoAbort(txn_id);
+      (void)abort_st;
+      return force;
+    }
 
     locks_.ReleaseAll(txn_id);
     locks_.UnregisterTxn(txn_id);
@@ -170,7 +201,11 @@ Status TransactionManager::Commit(TxnId txn_id) {
 }
 
 Status TransactionManager::DoAbort(TxnId txn_id) {
-  // Abort active children first (deepest-first through recursion).
+  REACH_FAULT_POINT(faults::kTxnAbortEntry);
+  // Abort active children first (deepest-first through recursion). A child
+  // whose abort reports an error has still been cleaned up (see below), so
+  // keep going: the parent must not stay active holding locks.
+  Status result = Status::OK();
   for (;;) {
     TxnId child = kNoTxn;
     {
@@ -183,7 +218,8 @@ Status TransactionManager::DoAbort(TxnId txn_id) {
       }
     }
     if (child == kNoTxn) break;
-    REACH_RETURN_IF_ERROR(DoAbort(child));
+    Status st = DoAbort(child);
+    if (!st.ok() && result.ok()) result = st;
   }
 
   std::vector<UndoEntry> undo;
@@ -201,20 +237,34 @@ Status TransactionManager::DoAbort(TxnId txn_id) {
     parent = it->second.parent;
   }
 
-  // Compensate newest-first; each compensation is itself WAL-logged.
+  // Compensate newest-first; each compensation is itself WAL-logged. If any
+  // compensation cannot be applied, write no abort record: recovery then
+  // treats the transaction as a loser and undoes it from the original
+  // before-images, which is idempotent with whatever compensations did land.
+  // Either way the in-memory cleanup below must run — an abort that leaves
+  // its locks behind would block every later transaction forever.
   for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-    REACH_RETURN_IF_ERROR(storage_->objects()->ApplyImageLogged(
-        txn_id, it->page, it->slot, it->before));
+    Status st = storage_->objects()->ApplyImageLogged(txn_id, it->page,
+                                                      it->slot, it->before);
+    if (!st.ok() && result.ok()) result = st;
   }
-  // Abort records for this txn and every descendant merged into it.
-  for (TxnId m : merged) {
-    WalRecord rec;
-    rec.type = WalRecordType::kAbort;
-    rec.txn = m;
-    auto lsn = storage_->wal()->Append(std::move(rec));
-    if (!lsn.ok()) return lsn.status();
+  if (result.ok()) {
+    // Abort records for this txn and every descendant merged into it.
+    for (TxnId m : merged) {
+      WalRecord rec;
+      rec.type = WalRecordType::kAbort;
+      rec.txn = m;
+      auto lsn = storage_->wal()->Append(std::move(rec));
+      if (!lsn.ok()) {
+        result = lsn.status();
+        break;
+      }
+    }
+    if (result.ok()) {
+      Status st = storage_->LogAbort(txn_id);
+      if (!st.ok()) result = st;
+    }
   }
-  REACH_RETURN_IF_ERROR(storage_->LogAbort(txn_id));
 
   locks_.ReleaseAll(txn_id);
   locks_.UnregisterTxn(txn_id);
@@ -227,9 +277,11 @@ Status TransactionManager::DoAbort(TxnId txn_id) {
     txns_.erase(txn_id);
   }
   FinishOutcome(txn_id, /*committed=*/false);
-  std::lock_guard<std::mutex> lock(listener_mu_);
-  for (TxnListener* l : listeners_) l->OnAbort(txn_id);
-  return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    for (TxnListener* l : listeners_) l->OnAbort(txn_id);
+  }
+  return result;
 }
 
 Status TransactionManager::Abort(TxnId txn_id) { return DoAbort(txn_id); }

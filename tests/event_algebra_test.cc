@@ -410,6 +410,84 @@ TEST_F(AlgebraTest, ExplicitExpireTick) {
   EXPECT_EQ(c.LivePartialCount(), 0u);
 }
 
+TEST_F(AlgebraTest, ExpireOlderThanCountsExactlyTheCutoffVictims) {
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle, CompositeScope::kCrossTxn,
+      /*validity=*/10'000);
+  Compositor c(registry_.Find(id));
+  std::vector<EventOccurrencePtr> out;
+  c.Feed(occ_.Make(e1_, 1, /*ts=*/100), &out);
+  c.Feed(occ_.Make(e1_, 2, /*ts=*/200), &out);
+  c.Feed(occ_.Make(e1_, 3, /*ts=*/300), &out);
+  EXPECT_EQ(c.LivePartialCount(), 3u);
+  c.ExpireOlderThan(250);
+  EXPECT_EQ(c.stats().expired_partials, 2u);
+  EXPECT_EQ(c.LivePartialCount(), 1u);
+  // The survivor (ts=300) still completes; chronicle picks it as oldest.
+  c.Feed(occ_.Make(e2_, 4, /*ts=*/310), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->constituents[0]->timestamp, 300);
+  EXPECT_EQ(c.stats().completions, 1u);
+}
+
+TEST_F(AlgebraTest, ExpireOlderThanUnderRecentPolicy) {
+  // Recent keeps only the latest initiator alive as the pairing candidate,
+  // but expiry must still GC (and count) every buffered partial.
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kRecent, CompositeScope::kCrossTxn,
+      /*validity=*/10'000);
+  Compositor c(registry_.Find(id));
+  std::vector<EventOccurrencePtr> out;
+  c.Feed(occ_.Make(e1_, 1, /*ts=*/100), &out);
+  c.Feed(occ_.Make(e1_, 2, /*ts=*/200), &out);
+  size_t live_before = c.LivePartialCount();
+  EXPECT_GE(live_before, 1u);
+  c.ExpireOlderThan(500);
+  EXPECT_EQ(c.stats().expired_partials, live_before);
+  EXPECT_EQ(c.LivePartialCount(), 0u);
+  // Everything expired: a terminator alone composes nothing...
+  c.Feed(occ_.Make(e2_, 3, /*ts=*/600), &out);
+  EXPECT_TRUE(out.empty());
+  // ...but a fresh initiator/terminator pair still works.
+  c.Feed(occ_.Make(e1_, 4, /*ts=*/700), &out);
+  c.Feed(occ_.Make(e2_, 5, /*ts=*/710), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(AlgebraTest, EotStatsPerTxnAndCrossTxnUnaffected) {
+  // Single-txn scope: EOT discards exactly the ending transaction's
+  // partials and counts them; other transactions' automata are untouched.
+  auto id = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle, CompositeScope::kSingleTxn);
+  Compositor c(registry_.Find(id));
+  std::vector<EventOccurrencePtr> out;
+  c.Feed(occ_.Make(e1_, 1), &out);
+  c.Feed(occ_.Make(e1_, 2), &out);
+  c.OnTxnEnd(1);
+  EXPECT_EQ(c.stats().discarded_at_eot, 1u);
+  EXPECT_EQ(c.LivePartialCount(), 1u);
+  c.Feed(occ_.Make(e2_, 2), &out);
+  EXPECT_EQ(out.size(), 1u);
+
+  // Cross-txn scope: partials outlive transaction boundaries, so OnTxnEnd
+  // must be a counted-nothing no-op.
+  auto xid = DefineComposite(
+      EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),
+      ConsumptionPolicy::kChronicle, CompositeScope::kCrossTxn,
+      /*validity=*/10'000);
+  Compositor xc(registry_.Find(xid));
+  std::vector<EventOccurrencePtr> xout;
+  xc.Feed(occ_.Make(e1_, 7, /*ts=*/100), &xout);
+  xc.OnTxnEnd(7);
+  EXPECT_EQ(xc.stats().discarded_at_eot, 0u);
+  EXPECT_EQ(xc.LivePartialCount(), 1u);
+  xc.Feed(occ_.Make(e2_, 8, /*ts=*/150), &xout);
+  EXPECT_EQ(xout.size(), 1u);
+}
+
 TEST_F(AlgebraTest, CompositeParamsComeFromTerminator) {
   auto id = DefineComposite(
       EventExpr::Seq(EventExpr::Prim(e1_), EventExpr::Prim(e2_)),

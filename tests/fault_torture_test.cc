@@ -1,0 +1,415 @@
+// Crash-recovery torture: a seeded workload runs against the storage and
+// transaction layers while the fault registry kills the "process" (throws
+// FaultInjectedCrash) at each WAL/storage fault point in turn; the stack is
+// then dropped without clean shutdown — the repo-wide crash convention —
+// and reopened, and recovery must leave exactly the committed transactions
+// visible.
+//
+// Reproducing a failure: every torture test prints its seed; rerunning with
+// REACH_TORTURE_SEED=<seed> replays the identical fault schedule (see
+// docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/random.h"
+#include "core/reach/reach_db.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+uint64_t TortureSeed() {
+  if (const char* env = std::getenv("REACH_TORTURE_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xC0FFEEULL;
+}
+
+// One object mutation a transaction performed: value nullopt = deleted.
+using TxnEffects = std::vector<std::pair<Oid, std::optional<std::string>>>;
+
+struct WorkloadOutcome {
+  bool crashed = false;
+  std::string crash_point;
+  // Expected post-recovery state from transactions whose LogCommit returned
+  // OK (latest committed value; nullopt = committed delete).
+  std::map<Oid, std::optional<std::string>> committed;
+  // Effects of the transaction (if any) interrupted mid-commit: recovery
+  // must apply all of them or none of them. Its first effect is always an
+  // insert of a fresh object, which disambiguates the outcome.
+  TxnEffects uncertain;
+  // Objects touched by transactions that never reached commit.
+  std::vector<Oid> loser_oids;
+  // Deterministic fingerprint of the schedule for replay checking.
+  std::string fingerprint;
+};
+
+// Seeded storage-level workload: `txns` transactions, each inserting 1-3
+// objects and sometimes updating/deleting a previously committed one, with
+// ~70% committing and the rest rolled back through the transaction manager
+// (abandoning a transaction without rollback would break the strict-2PL
+// assumption recovery's physical undo relies on), and occasional FlushAll
+// pushing dirty pages (and the eviction/write-back fault points) to disk.
+WorkloadOutcome RunStorageWorkload(const std::string& base, uint64_t seed,
+                                   int txns) {
+  WorkloadOutcome out;
+  Random rng(seed);
+  std::vector<std::pair<Oid, std::string>> committed_live;  // update targets
+  std::ostringstream schedule;
+
+  // Open is inside the try: its recovery/checkpoint path runs the same WAL
+  // and buffer-pool fault points as the workload.
+  try {
+    auto sm_or = StorageManager::Open(base, {.buffer_pool_pages = 8});
+    if (!sm_or.ok()) {
+      out.fingerprint = "open-failed:" + sm_or.status().ToString();
+      return out;
+    }
+    auto sm = std::move(*sm_or);
+    TransactionManager tm(sm.get());
+    for (int n = 1; n <= txns; ++n) {
+      auto t_or = tm.Begin();
+      if (!t_or.ok()) break;
+      TxnId t = *t_or;
+      TxnEffects effects;
+      int ops = 1 + static_cast<int>(rng.Uniform(3));
+      for (int i = 0; i < ops; ++i) {
+        std::string value =
+            "t" + std::to_string(n) + "-o" + std::to_string(i) +
+            std::string(rng.Uniform(600), 'x');
+        auto oid = sm->objects()->Insert(t, value);
+        if (!oid.ok()) break;
+        effects.emplace_back(*oid, value);
+        schedule << "i" << n << "." << i << ";";
+      }
+      if (!committed_live.empty() && rng.Bernoulli(0.5)) {
+        auto& [oid, _] = committed_live[rng.Uniform(committed_live.size())];
+        if (rng.Bernoulli(0.3)) {
+          if (sm->objects()->Delete(t, oid).ok()) {
+            effects.emplace_back(oid, std::nullopt);
+            schedule << "d" << n << ";";
+          }
+        } else {
+          std::string value = "u" + std::to_string(n);
+          if (sm->objects()->Update(t, oid, value).ok()) {
+            effects.emplace_back(oid, value);
+            schedule << "u" << n << ";";
+          }
+        }
+      }
+      if (rng.Bernoulli(0.25)) (void)sm->buffer_pool()->FlushAll();
+
+      if (rng.Bernoulli(0.7)) {
+        out.uncertain = effects;  // commit in flight: outcome uncertain
+        Status commit = tm.Commit(t);
+        if (commit.ok()) {
+          out.uncertain.clear();
+          for (auto& [oid, value] : effects) {
+            out.committed[oid] = value;
+            if (value.has_value()) committed_live.emplace_back(oid, *value);
+          }
+          schedule << "C" << n << ";";
+        } else {
+          out.uncertain.clear();
+          for (auto& [oid, value] : effects) out.loser_oids.push_back(oid);
+          // Failed commit implies rollback (the commit path usually aborts
+          // internally, but an early failure can leave the txn active).
+          if (tm.IsActive(t)) (void)tm.Abort(t);
+          schedule << "E" << n << ";";
+        }
+      } else {
+        for (auto& [oid, value] : effects) out.loser_oids.push_back(oid);
+        (void)tm.Abort(t);
+        schedule << "L" << n << ";";
+      }
+    }
+  } catch (const FaultInjectedCrash& crash) {
+    out.crashed = true;
+    out.crash_point = crash.point();
+    schedule << "CRASH@" << crash.point();
+  }
+  out.fingerprint = schedule.str();
+  // Crash convention: the caller destroys `sm` without FlushAll/Checkpoint —
+  // dirty pages and the unflushed WAL buffer are dropped on the floor.
+  return out;
+}
+
+// Reopen after the crash and check committed-durable / aborted-invisible,
+// with all-or-nothing semantics for a transaction interrupted mid-commit.
+// Returns a fingerprint of the recovered state for determinism checks.
+std::string VerifyRecovered(const std::string& base,
+                            const WorkloadOutcome& out) {
+  auto sm_or = StorageManager::Open(base, {.buffer_pool_pages = 8});
+  EXPECT_TRUE(sm_or.ok()) << sm_or.status().ToString();
+  if (!sm_or.ok()) return "reopen-failed";
+  auto sm = std::move(*sm_or);
+
+  // Resolve the uncertain transaction from its first effect (always a fresh
+  // insert), then demand atomicity for the rest of its effects.
+  bool uncertain_committed = false;
+  if (!out.uncertain.empty()) {
+    uncertain_committed = sm->objects()->Read(out.uncertain.front().first).ok();
+    for (const auto& [u_oid, u_value] : out.uncertain) {
+      auto u_read = sm->objects()->Read(u_oid);
+      if (uncertain_committed && u_value.has_value()) {
+        EXPECT_TRUE(u_read.ok()) << "mid-commit txn applied partially";
+        if (u_read.ok()) {
+          EXPECT_EQ(*u_read, *u_value);
+        }
+      } else if (uncertain_committed && !u_value.has_value()) {
+        EXPECT_FALSE(u_read.ok()) << "mid-commit delete not applied";
+      } else if (!uncertain_committed && u_value.has_value() &&
+                 !out.committed.contains(u_oid)) {
+        EXPECT_FALSE(u_read.ok()) << "mid-commit txn leaked an insert";
+      }
+    }
+  }
+  auto touched_by_uncertain = [&](const Oid& oid) {
+    for (const auto& [u_oid, _] : out.uncertain) {
+      if (u_oid == oid) return true;
+    }
+    return false;
+  };
+
+  std::ostringstream state;
+  state << "uncertain=" << uncertain_committed << ";";
+  for (const auto& [oid, value] : out.committed) {
+    // If the mid-commit txn won and rewrote this object, it wrote last.
+    if (uncertain_committed && touched_by_uncertain(oid)) continue;
+    auto read = sm->objects()->Read(oid);
+    if (value.has_value()) {
+      EXPECT_TRUE(read.ok()) << "committed object lost: " << oid.ToString();
+      if (read.ok()) {
+        EXPECT_EQ(*read, *value);
+        state << oid.ToString() << "=" << value->size() << ";";
+      }
+    } else {
+      EXPECT_FALSE(read.ok()) << "committed delete resurrected: "
+                              << oid.ToString() << " sched=" << out.fingerprint
+                              << " bytes=" << (read.ok() ? read->size() : 0);
+      state << oid.ToString() << "=gone;";
+    }
+  }
+  for (const Oid& oid : out.loser_oids) {
+    // Updates/deletes of committed objects by losers are covered above. A
+    // runtime abort restores the slot's generation, so a later transaction
+    // can mint the same OID — skip oids rewritten by the winning mid-commit
+    // transaction.
+    if (out.committed.contains(oid)) continue;
+    if (uncertain_committed && touched_by_uncertain(oid)) continue;
+    EXPECT_FALSE(sm->objects()->Read(oid).ok())
+        << "loser transaction leaked an object: " << oid.ToString()
+        << " sched=" << out.fingerprint;
+  }
+  return state.str();
+}
+
+class CrashTortureTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(CrashTortureTest, KillAtEveryStorageFaultPoint) {
+  const uint64_t seed = TortureSeed();
+  const char* crash_points[] = {
+      faults::kWalAppend,         faults::kWalFlushWrite,
+      faults::kWalFlushFsync,     faults::kWalTruncate,
+      faults::kDiskWritePage,     faults::kDiskAllocatePage,
+      faults::kDiskSync,          faults::kBufEvictWriteback,
+      faults::kBufFlushAll,       faults::kBufFlushPage,
+      faults::kBufFetch,          faults::kDiskReadPage,
+  };
+  auto& reg = FaultRegistry::Instance();
+  int crashes = 0;
+  for (const char* point : crash_points) {
+    for (uint64_t nth : {1ULL, 3ULL, 9ULL}) {
+      SCOPED_TRACE(std::string("point=") + point + " nth=" +
+                   std::to_string(nth) + " seed=" + std::to_string(seed));
+      TempDir dir;
+      reg.DisarmAll();
+      reg.SetSeed(seed);
+      reg.ArmCrash(point, nth);
+      WorkloadOutcome out = RunStorageWorkload(dir.DbPath(), seed, 12);
+      reg.DisarmAll();
+      if (out.crashed) {
+        ++crashes;
+        EXPECT_EQ(out.crash_point, point);
+      }
+      VerifyRecovered(dir.DbPath(), out);
+    }
+  }
+  std::cout << "[torture] seed=" << seed << " crashes=" << crashes << "\n";
+  EXPECT_GT(crashes, 0) << "no fault point ever fired — wiring broken?";
+}
+
+TEST_F(CrashTortureTest, SameSeedReplaysIdenticalSchedule) {
+  const uint64_t seed = TortureSeed();
+  auto& reg = FaultRegistry::Instance();
+  for (const char* point : {faults::kWalFlushWrite, faults::kDiskWritePage}) {
+    std::string fp1, fp2, state1, state2;
+    {
+      TempDir dir;
+      reg.DisarmAll();
+      reg.SetSeed(seed);
+      reg.ArmCrash(point, 2);
+      WorkloadOutcome out = RunStorageWorkload(dir.DbPath(), seed, 12);
+      reg.DisarmAll();
+      fp1 = out.fingerprint;
+      state1 = VerifyRecovered(dir.DbPath(), out);
+    }
+    {
+      TempDir dir;
+      reg.DisarmAll();
+      reg.SetSeed(seed);
+      reg.ArmCrash(point, 2);
+      WorkloadOutcome out = RunStorageWorkload(dir.DbPath(), seed, 12);
+      reg.DisarmAll();
+      fp2 = out.fingerprint;
+      state2 = VerifyRecovered(dir.DbPath(), out);
+    }
+    std::cout << "[torture] seed=" << seed << " point=" << point
+              << " schedule=" << fp1.substr(0, 60) << "...\n";
+    EXPECT_EQ(fp1, fp2) << "fault schedule not deterministic for " << point;
+    EXPECT_EQ(state1, state2) << "recovered state diverged for " << point;
+  }
+}
+
+TEST_F(CrashTortureTest, CrashAtCommitForceRollsBackWholeTree) {
+  // Transaction-manager level: the crash fires between the merged-subtxn
+  // commit records and the log force, so the whole nested tree must be a
+  // loser after recovery.
+  const uint64_t seed = TortureSeed();
+  auto& reg = FaultRegistry::Instance();
+  TempDir dir;
+  Oid committed_oid, parent_oid, child_oid;
+  {
+    auto sm = StorageManager::Open(dir.DbPath()).value();
+    TransactionManager tm(sm.get());
+
+    TxnId t1 = *tm.Begin();
+    committed_oid = *sm->objects()->Insert(t1, "survivor");
+    ASSERT_TRUE(tm.Commit(t1).ok());
+
+    TxnId t2 = *tm.Begin();
+    parent_oid = *sm->objects()->Insert(t2, "parent-write");
+    TxnId t3 = *tm.Begin(t2);
+    child_oid = *sm->objects()->Insert(t3, "child-write");
+    ASSERT_TRUE(tm.Commit(t3).ok());  // merges into t2
+
+    reg.SetSeed(seed);
+    reg.ArmCrash(faults::kTxnCommitForce, 1);
+    EXPECT_THROW((void)tm.Commit(t2), FaultInjectedCrash);
+    reg.DisarmAll();
+    // Crash: drop the stack with no flush.
+  }
+  auto sm = StorageManager::Open(dir.DbPath()).value();
+  EXPECT_EQ(*sm->objects()->Read(committed_oid), "survivor");
+  EXPECT_FALSE(sm->objects()->Read(parent_oid).ok())
+      << "unforced commit became durable";
+  EXPECT_FALSE(sm->objects()->Read(child_oid).ok())
+      << "merged subtransaction survived its root's crash";
+}
+
+TEST_F(CrashTortureTest, CrossTxnCompositorPartialsSurviveInjectedAborts) {
+  // Life-span semantics at the failure boundary (§3.3): a cross-transaction
+  // composite's partial, contributed by a committed transaction, must
+  // survive an unrelated transaction's injected abort and still complete
+  // within its validity interval.
+  auto& reg = FaultRegistry::Instance();
+  TempDir dir;
+  auto db_or = ReachDb::Open(dir.DbPath());
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(*db_or);
+  ASSERT_TRUE(db->RegisterClass(
+                    ClassBuilder("S")
+                        .Attribute("v", ValueType::kInt, Value(0))
+                        .Method("m1", [](Session&, DbObject&,
+                                         const std::vector<Value>&)
+                                    -> Result<Value> { return Value(); })
+                        .Method("m2", [](Session&, DbObject&,
+                                         const std::vector<Value>&)
+                                    -> Result<Value> { return Value(); }))
+                  .ok());
+  auto ev1 = db->events()->DefineMethodEvent("ev1", "S", "m1");
+  auto ev2 = db->events()->DefineMethodEvent("ev2", "S", "m2");
+  ASSERT_TRUE(ev1.ok() && ev2.ok());
+  auto pair_ev = db->events()->DefineComposite(
+      "pair", EventExpr::Seq(EventExpr::Prim(*ev1), EventExpr::Prim(*ev2)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle,
+      /*validity_us=*/60'000'000);
+  ASSERT_TRUE(pair_ev.ok()) << pair_ev.status().ToString();
+
+  auto fired = std::make_shared<std::atomic<int>>(0);
+  RuleSpec spec;
+  spec.name = "pair_rule";
+  spec.event = *pair_ev;
+  spec.coupling = CouplingMode::kDetached;
+  spec.action = [fired](Session&, const EventOccurrence&) {
+    fired->fetch_add(1);
+    return Status::OK();
+  };
+  ASSERT_TRUE(db->rules()->DefineRule(std::move(spec)).ok());
+
+  Oid obj;
+  {
+    Session s(db->database());
+    ASSERT_TRUE(s.Begin().ok());
+    obj = *s.PersistNew("S", {});
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  // Txn A: raises the first constituent, commits — partial buffered.
+  {
+    Session s(db->database());
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.Invoke(obj, "m1", {}).ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  // Txn B: aborted by an injected commit-entry fault. The cross-txn partial
+  // from A must not be collateral damage.
+  {
+    Session s(db->database());
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.SetAttr(obj, "v", Value(int64_t{42})).ok());
+    reg.ArmError(faults::kTxnCommitEntry, Status::Code::kAborted, 1);
+    EXPECT_FALSE(s.Commit().ok());
+    reg.DisarmAll();
+    // Failed commit implies rollback: the transaction is gone and its locks
+    // are released (a leaked lock would wedge txn C below).
+    EXPECT_TRUE(s.Abort().IsFailedPrecondition());
+  }
+  // Txn C: second constituent completes the pair within validity.
+  {
+    Session s(db->database());
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.Invoke(obj, "m2", {}).ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  db->Drain();
+  db->rules()->WaitDetachedIdle();
+  EXPECT_EQ(fired->load(), 1)
+      << "cross-txn partial did not survive the injected abort";
+}
+
+TEST_F(CrashTortureTest, CleanRunRecoversExactCommittedState) {
+  // No-fault baseline: destroying the stack without a checkpoint (dirty
+  // pages and the WAL tail dropped) must still recover exactly the
+  // committed state. Failures here are recovery bugs, not fault wiring.
+  TempDir dir;
+  WorkloadOutcome out = RunStorageWorkload(dir.DbPath(), TortureSeed(), 12);
+  EXPECT_FALSE(out.crashed);
+  VerifyRecovered(dir.DbPath(), out);
+}
+
+}  // namespace
+}  // namespace reach
