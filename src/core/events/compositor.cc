@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace reach {
 
 namespace {
+
+/// Process-wide aggregates over all Compositor instances; the per-instance
+/// counts in CompositorStats remain exact for tests and diagnostics.
+struct CompositorMetrics {
+  obs::Counter* fed;
+  obs::Counter* completions;
+  obs::Counter* expired_partials;
+  obs::Counter* discarded_at_eot;
+
+  static const CompositorMetrics& Get() {
+    static const CompositorMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return CompositorMetrics{reg.counter(obs::kCompositorFed),
+                               reg.counter(obs::kCompositorCompletions),
+                               reg.counter(obs::kCompositorExpired),
+                               reg.counter(obs::kCompositorDiscardedEot)};
+    }();
+    return m;
+  }
+};
 
 /// A (partially or fully) completed sub-composition travelling up the node
 /// tree.
@@ -580,7 +603,8 @@ EventOccurrencePtr Compositor::MakeOccurrence(
 void Compositor::Feed(const EventOccurrencePtr& occ,
                       std::vector<EventOccurrencePtr>* out) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.fed;
+  fed_.fetch_add(1, std::memory_order_relaxed);
+  CompositorMetrics::Get().fed->Inc();
   TxnId key = kNoTxn;
   if (desc_->scope == CompositeScope::kSingleTxn) {
     if (occ->txn == kNoTxn) return;  // temporal events never reach 1tx trees
@@ -593,13 +617,18 @@ void Compositor::Feed(const EventOccurrencePtr& occ,
   Node* root = it->second.get();
   if (desc_->scope == CompositeScope::kCrossTxn && desc_->validity_us > 0) {
     // Lazy validity GC keyed to the incoming occurrence's timestamp.
-    root->Expire(occ->timestamp - desc_->validity_us,
-                 &stats_.expired_partials);
+    uint64_t dropped = 0;
+    root->Expire(occ->timestamp - desc_->validity_us, &dropped);
+    if (dropped != 0) {
+      expired_partials_.fetch_add(dropped, std::memory_order_relaxed);
+      CompositorMetrics::Get().expired_partials->Inc(dropped);
+    }
   }
   std::vector<Partial> completions;
   root->Feed(occ, &completions);
   for (Partial& p : completions) {
-    ++stats_.completions;
+    completions_.fetch_add(1, std::memory_order_relaxed);
+    CompositorMetrics::Get().completions->Inc();
     out->push_back(MakeOccurrence(std::move(p.parts), p.last_ts, p.last_seq,
                                   desc_->scope == CompositeScope::kSingleTxn
                                       ? key
@@ -612,7 +641,11 @@ void Compositor::OnTxnEnd(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = instances_.find(txn);
   if (it == instances_.end()) return;
-  stats_.discarded_at_eot += it->second->PartialCount();
+  uint64_t discarded = it->second->PartialCount();
+  if (discarded != 0) {
+    discarded_at_eot_.fetch_add(discarded, std::memory_order_relaxed);
+    CompositorMetrics::Get().discarded_at_eot->Inc(discarded);
+  }
   instances_.erase(it);
 }
 
@@ -621,7 +654,12 @@ void Compositor::ExpireOlderThan(Timestamp cutoff) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = instances_.find(kNoTxn);
   if (it == instances_.end()) return;
-  it->second->Expire(cutoff, &stats_.expired_partials);
+  uint64_t dropped = 0;
+  it->second->Expire(cutoff, &dropped);
+  if (dropped != 0) {
+    expired_partials_.fetch_add(dropped, std::memory_order_relaxed);
+    CompositorMetrics::Get().expired_partials->Inc(dropped);
+  }
 }
 
 size_t Compositor::LivePartialCount() const {
@@ -632,8 +670,12 @@ size_t Compositor::LivePartialCount() const {
 }
 
 CompositorStats Compositor::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CompositorStats s;
+  s.fed = fed_.load(std::memory_order_relaxed);
+  s.completions = completions_.load(std::memory_order_relaxed);
+  s.expired_partials = expired_partials_.load(std::memory_order_relaxed);
+  s.discarded_at_eot = discarded_at_eot_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace reach

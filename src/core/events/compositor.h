@@ -11,6 +11,7 @@
 //     partials expire after the validity interval.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -73,7 +74,12 @@ class Compositor {
   mutable std::mutex mu_;
   // kSingleTxn: per-transaction instance trees. kCrossTxn: instances_[kNoTxn].
   std::unordered_map<TxnId, std::unique_ptr<Node>> instances_;
-  CompositorStats stats_;
+  // Per-instance stats, lock-free so stats() never contends with Feed();
+  // process-wide aggregates are mirrored into the obs::MetricsRegistry.
+  std::atomic<uint64_t> fed_{0};
+  std::atomic<uint64_t> completions_{0};
+  std::atomic<uint64_t> expired_partials_{0};
+  std::atomic<uint64_t> discarded_at_eot_{0};
 };
 
 }  // namespace reach

@@ -33,6 +33,11 @@ struct EventOccurrence {
   Timestamp timestamp = 0;
   /// Global arrival sequence number; total order for tie-breaking.
   uint64_t sequence = 0;
+  /// Steady-clock ns at detection (0 = unmeasured). Carried from the sentry
+  /// announcement, or stamped on Signal entry; downstream pipeline stages
+  /// record `now - detect_ns` spans (obs/pipeline_span.h). Not part of the
+  /// event algebra — `timestamp` is the logical event time.
+  uint64_t detect_ns = 0;
   /// Raising transaction; kNoTxn for temporal events.
   TxnId txn = kNoTxn;
   /// Receiver object of a method/state event (invalid otherwise).

@@ -1,6 +1,27 @@
 #include "core/events/event_manager.h"
 
+#include "obs/metric_names.h"
+#include "obs/pipeline_span.h"
+
 namespace reach {
+
+namespace {
+
+struct EventMetrics {
+  obs::Counter* signaled;
+  obs::Counter* composed;
+
+  static const EventMetrics& Get() {
+    static const EventMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return EventMetrics{reg.counter(obs::kEventsSignaled),
+                          reg.counter(obs::kEventsComposed)};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 EventManager::EventManager(Database* db, EventManagerOptions options)
     : db_(db), options_(options), scheduler_(db->clock()) {
@@ -155,6 +176,12 @@ void EventManager::Compose(Compositor* compositor,
   compositor->Feed(occ, &completions);
   for (auto& c : completions) {
     composed_.fetch_add(1, std::memory_order_relaxed);
+    EventMetrics::Get().composed->Inc();
+    // Composition latency: from detection of the leaf that completed the
+    // composite (this occ) to the completion being raised — includes the
+    // async composition queue wait.
+    obs::RecordSpanSince(obs::PipelineSpans::Get().signal_to_compose,
+                         occ->detect_ns);
     Signal(std::const_pointer_cast<EventOccurrence>(c));
   }
 }
@@ -162,8 +189,22 @@ void EventManager::Compose(Compositor* compositor,
 void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
   occ->sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   if (occ->timestamp == 0) occ->timestamp = db_->clock()->Now();
+  // Pipeline span bookkeeping: an occurrence arriving with a detection
+  // stamp (sentry path) closes the sentry->signal stage; one without
+  // (temporal, composite, explicit Raise) starts its span here.
+  uint64_t signal_ns = 0;
+  if (obs::MetricsEnabled()) {
+    signal_ns = obs::NowNanos();
+    if (occ->detect_ns != 0) {
+      obs::PipelineSpans::Get().sentry_to_signal->RecordAlways(
+          signal_ns > occ->detect_ns ? signal_ns - occ->detect_ns : 0);
+    } else {
+      occ->detect_ns = signal_ns;
+    }
+  }
   EventOccurrencePtr shared = occ;
   signaled_.fetch_add(1, std::memory_order_relaxed);
+  EventMetrics::Get().signaled->Inc();
 
   std::vector<EventCallback> listeners;
   std::vector<Compositor*> downstream;
@@ -194,6 +235,12 @@ void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
   // 1. Fire the rules registered with this ECA-manager (synchronous: the
   //    go-ahead for the application waits on immediate rules only).
   for (const EventCallback& cb : listeners) cb(shared);
+  if (signal_ns != 0 && !listeners.empty()) {
+    // Go-ahead latency: what the detecting thread waited for synchronous
+    // listener (immediate rule) processing.
+    obs::RecordSpanSince(obs::PipelineSpans::Get().signal_to_dispatch,
+                         signal_ns);
+  }
 
   // 2. Propagate to the compositors of composite events containing this
   //    type — asynchronously unless configured inline.
@@ -318,6 +365,7 @@ void EventManager::OnEvent(const SentryEvent& event) {
   auto occ = std::make_shared<EventOccurrence>();
   occ->type = type;
   occ->timestamp = event.timestamp;
+  occ->detect_ns = event.detect_ns;
   // Occurrences carry the ROOT transaction: rule subtransactions raise
   // events on behalf of the top-level transaction they belong to, and all
   // coupling/life-span semantics are defined against that root.

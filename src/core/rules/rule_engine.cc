@@ -1,21 +1,77 @@
 #include "core/rules/rule_engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <future>
+#include <string>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "testing/fault_points.h"
 #include "testing/fault_registry.h"
 
-namespace {
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
-
 namespace reach {
+
+namespace {
+
+/// Process-wide rule counters plus per-coupling-mode latency histograms.
+/// The mode-tagged names (rules.exec_ns.<mode>, rules.fire_lag_ns.<mode>)
+/// are resolved once here — obs cannot depend on core, so the CouplingMode
+/// vocabulary stays on this side of the boundary.
+struct RuleMetrics {
+  obs::Counter* immediate_runs;
+  obs::Counter* deferred_runs;
+  obs::Counter* detached_runs;
+  obs::Counter* failures;
+  obs::Counter* dependency_skips;
+  obs::Counter* deferred_rounds;
+  // Rule condition+action execution time, by coupling mode.
+  obs::Histogram* exec_ns[kNumCouplingModes];
+  // Detection-to-execution-start lag (pipeline span), by coupling mode.
+  obs::Histogram* fire_lag_ns[kNumCouplingModes];
+
+  static const RuleMetrics& Get() {
+    static const RuleMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      RuleMetrics r{};
+      r.immediate_runs = reg.counter(obs::kRulesImmediateRuns);
+      r.deferred_runs = reg.counter(obs::kRulesDeferredRuns);
+      r.detached_runs = reg.counter(obs::kRulesDetachedRuns);
+      r.failures = reg.counter(obs::kRulesFailures);
+      r.dependency_skips = reg.counter(obs::kRulesDependencySkips);
+      r.deferred_rounds = reg.counter(obs::kRulesDeferredRounds);
+      for (int i = 0; i < kNumCouplingModes; ++i) {
+        const char* mode = CouplingModeName(static_cast<CouplingMode>(i));
+        r.exec_ns[i] =
+            reg.histogram(std::string(obs::kRulesExecNsPrefix) + mode);
+        r.fire_lag_ns[i] =
+            reg.histogram(std::string(obs::kRulesFireLagNsPrefix) + mode);
+      }
+      return r;
+    }();
+    return m;
+  }
+};
+
+/// Single timing measurement feeding both the RuleTrace entry and the
+/// per-mode metrics; the clock is read only when at least one consumer is
+/// on (start == 0 means "unmeasured").
+uint64_t RuleTimingStart(const RuleTrace& trace) {
+  return (trace.enabled() || obs::MetricsEnabled()) ? obs::NowNanos() : 0;
+}
+
+void RecordRuleTiming(CouplingMode mode, uint64_t start_ns,
+                      uint64_t detect_ns, uint64_t* elapsed_ns) {
+  *elapsed_ns = start_ns != 0 ? obs::NowNanos() - start_ns : 0;
+  if (!obs::MetricsEnabled() || start_ns == 0) return;
+  int i = static_cast<int>(mode);
+  const RuleMetrics& m = RuleMetrics::Get();
+  m.exec_ns[i]->RecordAlways(*elapsed_ns);
+  if (detect_ns != 0 && start_ns > detect_ns) {
+    m.fire_lag_ns[i]->RecordAlways(start_ns - detect_ns);
+  }
+}
+
+}  // namespace
 
 RuleEngine::RuleEngine(Database* db, EventManager* events,
                        RuleEngineOptions options)
@@ -218,10 +274,9 @@ void RuleEngine::OnOccurrence(EventTypeId type,
     }
   }
   if (!immediate.empty()) {
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      engine_stats_.immediate_runs += immediate.size();
-    }
+    engine_stats_.immediate_runs.fetch_add(immediate.size(),
+                                           std::memory_order_relaxed);
+    RuleMetrics::Get().immediate_runs->Inc(immediate.size());
     // The go-ahead for the application is this call returning.
     Status st = ExecuteSet(immediate, occ->txn);
     (void)st;  // failures are recorded per rule / may abort the trigger
@@ -235,7 +290,7 @@ void RuleEngine::EnqueueDeferred(Firing firing, TxnId root) {
 
 Status RuleEngine::ExecuteInSubtxn(Rule* rule, const EventOccurrencePtr& occ,
                                    TxnId parent, bool action_only) {
-  int64_t start_us = trace_.enabled() ? NowMicros() : 0;
+  uint64_t start_ns = RuleTimingStart(trace_);
   auto sub = db_->txns()->Begin(parent);
   if (!sub.ok()) return sub.status();
   MarkEngineTxn(sub.value());
@@ -288,6 +343,10 @@ Status RuleEngine::ExecuteInSubtxn(Rule* rule, const EventOccurrencePtr& occ,
   }
   UnmarkEngineTxn(sub.value());
 
+  uint64_t elapsed_ns = 0;
+  RecordRuleTiming(rule->spec.coupling, start_ns, occ->detect_ns,
+                   &elapsed_ns);
+
   if (trace_.enabled()) {
     RuleTraceEntry entry;
     entry.rule_name = rule->spec.name;
@@ -302,7 +361,7 @@ Status RuleEngine::ExecuteInSubtxn(Rule* rule, const EventOccurrencePtr& occ,
     if (!result.ok()) entry.error = result.ToString();
     entry.trigger_txn = occ->txn;
     entry.rule_txn = sub.value();
-    entry.duration_us = NowMicros() - start_us;
+    entry.duration_us = static_cast<int64_t>(elapsed_ns / 1000);
     trace_.Append(std::move(entry));
   }
 
@@ -312,8 +371,8 @@ Status RuleEngine::ExecuteInSubtxn(Rule* rule, const EventOccurrencePtr& occ,
     if (!result.ok()) rule->stats.failures++;
   }
   if (!result.ok()) {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    engine_stats_.failures++;
+    engine_stats_.failures.fetch_add(1, std::memory_order_relaxed);
+    RuleMetrics::Get().failures->Inc();
   }
   if (!result.ok() && rule->spec.abort_triggering_on_failure) {
     TxnId root = db_->txns()->RootOf(parent);
@@ -396,11 +455,11 @@ Status RuleEngine::OnPreCommit(TxnId txn) {
       }
     }
     if (batch.empty()) break;
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      engine_stats_.deferred_rounds++;
-      engine_stats_.deferred_runs += batch.size();
-    }
+    engine_stats_.deferred_rounds.fetch_add(1, std::memory_order_relaxed);
+    engine_stats_.deferred_runs.fetch_add(batch.size(),
+                                          std::memory_order_relaxed);
+    RuleMetrics::Get().deferred_rounds->Inc();
+    RuleMetrics::Get().deferred_runs->Inc(batch.size());
 
     // Ordering: priority, then simple-before-composite, then tie-break.
     bool simple_first = options_.simple_events_first;
@@ -453,7 +512,7 @@ void RuleEngine::DispatchDetached(Rule* rule, const EventOccurrencePtr& occ,
 
 void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
                                  CouplingMode mode, bool action_only) {
-  int64_t start_us = trace_.enabled() ? NowMicros() : 0;
+  uint64_t start_ns = RuleTimingStart(trace_);
   Rule* rule;
   {
     std::shared_lock lock(mu_);
@@ -470,8 +529,9 @@ void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
       if (!outcome.ok() || !outcome.value()) {
         std::unique_lock lock(mu_);
         rule->stats.skipped_dependency++;
-        std::lock_guard<std::mutex> slock(stats_mu_);
-        engine_stats_.dependency_skips++;
+        engine_stats_.dependency_skips.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        RuleMetrics::Get().dependency_skips->Inc();
         return;
       }
     }
@@ -526,6 +586,9 @@ void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
   }
   UnmarkEngineTxn(txn.value());
 
+  uint64_t elapsed_ns = 0;
+  RecordRuleTiming(mode, start_ns, occ->detect_ns, &elapsed_ns);
+
   if (trace_.enabled()) {
     RuleTraceEntry entry;
     entry.rule_name = rule->spec.name;
@@ -540,7 +603,7 @@ void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
     if (!result.ok()) entry.error = result.ToString();
     entry.trigger_txn = occ->txn;
     entry.rule_txn = txn.value();
-    entry.duration_us = NowMicros() - start_us;
+    entry.duration_us = static_cast<int64_t>(elapsed_ns / 1000);
     trace_.Append(std::move(entry));
   }
 
@@ -557,17 +620,17 @@ void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
       }
     }
   }
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    engine_stats_.detached_runs++;
-    if (!result.ok()) {
-      if (result.IsAborted() &&
-          (mode == CouplingMode::kParallelCausallyDependent ||
-           mode == CouplingMode::kExclusiveCausallyDependent)) {
-        engine_stats_.dependency_skips++;
-      } else {
-        engine_stats_.failures++;
-      }
+  engine_stats_.detached_runs.fetch_add(1, std::memory_order_relaxed);
+  RuleMetrics::Get().detached_runs->Inc();
+  if (!result.ok()) {
+    if (result.IsAborted() &&
+        (mode == CouplingMode::kParallelCausallyDependent ||
+         mode == CouplingMode::kExclusiveCausallyDependent)) {
+      engine_stats_.dependency_skips.fetch_add(1, std::memory_order_relaxed);
+      RuleMetrics::Get().dependency_skips->Inc();
+    } else {
+      engine_stats_.failures.fetch_add(1, std::memory_order_relaxed);
+      RuleMetrics::Get().failures->Inc();
     }
   }
 }
@@ -575,8 +638,16 @@ void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
 void RuleEngine::WaitDetachedIdle() { detached_pool_->WaitIdle(); }
 
 RuleEngineStats RuleEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return engine_stats_;
+  RuleEngineStats s;
+  s.immediate_runs = engine_stats_.immediate_runs.load(std::memory_order_relaxed);
+  s.deferred_runs = engine_stats_.deferred_runs.load(std::memory_order_relaxed);
+  s.detached_runs = engine_stats_.detached_runs.load(std::memory_order_relaxed);
+  s.failures = engine_stats_.failures.load(std::memory_order_relaxed);
+  s.dependency_skips =
+      engine_stats_.dependency_skips.load(std::memory_order_relaxed);
+  s.deferred_rounds =
+      engine_stats_.deferred_rounds.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace reach

@@ -145,8 +145,18 @@ class RuleEngine : public TxnListener {
   std::unique_ptr<ThreadPool> detached_pool_;
   std::unique_ptr<ThreadPool> rule_pool_;
 
-  mutable std::mutex stats_mu_;
-  RuleEngineStats engine_stats_;
+  // Lock-free engine stats: hot-path increments are relaxed fetch_adds,
+  // stats() assembles a RuleEngineStats snapshot. Process-wide totals are
+  // mirrored into the obs::MetricsRegistry (rules.* counters).
+  struct AtomicEngineStats {
+    std::atomic<uint64_t> immediate_runs{0};
+    std::atomic<uint64_t> deferred_runs{0};
+    std::atomic<uint64_t> detached_runs{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> dependency_skips{0};
+    std::atomic<uint64_t> deferred_rounds{0};
+  };
+  AtomicEngineStats engine_stats_;
   RuleTrace trace_;
 };
 

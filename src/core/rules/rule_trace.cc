@@ -18,8 +18,8 @@ std::string RuleTraceEntry::ToString() const {
 }
 
 void RuleTrace::Append(RuleTraceEntry entry) {
+  if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  if (!enabled_) return;
   ring_.push_back(std::move(entry));
   if (ring_.size() > capacity_) ring_.pop_front();
   ++total_;

@@ -4,6 +4,7 @@
 // it while developing rule sets, watch for unexpected cascades.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <mutex>
 #include <string>
@@ -36,14 +37,12 @@ class RuleTrace {
  public:
   explicit RuleTrace(size_t capacity = 1024) : capacity_(capacity) {}
 
+  /// The gate is atomic so the hot path (every rule execution checks it)
+  /// never touches the ring mutex when tracing is off.
   void set_enabled(bool enabled) {
-    std::lock_guard<std::mutex> lock(mu_);
-    enabled_ = enabled;
+    enabled_.store(enabled, std::memory_order_relaxed);
   }
-  bool enabled() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return enabled_;
-  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   void Append(RuleTraceEntry entry);
 
@@ -58,8 +57,8 @@ class RuleTrace {
 
  private:
   size_t capacity_;
-  mutable std::mutex mu_;
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards ring_ and total_ only
   std::deque<RuleTraceEntry> ring_;
   uint64_t total_ = 0;
 };

@@ -1,0 +1,72 @@
+// Central manifest of well-known metric names (the metric catalog —
+// documented in docs/OBSERVABILITY.md). Call sites cache the pointer once:
+//
+//   obs::Counter* fsyncs =
+//       obs::MetricsRegistry::Instance().counter(obs::kWalFsyncCount);
+//
+// Naming scheme: `component.measurement[_unit]` — `_ns` suffixes mark
+// nanosecond latency histograms. Dynamic tags (coupling mode, stage) are
+// appended as a final `.tag` segment.
+#pragma once
+
+namespace reach::obs {
+
+// -- Storage ---------------------------------------------------------------
+inline constexpr const char* kWalAppendCount = "storage.wal.append";
+inline constexpr const char* kWalFsyncCount = "storage.wal.fsync";
+inline constexpr const char* kWalFsyncNs = "storage.wal.fsync_ns";
+inline constexpr const char* kWalFlushedBytes = "storage.wal.flushed_bytes";
+inline constexpr const char* kBufHit = "storage.bufferpool.hit";
+inline constexpr const char* kBufMiss = "storage.bufferpool.miss";
+inline constexpr const char* kBufEvictWriteback =
+    "storage.bufferpool.evict_writeback";
+
+// -- Transactions ----------------------------------------------------------
+inline constexpr const char* kTxnBegun = "txn.begun";
+inline constexpr const char* kTxnCommitted = "txn.committed";
+inline constexpr const char* kTxnAborted = "txn.aborted";
+inline constexpr const char* kTxnCommitNs = "txn.commit_ns";
+
+// -- OODB meta bus / sentries ----------------------------------------------
+inline constexpr const char* kBusAnnounceUseful = "oodb.bus.announce.useful";
+inline constexpr const char* kBusAnnounceUseless =
+    "oodb.bus.announce.useless";
+inline constexpr const char* kSentryCalls = "oodb.sentry.calls";
+inline constexpr const char* kSentryAnnounced = "oodb.sentry.announced";
+
+// -- Event pipeline (see pipeline_span.h) ----------------------------------
+inline constexpr const char* kEventsSignaled = "events.signaled";
+inline constexpr const char* kEventsComposed = "events.composed";
+inline constexpr const char* kCompositorFed = "events.compositor.fed";
+inline constexpr const char* kCompositorCompletions =
+    "events.compositor.completions";
+inline constexpr const char* kCompositorExpired =
+    "events.compositor.expired_partials";
+inline constexpr const char* kCompositorDiscardedEot =
+    "events.compositor.discarded_at_eot";
+
+/// Sentry announcement -> EventManager::Signal entry (detection latency).
+inline constexpr const char* kSpanSentryToSignal =
+    "pipeline.sentry_to_signal_ns";
+/// Signal entry -> synchronous listeners (rule firing) done: the
+/// application's go-ahead latency for immediate rules.
+inline constexpr const char* kSpanSignalToDispatch =
+    "pipeline.signal_to_dispatch_ns";
+/// Leaf detection -> composite completion raised by a compositor (includes
+/// the async composition queue wait).
+inline constexpr const char* kSpanSignalToCompose =
+    "pipeline.signal_to_compose_ns";
+
+// -- Rules -----------------------------------------------------------------
+inline constexpr const char* kRulesImmediateRuns = "rules.immediate_runs";
+inline constexpr const char* kRulesDeferredRuns = "rules.deferred_runs";
+inline constexpr const char* kRulesDetachedRuns = "rules.detached_runs";
+inline constexpr const char* kRulesFailures = "rules.failures";
+inline constexpr const char* kRulesDependencySkips = "rules.dependency_skips";
+inline constexpr const char* kRulesDeferredRounds = "rules.deferred_rounds";
+/// Per coupling mode: "rules.exec_ns.<mode>" (condition+action execution)
+/// and "rules.fire_lag_ns.<mode>" (event detection -> execution start).
+inline constexpr const char* kRulesExecNsPrefix = "rules.exec_ns.";
+inline constexpr const char* kRulesFireLagNsPrefix = "rules.fire_lag_ns.";
+
+}  // namespace reach::obs

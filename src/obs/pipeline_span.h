@@ -1,0 +1,43 @@
+// Pipeline spans: per-stage latency of one event occurrence travelling
+// sentry -> ECA-manager dispatch -> compositor -> rule execution.
+//
+// A span is not an object that travels with the occurrence — that would put
+// an allocation on the hot path. Instead the occurrence carries one origin
+// timestamp (`detect_ns`, 0 = unmeasured), stamped where detection happens,
+// and each downstream stage records `now - origin` into that stage's
+// histogram. Stage histograms are process-wide and live in the
+// MetricsRegistry; the rule engine additionally tags its stages by coupling
+// mode (rules.exec_ns.<mode>, rules.fire_lag_ns.<mode>).
+#pragma once
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace reach::obs {
+
+/// The three untagged pipeline stage histograms, resolved once per process.
+struct PipelineSpans {
+  Histogram* sentry_to_signal;
+  Histogram* signal_to_dispatch;
+  Histogram* signal_to_compose;
+
+  static const PipelineSpans& Get() {
+    static const PipelineSpans spans = [] {
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      return PipelineSpans{reg.histogram(kSpanSentryToSignal),
+                           reg.histogram(kSpanSignalToDispatch),
+                           reg.histogram(kSpanSignalToCompose)};
+    }();
+    return spans;
+  }
+};
+
+/// Record `now - origin_ns` into `hist`. No-op when the origin was never
+/// stamped (metrics were off at detection) or metrics are off now.
+inline void RecordSpanSince(Histogram* hist, uint64_t origin_ns) {
+  if (origin_ns == 0 || !MetricsEnabled()) return;
+  uint64_t now = NowNanos();
+  hist->RecordAlways(now > origin_ns ? now - origin_ns : 0);
+}
+
+}  // namespace reach::obs

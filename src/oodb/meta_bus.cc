@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace reach {
+
+namespace {
+
+struct BusMetrics {
+  obs::Counter* useful;
+  obs::Counter* useless;
+
+  static const BusMetrics& Get() {
+    static const BusMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return BusMetrics{reg.counter(obs::kBusAnnounceUseful),
+                        reg.counter(obs::kBusAnnounceUseless)};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* SentryKindName(SentryKind kind) {
   switch (kind) {
@@ -84,9 +105,11 @@ size_t MetaBus::Announce(const SentryEvent& event) {
   }
   if (targets.empty()) {
     useless_.fetch_add(1, std::memory_order_relaxed);
+    BusMetrics::Get().useless->Inc();
     return 0;
   }
   useful_.fetch_add(1, std::memory_order_relaxed);
+  BusMetrics::Get().useful->Inc();
   for (PolicyManager* pm : targets) pm->OnEvent(event);
   return targets.size();
 }

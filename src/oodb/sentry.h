@@ -19,11 +19,27 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "oodb/meta_bus.h"
 
 namespace reach {
 
 namespace sentry_detail {
+
+struct SentryMetrics {
+  obs::Counter* calls;
+  obs::Counter* announced;
+
+  static const SentryMetrics& Get() {
+    static const SentryMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return SentryMetrics{reg.counter(obs::kSentryCalls),
+                           reg.counter(obs::kSentryAnnounced)};
+    }();
+    return m;
+  }
+};
 
 /// Best-effort conversion of a native argument to a Value for event
 /// parameters; unconvertible types become null (the rule can still react to
@@ -67,6 +83,7 @@ class Sentried {
   /// and method-after events when the bus shows interest.
   template <typename R, typename... MArgs, typename... Args>
   R Call(const char* method, R (T::*fn)(MArgs...), Args&&... args) {
+    sentry_detail::SentryMetrics::Get().calls->Inc();
     bool before = bus_->Monitored(SentryKind::kMethodBefore, class_name_,
                                   method);
     bool after =
@@ -75,7 +92,9 @@ class Sentried {
       // Potentially-useful overhead only: two interest probes.
       return (instance_.*fn)(std::forward<Args>(args)...);
     }
+    sentry_detail::SentryMetrics::Get().announced->Inc();
     SentryEvent ev;
+    ev.detect_ns = obs::NowNanosIfEnabled();
     ev.class_name = class_name_;
     ev.member = method;
     ev.args = {sentry_detail::ToValue(args)...};
@@ -87,12 +106,14 @@ class Sentried {
       (instance_.*fn)(std::forward<Args>(args)...);
       if (after) {
         ev.kind = SentryKind::kMethodAfter;
+        ev.detect_ns = obs::NowNanosIfEnabled();
         bus_->Announce(ev);
       }
     } else {
       R result = (instance_.*fn)(std::forward<Args>(args)...);
       if (after) {
         ev.kind = SentryKind::kMethodAfter;
+        ev.detect_ns = obs::NowNanosIfEnabled();
         ev.result = sentry_detail::ToValue(result);
         bus_->Announce(ev);
       }
@@ -104,6 +125,7 @@ class Sentried {
   template <typename R, typename... MArgs, typename... Args>
   R Call(const char* method, R (T::*fn)(MArgs...) const,
          Args&&... args) const {
+    sentry_detail::SentryMetrics::Get().calls->Inc();
     bool before = bus_->Monitored(SentryKind::kMethodBefore, class_name_,
                                   method);
     bool after =
@@ -111,7 +133,9 @@ class Sentried {
     if (!before && !after) {
       return (instance_.*fn)(std::forward<Args>(args)...);
     }
+    sentry_detail::SentryMetrics::Get().announced->Inc();
     SentryEvent ev;
+    ev.detect_ns = obs::NowNanosIfEnabled();
     ev.class_name = class_name_;
     ev.member = method;
     ev.args = {sentry_detail::ToValue(args)...};
@@ -123,12 +147,14 @@ class Sentried {
       (instance_.*fn)(std::forward<Args>(args)...);
       if (after) {
         ev.kind = SentryKind::kMethodAfter;
+        ev.detect_ns = obs::NowNanosIfEnabled();
         bus_->Announce(ev);
       }
     } else {
       R result = (instance_.*fn)(std::forward<Args>(args)...);
       if (after) {
         ev.kind = SentryKind::kMethodAfter;
+        ev.detect_ns = obs::NowNanosIfEnabled();
         ev.result = sentry_detail::ToValue(result);
         bus_->Announce(ev);
       }

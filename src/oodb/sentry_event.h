@@ -36,6 +36,11 @@ struct SentryEvent {
   Oid oid;                 // receiver (invalid for transient/txn events)
   TxnId txn = kNoTxn;      // transaction in which the event was raised
   Timestamp timestamp = 0;
+  /// Steady-clock nanoseconds at the detection point, stamped only while
+  /// metrics are enabled (0 = unmeasured). Origin of the observability
+  /// pipeline spans (obs/pipeline_span.h); distinct from `timestamp`, which
+  /// is the logical event time used by the algebra.
+  uint64_t detect_ns = 0;
   std::vector<Value> args;  // method args / {old, new} for state changes
   Value result;             // return value (kMethodAfter only)
 

@@ -1,5 +1,7 @@
 #include "oodb/session.h"
 
+#include "obs/metrics.h"
+
 namespace reach {
 
 Session::~Session() { (void)AbortAll(); }
@@ -126,6 +128,7 @@ Status Session::SetAttr(const Oid& oid, const std::string& attr,
   if (db_->bus()->Monitored(SentryKind::kStateChange, obj->class_name(),
                             attr)) {
     SentryEvent ev;
+    ev.detect_ns = obs::NowNanosIfEnabled();
     ev.kind = SentryKind::kStateChange;
     ev.class_name = obj->class_name();
     ev.member = attr;
@@ -156,6 +159,7 @@ Result<Value> Session::DoInvoke(DbObject* obj, const std::string& method,
                                      obj->class_name(), method);
   SentryEvent ev;
   if (before || after) {
+    ev.detect_ns = obs::NowNanosIfEnabled();
     ev.class_name = obj->class_name();
     ev.member = method;
     ev.oid = obj->oid();
@@ -171,6 +175,8 @@ Result<Value> Session::DoInvoke(DbObject* obj, const std::string& method,
   if (after) {
     ev.kind = SentryKind::kMethodAfter;
     ev.timestamp = db_->clock()->Now();
+    // Detection of the after-event is now, not before the method body ran.
+    ev.detect_ns = obs::NowNanosIfEnabled();
     ev.result = result;
     db_->bus()->Announce(ev);
   }

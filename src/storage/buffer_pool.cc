@@ -1,9 +1,31 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "testing/fault_points.h"
 #include "testing/fault_registry.h"
 
 namespace reach {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evict_writebacks;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return PoolMetrics{reg.counter(obs::kBufHit),
+                         reg.counter(obs::kBufMiss),
+                         reg.counter(obs::kBufEvictWriteback)};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
   if (pool_size == 0) pool_size = 1;
@@ -30,6 +52,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
       if (pre_write_hook_) REACH_RETURN_IF_ERROR(pre_write_hook_());
       REACH_RETURN_IF_ERROR(disk_->WritePage(page->page_id(), page->data()));
       page->set_dirty(false);
+      PoolMetrics::Get().evict_writebacks->Inc();
     }
     page_table_.erase(page->page_id());
     lru_.erase(lru_pos_[frame]);
@@ -45,6 +68,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++hits_;
+    PoolMetrics::Get().hits->Inc();
     size_t frame = it->second;
     Page* page = frames_[frame].get();
     page->Pin();
@@ -54,6 +78,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     return page;
   }
   ++misses_;
+  PoolMetrics::Get().misses->Inc();
   REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
   Page* page = frames_[frame].get();
   page->Reset();

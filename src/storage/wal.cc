@@ -6,12 +6,33 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "testing/fault_points.h"
 #include "testing/fault_registry.h"
 
 namespace reach {
 
 namespace {
+
+/// Registry handles resolved once; recording through them is lock-free.
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* fsyncs;
+  obs::Counter* flushed_bytes;
+  obs::Histogram* fsync_ns;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return WalMetrics{reg.counter(obs::kWalAppendCount),
+                        reg.counter(obs::kWalFsyncCount),
+                        reg.counter(obs::kWalFlushedBytes),
+                        reg.histogram(obs::kWalFsyncNs)};
+    }();
+    return m;
+  }
+};
 
 uint32_t Fnv1a(const char* data, size_t len) {
   uint32_t h = 2166136261u;
@@ -133,6 +154,7 @@ Result<Lsn> Wal::Append(WalRecord record) {
   record.lsn = next_lsn_++;
   EncodeRecord(record, &buffer_);
   ++buffer_count_;
+  WalMetrics::Get().appends->Inc();
   return record.lsn;
 }
 
@@ -145,15 +167,21 @@ Status Wal::Flush() {
     if (n != static_cast<ssize_t>(buffer_.size())) {
       return Status::IoError("wal write");
     }
+    WalMetrics::Get().flushed_bytes->Inc(buffer_.size());
     buffer_.clear();
     buffer_count_ = 0;
   }
   // Crash here: records reached the file but were never fsynced (with no OS
   // crash behind it they still replay — the durability-uncertain window).
   REACH_FAULT_POINT(faults::kWalFlushFsync);
-  if (::fsync(fd_) != 0) {
-    return Status::IoError(std::string("wal fsync: ") + std::strerror(errno));
+  {
+    obs::ScopedLatencyTimer timer(WalMetrics::Get().fsync_ns);
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(std::string("wal fsync: ") +
+                             std::strerror(errno));
+    }
   }
+  WalMetrics::Get().fsyncs->Inc();
   return Status::OK();
 }
 

@@ -2,10 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "testing/fault_points.h"
 #include "testing/fault_registry.h"
 
 namespace reach {
+
+namespace {
+
+struct TxnMetrics {
+  obs::Counter* begun;
+  obs::Counter* committed;
+  obs::Counter* aborted;
+  obs::Histogram* commit_ns;
+
+  static const TxnMetrics& Get() {
+    static const TxnMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return TxnMetrics{reg.counter(obs::kTxnBegun),
+                        reg.counter(obs::kTxnCommitted),
+                        reg.counter(obs::kTxnAborted),
+                        reg.histogram(obs::kTxnCommitNs)};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 TransactionManager::TransactionManager(StorageManager* storage)
     : storage_(storage) {
@@ -44,6 +68,7 @@ Result<TxnId> TransactionManager::Begin(TxnId parent) {
     txn.parent = parent;
   }
   begun_.fetch_add(1);
+  TxnMetrics::Get().begun->Inc();
   locks_.RegisterTxn(id, parent);
   REACH_RETURN_IF_ERROR(storage_->LogBegin(id));
   {
@@ -72,6 +97,10 @@ Status TransactionManager::Commit(TxnId txn_id) {
   }
 
   if (parent == kNoTxn) {
+    // Top-level commit latency: pre-commit hooks (deferred rules), causal
+    // dependency waits, and the log force are all part of the number the
+    // application experiences.
+    uint64_t commit_start_ns = obs::NowNanosIfEnabled();
     // Pre-commit phase (deferred rule execution). Listeners may start
     // subtransactions of txn_id, so no lock is held here.
     std::vector<TxnListener*> listeners;
@@ -164,6 +193,11 @@ Status TransactionManager::Commit(TxnId txn_id) {
       txns_.erase(txn_id);
     }
     FinishOutcome(txn_id, /*committed=*/true);
+    if (commit_start_ns != 0) {
+      TxnMetrics::Get().commit_ns->RecordAlways(obs::NowNanos() -
+                                                commit_start_ns);
+    }
+    TxnMetrics::Get().committed->Inc();
     std::lock_guard<std::mutex> lock(listener_mu_);
     for (TxnListener* l : listeners_) l->OnCommit(txn_id);
     return Status::OK();
@@ -277,6 +311,7 @@ Status TransactionManager::DoAbort(TxnId txn_id) {
     txns_.erase(txn_id);
   }
   FinishOutcome(txn_id, /*committed=*/false);
+  TxnMetrics::Get().aborted->Inc();
   {
     std::lock_guard<std::mutex> lock(listener_mu_);
     for (TxnListener* l : listeners_) l->OnAbort(txn_id);
