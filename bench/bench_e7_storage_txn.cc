@@ -129,7 +129,9 @@ void BM_RecoveryReplay(benchmark::State& state) {
         TxnId txn = static_cast<TxnId>(i + 1);
         if (!(*sm)->LogBegin(txn).ok()) std::abort();
         benchmark::DoNotOptimize((*sm)->objects()->Insert(txn, payload));
-        if (!(*sm)->LogCommit(txn).ok()) std::abort();
+        auto commit_lsn = (*sm)->LogCommit(txn);
+        if (!commit_lsn.ok()) std::abort();
+        if (!(*sm)->wal()->WaitDurable(*commit_lsn).ok()) std::abort();
       }
       // Crash: no checkpoint.
     }

@@ -18,6 +18,7 @@
 //   query <select ...>                       run an OQL[C++] query
 //   begin | commit | abort                   manual transaction control
 //   history                                  global event history size
+//   metrics [on|off|reset]                   observability snapshot (JSON)
 //   help | quit
 //
 // Without explicit begin/commit each command runs in its own transaction.
@@ -26,6 +27,7 @@
 #include <sstream>
 
 #include "core/reach/reach_db.h"
+#include "obs/metrics.h"
 
 using namespace reach;
 
@@ -97,7 +99,8 @@ class Shell {
     if (cmd == "help") {
       std::printf(
           "class new bind get set del rule rules events query begin commit "
-          "abort history stats trace [on|off|clear] checkpoint quit\n");
+          "abort history stats trace [on|off|clear] "
+          "metrics [on|off|reset] checkpoint quit\n");
     } else if (cmd == "class") {
       std::string name;
       in >> name;
@@ -263,6 +266,25 @@ class Shell {
     } else if (cmd == "stats") {
       db_->Drain();
       std::printf("%s", db_->StatsReport().c_str());
+    } else if (cmd == "metrics") {
+      std::string arg;
+      in >> arg;
+      auto& reg = obs::MetricsRegistry::Instance();
+      if (arg == "on") {
+        reg.SetEnabled(true);
+        std::printf("metrics enabled\n");
+      } else if (arg == "off") {
+        reg.SetEnabled(false);
+        std::printf("metrics disabled\n");
+      } else if (arg == "reset") {
+        reg.ResetAll();
+      } else {
+        if (!obs::MetricsEnabled()) {
+          std::printf("(metrics are off — 'metrics on' to start recording)\n");
+        }
+        db_->Drain();
+        std::printf("%s\n", reg.SnapshotJson().c_str());
+      }
     } else if (cmd == "checkpoint") {
       Report(db_->Checkpoint());
     } else {

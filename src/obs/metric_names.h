@@ -16,10 +16,18 @@ inline constexpr const char* kWalAppendCount = "storage.wal.append";
 inline constexpr const char* kWalFsyncCount = "storage.wal.fsync";
 inline constexpr const char* kWalFsyncNs = "storage.wal.fsync_ns";
 inline constexpr const char* kWalFlushedBytes = "storage.wal.flushed_bytes";
+/// Group commit: waiters released per flusher batch, time a committer spent
+/// blocked in WaitDurable, and fsyncs avoided by piggybacking (released
+/// waiters beyond the first share one fsync).
+inline constexpr const char* kWalGroupSize = "storage.wal.group.size";
+inline constexpr const char* kWalGroupWaitNs = "storage.wal.group.wait_ns";
+inline constexpr const char* kWalFsyncSaved = "storage.wal.fsync_saved";
 inline constexpr const char* kBufHit = "storage.bufferpool.hit";
 inline constexpr const char* kBufMiss = "storage.bufferpool.miss";
 inline constexpr const char* kBufEvictWriteback =
     "storage.bufferpool.evict_writeback";
+/// Windowed hit rate in percent over the last 1024 accesses (gauge).
+inline constexpr const char* kBufHitRate = "storage.bufferpool.hit_rate";
 
 // -- Transactions ----------------------------------------------------------
 inline constexpr const char* kTxnBegun = "txn.begun";

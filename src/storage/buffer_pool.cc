@@ -13,13 +13,15 @@ struct PoolMetrics {
   obs::Counter* hits;
   obs::Counter* misses;
   obs::Counter* evict_writebacks;
+  obs::Gauge* hit_rate;
 
   static const PoolMetrics& Get() {
     static const PoolMetrics m = [] {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
       return PoolMetrics{reg.counter(obs::kBufHit),
                          reg.counter(obs::kBufMiss),
-                         reg.counter(obs::kBufEvictWriteback)};
+                         reg.counter(obs::kBufEvictWriteback),
+                         reg.gauge(obs::kBufHitRate)};
     }();
     return m;
   }
@@ -66,7 +68,15 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   REACH_FAULT_POINT(faults::kBufFetch);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
+  const bool hit = it != page_table_.end();
+  window_hits_ += hit ? 1 : 0;
+  if (++window_accesses_ == kHitRateWindow) {
+    PoolMetrics::Get().hit_rate->Set(
+        static_cast<int64_t>(window_hits_ * 100 / kHitRateWindow));
+    window_hits_ = 0;
+    window_accesses_ = 0;
+  }
+  if (hit) {
     ++hits_;
     PoolMetrics::Get().hits->Inc();
     size_t frame = it->second;

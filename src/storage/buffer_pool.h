@@ -62,6 +62,12 @@ class BufferPool {
   std::mutex mu_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Sliding window feeding the storage.bufferpool.hit_rate gauge: every
+  // kHitRateWindow accesses the hit percentage is published and the window
+  // resets, so eviction-policy regressions show up in one number.
+  static constexpr uint64_t kHitRateWindow = 1024;
+  uint64_t window_hits_ = 0;
+  uint64_t window_accesses_ = 0;
 };
 
 }  // namespace reach

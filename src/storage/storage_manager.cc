@@ -8,7 +8,7 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     const std::string& base_path, const StorageOptions& options) {
   auto sm = std::unique_ptr<StorageManager>(new StorageManager());
   REACH_ASSIGN_OR_RETURN(sm->disk_, DiskManager::Open(base_path + ".db"));
-  REACH_ASSIGN_OR_RETURN(sm->wal_, Wal::Open(base_path + ".wal"));
+  REACH_ASSIGN_OR_RETURN(sm->wal_, Wal::Open(base_path + ".wal", options.wal));
   sm->pool_ = std::make_unique<BufferPool>(sm->disk_.get(),
                                            options.buffer_pool_pages);
   Wal* wal = sm->wal_.get();
@@ -84,13 +84,11 @@ Status StorageManager::LogBegin(TxnId txn) {
   return lsn.ok() ? Status::OK() : lsn.status();
 }
 
-Status StorageManager::LogCommit(TxnId txn) {
+Result<Lsn> StorageManager::LogCommit(TxnId txn) {
   WalRecord rec;
   rec.type = WalRecordType::kCommit;
   rec.txn = txn;
-  auto lsn = wal_->Append(std::move(rec));
-  if (!lsn.ok()) return lsn.status();
-  return wal_->Flush();
+  return wal_->Append(std::move(rec));
 }
 
 Status StorageManager::LogAbort(TxnId txn) {

@@ -18,6 +18,7 @@ namespace reach {
 
 struct StorageOptions {
   size_t buffer_pool_pages = 256;
+  WalOptions wal = WalOptions::FromEnv();
 };
 
 class StorageManager {
@@ -36,8 +37,10 @@ class StorageManager {
 
   /// Transaction log hooks used by the transaction manager.
   Status LogBegin(TxnId txn);
-  /// Appends a commit record and forces the log (durability point).
-  Status LogCommit(TxnId txn);
+  /// Appends a commit record and returns its LSN. The commit is durable
+  /// only once wal()->WaitDurable(lsn) returns OK — the transaction manager
+  /// blocks there so concurrent committers share one fsync (group commit).
+  Result<Lsn> LogCommit(TxnId txn);
   /// Appends an abort record (after compensations have been logged).
   Status LogAbort(TxnId txn);
 

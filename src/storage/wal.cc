@@ -4,6 +4,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/metric_names.h"
@@ -20,7 +22,10 @@ struct WalMetrics {
   obs::Counter* appends;
   obs::Counter* fsyncs;
   obs::Counter* flushed_bytes;
+  obs::Counter* fsync_saved;
   obs::Histogram* fsync_ns;
+  obs::Histogram* group_size;
+  obs::Histogram* group_wait_ns;
 
   static const WalMetrics& Get() {
     static const WalMetrics m = [] {
@@ -28,7 +33,10 @@ struct WalMetrics {
       return WalMetrics{reg.counter(obs::kWalAppendCount),
                         reg.counter(obs::kWalFsyncCount),
                         reg.counter(obs::kWalFlushedBytes),
-                        reg.histogram(obs::kWalFsyncNs)};
+                        reg.counter(obs::kWalFsyncSaved),
+                        reg.histogram(obs::kWalFsyncNs),
+                        reg.histogram(obs::kWalGroupSize),
+                        reg.histogram(obs::kWalGroupWaitNs)};
     }();
     return m;
   }
@@ -76,22 +84,77 @@ bool GetImage(const char* data, size_t len, size_t* pos, WalCellImage* img) {
 
 }  // namespace
 
+WalOptions WalOptions::FromEnv() {
+  static const WalOptions parsed = [] {
+    WalOptions o;
+    const char* spec = std::getenv("REACH_WAL");
+    if (spec == nullptr) return o;
+    std::string entry;
+    auto apply = [&o](const std::string& e) {
+      if (e.empty()) return;
+      std::string key = e, value;
+      if (size_t eq = e.find('='); eq != std::string::npos) {
+        key = e.substr(0, eq);
+        value = e.substr(eq + 1);
+      }
+      if (key == "on" || (key == "group" && (value == "on" || value == "1" ||
+                                             value == "true"))) {
+        o.group_commit = true;
+      } else if (key == "off" ||
+                 (key == "group" &&
+                  (value == "off" || value == "0" || value == "false"))) {
+        o.group_commit = false;
+      } else if (key == "max_batch_bytes") {
+        o.max_batch_bytes = std::strtoull(value.c_str(), nullptr, 0);
+      } else if (key == "max_batch_delay_us") {
+        o.max_batch_delay_us =
+            static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 0));
+      }
+      // Unknown entries are ignored so old binaries tolerate new knobs.
+    };
+    for (const char* p = spec;; ++p) {
+      if (*p == '\0' || *p == ',' || *p == ';') {
+        apply(entry);
+        entry.clear();
+        if (*p == '\0') break;
+      } else {
+        entry.push_back(*p);
+      }
+    }
+    return o;
+  }();
+  return parsed;
+}
+
 Wal::~Wal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  durable_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       const WalOptions& options) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd < 0) {
     return Status::IoError("open " + path + ": " + std::strerror(errno));
   }
-  auto wal = std::unique_ptr<Wal>(new Wal(path, fd));
-  // Restore next_lsn from the existing log tail.
+  auto wal = std::unique_ptr<Wal>(new Wal(path, fd, options));
+  // Restore next_lsn from the existing log tail; everything already in the
+  // file is durable as far as this process can know.
   std::vector<WalRecord> records;
   Status st = wal->ReadAll(&records);
   if (!st.ok()) return st;
   for (const WalRecord& r : records) {
     if (r.lsn >= wal->next_lsn_) wal->next_lsn_ = r.lsn + 1;
+  }
+  wal->durable_lsn_.store(wal->next_lsn_ - 1, std::memory_order_release);
+  if (options.group_commit) {
+    wal->flusher_ = std::thread(&Wal::FlusherLoop, wal.get());
   }
   return wal;
 }
@@ -151,6 +214,7 @@ bool Wal::DecodeRecord(const char* data, size_t len, size_t* consumed,
 Result<Lsn> Wal::Append(WalRecord record) {
   REACH_FAULT_POINT(faults::kWalAppend);
   std::lock_guard<std::mutex> lock(mu_);
+  if (!crash_point_.empty()) throw FaultInjectedCrash(crash_point_);
   record.lsn = next_lsn_++;
   EncodeRecord(record, &buffer_);
   ++buffer_count_;
@@ -158,18 +222,17 @@ Result<Lsn> Wal::Append(WalRecord record) {
   return record.lsn;
 }
 
-Status Wal::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!buffer_.empty()) {
+Status Wal::WriteAndSync(const std::string& data, bool* wrote) {
+  *wrote = data.empty();
+  if (!data.empty()) {
     // Crash here: the buffered records are lost entirely.
     REACH_FAULT_POINT(faults::kWalFlushWrite);
-    ssize_t n = ::write(fd_, buffer_.data(), buffer_.size());
-    if (n != static_cast<ssize_t>(buffer_.size())) {
+    ssize_t n = ::write(fd_, data.data(), data.size());
+    if (n != static_cast<ssize_t>(data.size())) {
       return Status::IoError("wal write");
     }
-    WalMetrics::Get().flushed_bytes->Inc(buffer_.size());
-    buffer_.clear();
-    buffer_count_ = 0;
+    *wrote = true;
+    WalMetrics::Get().flushed_bytes->Inc(data.size());
   }
   // Crash here: records reached the file but were never fsynced (with no OS
   // crash behind it they still replay — the durability-uncertain window).
@@ -185,8 +248,165 @@ Status Wal::Flush() {
   return Status::OK();
 }
 
-Status Wal::ReadAll(std::vector<WalRecord>* out) {
+Status Wal::Flush() {
+  Lsn target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!crash_point_.empty()) throw FaultInjectedCrash(crash_point_);
+    if (!options_.group_commit) {
+      bool wrote = false;
+      Status st = WriteAndSync(buffer_, &wrote);
+      if (wrote) {
+        buffer_.clear();
+        buffer_count_ = 0;
+      }
+      if (st.ok()) {
+        durable_lsn_.store(next_lsn_ - 1, std::memory_order_release);
+      }
+      return st;
+    }
+    target = next_lsn_ - 1;
+  }
+  return WaitDurable(target);
+}
+
+Status Wal::WaitDurable(Lsn lsn) {
+  if (lsn <= durable_lsn_.load(std::memory_order_acquire)) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!options_.group_commit) {
+    // Inline mode: flush everything appended so far, which covers `lsn`.
+    lock.unlock();
+    return Flush();
+  }
+  if (!crash_point_.empty()) throw FaultInjectedCrash(crash_point_);
+  if (lsn >= next_lsn_) lsn = next_lsn_ - 1;  // clamp to appended records
+  if (lsn <= durable_lsn_.load(std::memory_order_relaxed)) return Status::OK();
+
+  const uint64_t wait_start = obs::NowNanosIfEnabled();
+  auto it = wait_targets_.insert(lsn);
+  uint64_t seen_fail_seq = flush_fail_seq_;
+  work_cv_.notify_one();
+  Status result;
+  for (;;) {
+    if (!crash_point_.empty()) {
+      wait_targets_.erase(it);
+      throw FaultInjectedCrash(crash_point_);
+    }
+    if (durable_lsn_.load(std::memory_order_relaxed) >= lsn) break;
+    if (flush_fail_seq_ != seen_fail_seq) {
+      seen_fail_seq = flush_fail_seq_;
+      if (flush_fail_upto_ >= lsn) {
+        // The attempt that covered this LSN failed: every waiter of the
+        // batch takes the same status.
+        result = flush_fail_status_;
+        break;
+      }
+    }
+    if (stop_) {
+      result = Status::Aborted("wal closed");
+      break;
+    }
+    durable_cv_.wait(lock);
+  }
+  wait_targets_.erase(it);
+  if (wait_start != 0) {
+    WalMetrics::Get().group_wait_ns->RecordAlways(obs::NowNanos() -
+                                                  wait_start);
+  }
+  return result;
+}
+
+void Wal::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // True when the previous batch completed with another request already
+  // pending — the signal that committers arrive faster than fsyncs finish,
+  // which is when the optional coalescing delay pays off.
+  bool back_to_back = false;
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || HasPendingWork(); });
+    if (stop_) return;
+    if (back_to_back && options_.max_batch_delay_us > 0) {
+      auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.max_batch_delay_us);
+      while (!stop_ && buffer_.size() < options_.max_batch_bytes &&
+             work_cv_.wait_until(lock, deadline) !=
+                 std::cv_status::timeout) {
+      }
+      if (stop_) return;
+    }
+    std::string batch;
+    batch.swap(buffer_);
+    const size_t batch_records = buffer_count_;
+    buffer_count_ = 0;
+    const Lsn target = next_lsn_ - 1;
+    io_in_flight_ = true;
+    lock.unlock();
+
+    Status st;
+    bool wrote = false;
+    bool crashed = false;
+    std::string crash_at;
+    try {
+      st = REACH_FAULT_HIT(faults::kWalFlusherBatch);
+      if (st.ok()) st = WriteAndSync(batch, &wrote);
+    } catch (const FaultInjectedCrash& crash) {
+      crashed = true;
+      crash_at = crash.point();
+    }
+
+    lock.lock();
+    io_in_flight_ = false;
+    if (crashed) {
+      // Simulated process death (see fault_registry.h: a crash escaping a
+      // background thread would terminate for real). Park the dead WAL;
+      // WaitDurable/Append/Flush rethrow on the committer threads.
+      crash_point_ = crash_at;
+      durable_cv_.notify_all();
+      return;
+    }
+    if (st.ok()) {
+      if (target > durable_lsn_.load(std::memory_order_relaxed)) {
+        durable_lsn_.store(target, std::memory_order_release);
+      }
+      const auto& m = WalMetrics::Get();
+      size_t released = static_cast<size_t>(std::distance(
+          wait_targets_.begin(), wait_targets_.upper_bound(target)));
+      m.group_size->Record(static_cast<uint64_t>(released));
+      if (released > 1) m.fsync_saved->Inc(released - 1);
+      back_to_back = HasPendingWork();
+    } else {
+      if (!wrote && !batch.empty()) {
+        // The records never reached the file: restore them (in order) so a
+        // later flush retries the whole batch.
+        buffer_.insert(0, batch);
+        buffer_count_ += batch_records;
+      }
+      ++flush_fail_seq_;
+      flush_fail_status_ = st;
+      flush_fail_upto_ = target;
+      back_to_back = false;
+    }
+    durable_cv_.notify_all();
+  }
+}
+
+void Wal::EnsureNextLsnAtLeast(Lsn floor) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (next_lsn_ < floor) {
+    // Everything-durable stays everything-durable: the skipped LSNs have no
+    // records, so raising the watermark with the counter avoids a useless
+    // fsync-only batch on the next Flush.
+    if (durable_lsn_.load(std::memory_order_relaxed) == next_lsn_ - 1) {
+      durable_lsn_.store(floor - 1, std::memory_order_release);
+    }
+    next_lsn_ = floor;
+  }
+}
+
+Status Wal::ReadAll(std::vector<WalRecord>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  durable_cv_.wait(lock, [this] { return !io_in_flight_; });
   off_t size = ::lseek(fd_, 0, SEEK_END);
   if (size < 0) return Status::IoError("wal lseek");
   std::string data(static_cast<size_t>(size), '\0');
@@ -210,7 +430,8 @@ Status Wal::ReadAll(std::vector<WalRecord>* out) {
 
 Status Wal::Truncate() {
   REACH_FAULT_POINT(faults::kWalTruncate);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  durable_cv_.wait(lock, [this] { return !io_in_flight_; });
   buffer_.clear();
   buffer_count_ = 0;
   if (::ftruncate(fd_, 0) != 0) {
@@ -218,6 +439,10 @@ Status Wal::Truncate() {
                            std::strerror(errno));
   }
   if (::fsync(fd_) != 0) return Status::IoError("wal fsync");
+  // An empty log is trivially durable up to the last assigned LSN; release
+  // any waiter whose records the checkpoint just made redundant.
+  durable_lsn_.store(next_lsn_ - 1, std::memory_order_release);
+  durable_cv_.notify_all();
   return Status::OK();
 }
 

@@ -1,11 +1,21 @@
 // Write-ahead log. Every object mutation is logged as a physical
 // before/after image, which makes redo and undo idempotent: recovery replays
 // after-images of committed transactions and before-images of losers.
+//
+// Durability is tracked by a monotonic durable-LSN watermark. With group
+// commit enabled (the default) a dedicated flusher thread performs the
+// write+fsync for all concurrent committers: each committer appends its
+// commit record, then blocks on WaitDurable(lsn) until the watermark passes
+// its LSN, so N concurrent commits share one fsync (see docs/STORAGE.md).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -41,18 +51,51 @@ struct WalRecord {
   WalCellImage after;
 };
 
+/// Group-commit policy knobs. Defaults come from the REACH_WAL environment
+/// variable (grammar mirroring REACH_METRICS, entries separated by ',' or
+/// ';'): "group=on|off", "max_batch_bytes=<N>", "max_batch_delay_us=<N>".
+/// Bare "on"/"off" toggles group commit.
+struct WalOptions {
+  /// Commit piggybacking via the background flusher thread. Off = the
+  /// classic inline path: every Flush() does its own write+fsync.
+  bool group_commit = true;
+  /// When committers arrive back-to-back (a flush request is already
+  /// pending as the previous batch completes), the flusher may linger up to
+  /// max_batch_delay_us for more joiners, but never past max_batch_bytes of
+  /// buffered records. 0 delay = pure piggybacking: whatever accumulated
+  /// while the previous fsync ran forms the next batch.
+  size_t max_batch_bytes = 1u << 20;
+  uint32_t max_batch_delay_us = 0;
+
+  static WalOptions FromEnv();
+};
+
 class Wal {
  public:
   ~Wal();
 
-  /// Open (creating if necessary) the log file at `path`.
-  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+  /// Open (creating if necessary) the log file at `path`. Starts the
+  /// flusher thread when options.group_commit is set.
+  static Result<std::unique_ptr<Wal>> Open(
+      const std::string& path, const WalOptions& options = WalOptions::FromEnv());
 
-  /// Append a record; assigns and returns its LSN. Buffered until Flush.
+  /// Append a record; assigns and returns its LSN. Buffered until flushed.
   Result<Lsn> Append(WalRecord record);
 
-  /// Force buffered records to stable storage (fsync).
+  /// Force everything appended so far to stable storage. With group commit
+  /// this is WaitDurable(last appended LSN); without, an inline write+fsync.
   Status Flush();
+
+  /// Block until every record with LSN <= lsn is on stable storage. A failed
+  /// batch write/fsync fails every waiter of that batch with the same
+  /// status; waiters that arrive afterwards trigger a retry.
+  Status WaitDurable(Lsn lsn);
+
+  /// Alias of WaitDurable for call sites that read better as a flush.
+  Status FlushUpTo(Lsn lsn) { return WaitDurable(lsn); }
+
+  /// Highest LSN known to be on stable storage (monotonic watermark).
+  Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
 
   /// Read every record currently in the log (for recovery).
   Status ReadAll(std::vector<WalRecord>* out);
@@ -69,30 +112,66 @@ class Wal {
   /// floor in the meta page before each truncation so LSNs stay monotonic
   /// across restarts — otherwise a fresh (truncated) log would restart at 1
   /// and page LSNs stamped in an earlier epoch would wrongly suppress redo.
-  void EnsureNextLsnAtLeast(Lsn floor) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (next_lsn_ < floor) next_lsn_ = floor;
-  }
+  void EnsureNextLsnAtLeast(Lsn floor);
 
-  /// Number of appends that have not yet been fsynced.
+  /// Number of appends that have not yet reached the log file.
   size_t unflushed_records() const {
     std::lock_guard<std::mutex> lock(mu_);
     return buffer_count_;
   }
 
+  const WalOptions& options() const { return options_; }
+
  private:
-  Wal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  Wal(std::string path, int fd, WalOptions options)
+      : path_(std::move(path)), fd_(fd), options_(options) {}
 
   static void EncodeRecord(const WalRecord& rec, std::string* out);
   static bool DecodeRecord(const char* data, size_t len, size_t* consumed,
                            WalRecord* out);
 
+  /// write(2) `data` (may be empty: fsync-only retry after a failed sync),
+  /// then fsync. *wrote is set once the bytes reached the file — on a write
+  /// failure the caller must requeue them. Called with mu_ held on the
+  /// inline path and without it from the flusher (fd_ is immutable).
+  Status WriteAndSync(const std::string& data, bool* wrote);
+
+  void FlusherLoop();
+
+  /// True when a waiter's target is not yet durable. Callers hold mu_.
+  bool HasPendingWork() const {
+    return !wait_targets_.empty() &&
+           *wait_targets_.rbegin() > durable_lsn_.load(std::memory_order_relaxed);
+  }
+
   std::string path_;
   int fd_;
+  WalOptions options_;
   mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // committers -> flusher
+  std::condition_variable durable_cv_;  // flusher -> committers
+  std::thread flusher_;
+  bool stop_ = false;
+  /// Set while the flusher holds the fd without mu_ (its write/fsync);
+  /// ReadAll/Truncate wait for it to clear before touching the file.
+  bool io_in_flight_ = false;
   Lsn next_lsn_ = 1;
-  std::string buffer_;
+  std::string buffer_;  // encoded records not yet written to the file
   size_t buffer_count_ = 0;
+  std::atomic<Lsn> durable_lsn_{0};
+  /// Outstanding WaitDurable targets; the max element is the flusher's work
+  /// signal (failed waiters remove themselves, so a persistent I/O error
+  /// cannot spin the flusher).
+  std::multiset<Lsn> wait_targets_;
+  /// Batch-failure delivery: each failed attempt bumps the sequence number;
+  /// a waiter whose LSN is covered by flush_fail_upto_ takes the status.
+  uint64_t flush_fail_seq_ = 0;
+  Status flush_fail_status_;
+  Lsn flush_fail_upto_ = 0;
+  /// Non-empty once a crash fault fired on the flusher thread: the simulated
+  /// process death is re-thrown on the committer threads (see fault_registry.h
+  /// — a crash escaping a background thread would terminate for real).
+  std::string crash_point_;
 };
 
 }  // namespace reach

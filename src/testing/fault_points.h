@@ -21,6 +21,11 @@ inline constexpr const char* kWalAppend = "wal.append";
 inline constexpr const char* kWalFlushWrite = "wal.flush.write";
 inline constexpr const char* kWalFlushFsync = "wal.flush.fsync";
 inline constexpr const char* kWalTruncate = "wal.truncate";
+/// Start of a group-commit batch attempt, evaluated on the flusher thread.
+/// An injected error fails every WaitDurable waiter of the batch with the
+/// same status; an injected crash simulates the process dying mid-batch
+/// (rethrown on the committer threads — see Wal::FlusherLoop).
+inline constexpr const char* kWalFlusherBatch = "wal.flusher.batch";
 
 // -- BufferPool ------------------------------------------------------------
 inline constexpr const char* kBufFetch = "bufferpool.fetch";
@@ -42,6 +47,7 @@ inline constexpr const char* kRuleDetachedExec = "rule.detached.exec";
 inline constexpr const char* kAll[] = {
     kDiskReadPage,    kDiskWritePage,     kDiskAllocatePage, kDiskSync,
     kWalAppend,       kWalFlushWrite,     kWalFlushFsync,    kWalTruncate,
+    kWalFlusherBatch,
     kBufFetch,        kBufEvictWriteback, kBufFlushPage,     kBufFlushAll,
     kTxnBegin,        kTxnCommitEntry,    kTxnCommitForce,   kTxnAbortEntry,
     kRuleDeferredFlush, kRuleSubtxnExec,  kRuleDetachedExec,

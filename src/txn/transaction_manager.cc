@@ -173,7 +173,16 @@ Status TransactionManager::Commit(TxnId txn_id) {
       // Crash here: commit records are buffered but never forced — recovery
       // must roll the whole tree back.
       force = REACH_FAULT_HIT(faults::kTxnCommitForce);
-      if (force.ok()) force = storage_->LogCommit(txn_id);
+      if (force.ok()) {
+        // Durability point: append the root commit record, then block until
+        // the durable-LSN watermark passes it. No TransactionManager lock is
+        // held here, so concurrent committers pile into the same flusher
+        // batch and share one fsync (group commit).
+        auto commit_lsn = storage_->LogCommit(txn_id);
+        force = commit_lsn.ok()
+                    ? storage_->wal()->WaitDurable(*commit_lsn)
+                    : commit_lsn.status();
+      }
     }
     if (!force.ok()) {
       {

@@ -225,10 +225,11 @@ TEST_F(CrashTortureTest, KillAtEveryStorageFaultPoint) {
   const char* crash_points[] = {
       faults::kWalAppend,         faults::kWalFlushWrite,
       faults::kWalFlushFsync,     faults::kWalTruncate,
-      faults::kDiskWritePage,     faults::kDiskAllocatePage,
-      faults::kDiskSync,          faults::kBufEvictWriteback,
-      faults::kBufFlushAll,       faults::kBufFlushPage,
-      faults::kBufFetch,          faults::kDiskReadPage,
+      faults::kWalFlusherBatch,   faults::kDiskWritePage,
+      faults::kDiskAllocatePage,  faults::kDiskSync,
+      faults::kBufEvictWriteback, faults::kBufFlushAll,
+      faults::kBufFlushPage,      faults::kBufFetch,
+      faults::kDiskReadPage,
   };
   auto& reg = FaultRegistry::Instance();
   int crashes = 0;

@@ -15,6 +15,7 @@
 namespace reach {
 namespace {
 
+using reach::testing::DurableLogCommit;
 using reach::testing::TempDir;
 
 // ---------------------------------------------------------------------------
@@ -170,7 +171,7 @@ TEST(ObjectStoreProperty, RandomWorkloadSurvivesCrash) {
         txn_model[payload] = *oid;
       }
       if (rng.Bernoulli(0.6)) {
-        ASSERT_TRUE((*sm)->LogCommit(txn).ok());
+        ASSERT_TRUE(DurableLogCommit(sm->get(), txn).ok());
         committed_model = std::move(txn_model);
       }
       // else: crash with this txn in flight (never aborted cleanly)

@@ -9,6 +9,7 @@
 namespace reach {
 namespace {
 
+using reach::testing::DurableLogCommit;
 using reach::testing::TempDir;
 
 TEST(RecoveryTest, CommittedInsertSurvivesCrash) {
@@ -21,7 +22,7 @@ TEST(RecoveryTest, CommittedInsertSurvivesCrash) {
     auto r = (*sm)->objects()->Insert(1, "durable");
     ASSERT_TRUE(r.ok());
     oid = *r;
-    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 1).ok());
     // Crash: no checkpoint, no flush.
   }
   auto sm = StorageManager::Open(dir.DbPath());
@@ -40,7 +41,7 @@ TEST(RecoveryTest, UncommittedInsertRolledBack) {
     auto sm = StorageManager::Open(dir.DbPath());
     ASSERT_TRUE((*sm)->LogBegin(1).ok());
     committed_oid = *(*sm)->objects()->Insert(1, "keep");
-    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 1).ok());
 
     ASSERT_TRUE((*sm)->LogBegin(2).ok());
     loser_oid = *(*sm)->objects()->Insert(2, "lose");
@@ -65,13 +66,13 @@ TEST(RecoveryTest, CommittedUpdateAndDeleteSurvive) {
     ASSERT_TRUE((*sm)->LogBegin(1).ok());
     updated = *(*sm)->objects()->Insert(1, "v1");
     deleted = *(*sm)->objects()->Insert(1, "doomed");
-    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 1).ok());
     ASSERT_TRUE((*sm)->Checkpoint().ok());
 
     ASSERT_TRUE((*sm)->LogBegin(2).ok());
     ASSERT_TRUE((*sm)->objects()->Update(2, updated, "v2").ok());
     ASSERT_TRUE((*sm)->objects()->Delete(2, deleted).ok());
-    ASSERT_TRUE((*sm)->LogCommit(2).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 2).ok());
     // Crash after commit.
   }
   auto sm = StorageManager::Open(dir.DbPath());
@@ -86,7 +87,7 @@ TEST(RecoveryTest, UncommittedUpdateRestoresOldValue) {
     auto sm = StorageManager::Open(dir.DbPath());
     ASSERT_TRUE((*sm)->LogBegin(1).ok());
     oid = *(*sm)->objects()->Insert(1, "original");
-    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 1).ok());
 
     ASSERT_TRUE((*sm)->LogBegin(2).ok());
     ASSERT_TRUE((*sm)->objects()->Update(2, oid, "tampered").ok());
@@ -104,7 +105,7 @@ TEST(RecoveryTest, AbortedTransactionStaysRolledBack) {
     auto sm = StorageManager::Open(dir.DbPath());
     ASSERT_TRUE((*sm)->LogBegin(1).ok());
     oid = *(*sm)->objects()->Insert(1, "original");
-    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 1).ok());
 
     // Abort with logged compensation, as the transaction manager does.
     ASSERT_TRUE((*sm)->LogBegin(2).ok());
@@ -132,7 +133,7 @@ TEST(RecoveryTest, RecoveryIsIdempotent) {
     auto sm = StorageManager::Open(dir.DbPath());
     ASSERT_TRUE((*sm)->LogBegin(1).ok());
     oid = *(*sm)->objects()->Insert(1, "stable");
-    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 1).ok());
   }
   // Open/close repeatedly; state must not change.
   for (int i = 0; i < 3; ++i) {
@@ -150,7 +151,7 @@ TEST(RecoveryTest, LargeObjectRecovery) {
     auto sm = StorageManager::Open(dir.DbPath());
     ASSERT_TRUE((*sm)->LogBegin(1).ok());
     oid = *(*sm)->objects()->Insert(1, big);
-    ASSERT_TRUE((*sm)->LogCommit(1).ok());
+    ASSERT_TRUE(DurableLogCommit(sm->get(), 1).ok());
   }
   auto sm = StorageManager::Open(dir.DbPath());
   EXPECT_EQ(*(*sm)->objects()->Read(oid), big);
@@ -167,7 +168,7 @@ TEST(RecoveryTest, MixedWinnersAndLosers) {
           (*sm)->objects()->Insert(t, "txn" + std::to_string(t));
       ASSERT_TRUE(oid.ok());
       if (t % 2 == 0) {
-        ASSERT_TRUE((*sm)->LogCommit(t).ok());
+        ASSERT_TRUE(DurableLogCommit(sm->get(), t).ok());
         winners.push_back(*oid);
       } else {
         losers.push_back(*oid);

@@ -5,7 +5,19 @@
 #include <filesystem>
 #include <string>
 
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
 namespace reach::testing {
+
+/// Append a commit record for `txn` and wait for it to become durable —
+/// what TransactionManager::Commit does at its durability point. Tests that
+/// drive StorageManager directly use this before simulating a crash.
+inline Status DurableLogCommit(StorageManager* sm, TxnId txn) {
+  auto lsn = sm->LogCommit(txn);
+  if (!lsn.ok()) return lsn.status();
+  return sm->wal()->WaitDurable(*lsn);
+}
 
 /// Unique scratch directory, removed on destruction.
 class TempDir {
