@@ -1,0 +1,113 @@
+// Shard scaling — the acceptance benchmark for the partitioned buffer pool
+// and striped object store (docs/STORAGE.md): N reader threads fetch a
+// cached working set through ObjectStore::Read while the shard count is
+// swept across {1, 4, 16}. Every read is a buffer pool hit, so the loop
+// measures lock-acquisition cost on the storage hot path and nothing else:
+// with one shard all readers serialize on a single mutex, with 16 they
+// spread over 16. `items_per_second` is reads/sec; `hit_rate` should print
+// 1.000 (a lower value means the working set spilled and the numbers are
+// garbage — grow kPoolPages).
+//
+// CI gates the shards:16 / shards:1 wall-clock ratio at 16 threads (and
+// 4/1 at 4 threads) via RATIO_PAIRS in scripts/bench_compare.py: absolute
+// times track core count and machine speed, but sharding losing ground to
+// the single-mutex pool is a property of the code. The bar on multicore
+// hardware: >= 2.5x read throughput at 16 threads with 16 shards vs 1.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+namespace {
+
+constexpr size_t kPoolPages = 256;
+constexpr int kObjects = 512;
+
+std::string ScratchBase(const std::string& tag) {
+  const char* dir = std::getenv("REACH_BENCH_DIR");
+  std::filesystem::path base =
+      std::filesystem::path(dir != nullptr ? dir : ".") /
+      "bench_shard_scratch";
+  std::filesystem::create_directories(base);
+  std::string path = (base / tag).string();
+  std::filesystem::remove(path + ".db");
+  std::filesystem::remove(path + ".wal");
+  return path;
+}
+
+// Shared across the benchmark's threads; thread 0 owns setup/teardown and
+// the google-benchmark start barrier keeps the others out until it's done.
+struct SharedDb {
+  std::unique_ptr<StorageManager> sm;
+  std::vector<Oid> oids;
+};
+SharedDb g_db;
+
+void BM_ShardedRead(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    StorageOptions opts;
+    opts.buffer_pool_pages = kPoolPages;
+    opts.bufferpool_shards = static_cast<size_t>(state.range(0));
+    auto sm = StorageManager::Open(
+        ScratchBase("shards" + std::to_string(state.range(0))), opts);
+    if (!sm.ok()) std::abort();
+    g_db.sm = std::move(*sm);
+    TransactionManager tm(g_db.sm.get());
+    auto txn = tm.Begin();
+    if (!txn.ok()) std::abort();
+    std::string payload(200, 's');
+    g_db.oids.clear();
+    for (int i = 0; i < kObjects; ++i) {
+      auto oid = g_db.sm->objects()->Insert(*txn, payload);
+      if (!oid.ok()) std::abort();
+      g_db.oids.push_back(*oid);
+    }
+    if (!tm.Commit(*txn).ok()) std::abort();
+    // Warm the pool so the timed loop never touches the disk.
+    for (const Oid& oid : g_db.oids) {
+      if (!g_db.sm->objects()->Read(oid).ok()) std::abort();
+    }
+  }
+  size_t i = static_cast<size_t>(state.thread_index()) * 131;
+  for (auto _ : state) {
+    const Oid& oid = g_db.oids[i++ % g_db.oids.size()];
+    benchmark::DoNotOptimize(g_db.sm->objects()->Read(oid));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    BufferPool* pool = g_db.sm->buffer_pool();
+    double accesses =
+        static_cast<double>(pool->hit_count() + pool->miss_count());
+    state.counters["hit_rate"] = benchmark::Counter(
+        accesses > 0 ? static_cast<double>(pool->hit_count()) / accesses
+                     : 0.0);
+    state.counters["shards"] =
+        benchmark::Counter(static_cast<double>(pool->shard_count()));
+    g_db.sm.reset();
+  }
+}
+
+BENCHMARK(BM_ShardedRead)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Threads(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

@@ -6,6 +6,7 @@
 // `cond <mode>` / `action <mode>` clauses).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 
@@ -14,6 +15,10 @@
 #include "common/types.h"
 #include "core/events/event.h"
 #include "oodb/session.h"
+
+namespace reach::obs {
+class Histogram;
+}  // namespace reach::obs
 
 namespace reach {
 
@@ -75,6 +80,10 @@ struct Rule {
   bool enabled = true;
   uint64_t registration_seq = 0;  // for oldest/newest tie-breaking
   RuleStats stats;
+  /// Per-rule exec-time histogram ("rules.exec_ns.rule.<name>"), admitted
+  /// lazily on first execution up to a global cardinality cap — nullptr
+  /// until then (see rule_engine.cc).
+  std::atomic<obs::Histogram*> exec_hist{nullptr};
 };
 
 }  // namespace reach

@@ -59,7 +59,36 @@ uint64_t RuleTimingStart(const RuleTrace& trace) {
   return (trace.enabled() || obs::MetricsEnabled()) ? obs::NowNanos() : 0;
 }
 
-void RecordRuleTiming(CouplingMode mode, uint64_t start_ns,
+/// Cardinality bound on the per-rule breakdown: only the first
+/// kPerRuleHistogramCap distinct rules to execute get a
+/// "rules.exec_ns.rule.<name>" histogram. In practice the hottest rules
+/// execute first and most, so the bounded map is the top-of-the-profile
+/// view without letting a rule-churning workload grow the registry forever.
+constexpr size_t kPerRuleHistogramCap = 32;
+
+obs::Histogram* PerRuleHistogram(Rule* rule) {
+  obs::Histogram* h = rule->exec_hist.load(std::memory_order_acquire);
+  if (h != nullptr) return h;
+  static std::atomic<size_t> admitted{0};
+  if (admitted.fetch_add(1, std::memory_order_relaxed) >=
+      kPerRuleHistogramCap) {
+    admitted.fetch_sub(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  h = obs::MetricsRegistry::Instance().histogram(
+      std::string(obs::kRulesExecNsRulePrefix) + rule->spec.name);
+  obs::Histogram* expected = nullptr;
+  if (!rule->exec_hist.compare_exchange_strong(expected, h,
+                                               std::memory_order_acq_rel)) {
+    // Another thread admitted this rule first; refund the slot (the
+    // registry handed both threads the same histogram).
+    admitted.fetch_sub(1, std::memory_order_relaxed);
+    return expected;
+  }
+  return h;
+}
+
+void RecordRuleTiming(Rule* rule, CouplingMode mode, uint64_t start_ns,
                       uint64_t detect_ns, uint64_t* elapsed_ns) {
   *elapsed_ns = start_ns != 0 ? obs::NowNanos() - start_ns : 0;
   if (!obs::MetricsEnabled() || start_ns == 0) return;
@@ -68,6 +97,9 @@ void RecordRuleTiming(CouplingMode mode, uint64_t start_ns,
   m.exec_ns[i]->RecordAlways(*elapsed_ns);
   if (detect_ns != 0 && start_ns > detect_ns) {
     m.fire_lag_ns[i]->RecordAlways(start_ns - detect_ns);
+  }
+  if (obs::Histogram* h = PerRuleHistogram(rule)) {
+    h->RecordAlways(*elapsed_ns);
   }
 }
 
@@ -344,7 +376,7 @@ Status RuleEngine::ExecuteInSubtxn(Rule* rule, const EventOccurrencePtr& occ,
   UnmarkEngineTxn(sub.value());
 
   uint64_t elapsed_ns = 0;
-  RecordRuleTiming(rule->spec.coupling, start_ns, occ->detect_ns,
+  RecordRuleTiming(rule, rule->spec.coupling, start_ns, occ->detect_ns,
                    &elapsed_ns);
 
   if (trace_.enabled()) {
@@ -587,7 +619,7 @@ void RuleEngine::RunDetachedTask(RuleId rule_id, EventOccurrencePtr occ,
   UnmarkEngineTxn(txn.value());
 
   uint64_t elapsed_ns = 0;
-  RecordRuleTiming(mode, start_ns, occ->detect_ns, &elapsed_ns);
+  RecordRuleTiming(rule, mode, start_ns, occ->detect_ns, &elapsed_ns);
 
   if (trace_.enabled()) {
     RuleTraceEntry entry;

@@ -22,12 +22,24 @@ inline constexpr const char* kWalFlushedBytes = "storage.wal.flushed_bytes";
 inline constexpr const char* kWalGroupSize = "storage.wal.group.size";
 inline constexpr const char* kWalGroupWaitNs = "storage.wal.group.wait_ns";
 inline constexpr const char* kWalFsyncSaved = "storage.wal.fsync_saved";
+/// Current coalescing delay chosen by the adaptive policy (REACH_WAL=
+/// adaptive), in microseconds.
+inline constexpr const char* kWalAdaptiveDelayUs =
+    "storage.wal.adaptive_delay_us";
 inline constexpr const char* kBufHit = "storage.bufferpool.hit";
 inline constexpr const char* kBufMiss = "storage.bufferpool.miss";
 inline constexpr const char* kBufEvictWriteback =
     "storage.bufferpool.evict_writeback";
-/// Windowed hit rate in percent over the last 1024 accesses (gauge).
+/// Windowed hit rate in percent: the gauge holds the last completed
+/// 1024-access window of any shard, the histogram the distribution of
+/// per-shard window hit rates (values 0..100, not nanoseconds).
 inline constexpr const char* kBufHitRate = "storage.bufferpool.hit_rate";
+inline constexpr const char* kBufShardHitRate =
+    "storage.bufferpool.shard.hit_rate";
+/// Time spent blocked on a contended buffer pool shard mutex (contention
+/// is near-zero when the shard count matches the core count).
+inline constexpr const char* kBufShardLockWaitNs =
+    "storage.bufferpool.shard.lock_wait_ns";
 
 // -- Transactions ----------------------------------------------------------
 inline constexpr const char* kTxnBegun = "txn.begun";
@@ -76,5 +88,10 @@ inline constexpr const char* kRulesDeferredRounds = "rules.deferred_rounds";
 /// and "rules.fire_lag_ns.<mode>" (event detection -> execution start).
 inline constexpr const char* kRulesExecNsPrefix = "rules.exec_ns.";
 inline constexpr const char* kRulesFireLagNsPrefix = "rules.fire_lag_ns.";
+/// Per-rule breakdown: "rules.exec_ns.rule.<name>". Bounded cardinality —
+/// only the first kPerRuleHistogramCap rules to fire get a histogram (see
+/// rule_engine.cc), so a misbehaving rule is localizable without enabling
+/// the full RuleTrace.
+inline constexpr const char* kRulesExecNsRulePrefix = "rules.exec_ns.rule.";
 
 }  // namespace reach::obs

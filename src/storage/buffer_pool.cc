@@ -1,7 +1,12 @@
 #include "storage/buffer_pool.h"
 
+#include <cstdlib>
+#include <string>
+#include <thread>
+
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "storage/slotted_page.h"
 #include "testing/fault_points.h"
 #include "testing/fault_registry.h"
 
@@ -14,6 +19,8 @@ struct PoolMetrics {
   obs::Counter* misses;
   obs::Counter* evict_writebacks;
   obs::Gauge* hit_rate;
+  obs::Histogram* shard_hit_rate;
+  obs::Histogram* lock_wait_ns;
 
   static const PoolMetrics& Get() {
     static const PoolMetrics m = [] {
@@ -21,7 +28,9 @@ struct PoolMetrics {
       return PoolMetrics{reg.counter(obs::kBufHit),
                          reg.counter(obs::kBufMiss),
                          reg.counter(obs::kBufEvictWriteback),
-                         reg.gauge(obs::kBufHitRate)};
+                         reg.gauge(obs::kBufHitRate),
+                         reg.histogram(obs::kBufShardHitRate),
+                         reg.histogram(obs::kBufShardLockWaitNs)};
     }();
     return m;
   }
@@ -29,36 +38,138 @@ struct PoolMetrics {
 
 }  // namespace
 
-BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
+BufferPoolOptions BufferPoolOptions::Parse(const char* spec) {
+  BufferPoolOptions o;
+  if (spec == nullptr) return o;
+  std::string entry;
+  auto apply = [&o](const std::string& e) {
+    if (e.empty()) return;
+    std::string key = e, value;
+    if (size_t eq = e.find('='); eq != std::string::npos) {
+      key = e.substr(0, eq);
+      value = e.substr(eq + 1);
+    }
+    if (key == "shards") {
+      o.shards = std::strtoull(value.c_str(), nullptr, 0);
+    }
+    // Unknown entries are ignored so old binaries tolerate new knobs.
+  };
+  for (const char* p = spec;; ++p) {
+    if (*p == '\0' || *p == ',' || *p == ';') {
+      apply(entry);
+      entry.clear();
+      if (*p == '\0') break;
+    } else {
+      entry.push_back(*p);
+    }
+  }
+  return o;
+}
+
+BufferPoolOptions BufferPoolOptions::FromEnv() {
+  static const BufferPoolOptions parsed =
+      Parse(std::getenv("REACH_STORAGE"));
+  return parsed;
+}
+
+size_t BufferPoolOptions::ResolveShards(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // Nearest power of two (ties round up): 3 -> 4, 6 -> 8, 12 -> 16.
+  size_t pow2 = 1;
+  while (pow2 < hw) pow2 <<= 1;
+  if (pow2 > hw && (pow2 - hw) > (hw - pow2 / 2)) pow2 >>= 1;
+  return pow2;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size, size_t shards)
+    : disk_(disk) {
   if (pool_size == 0) pool_size = 1;
-  frames_.reserve(pool_size);
-  for (size_t i = 0; i < pool_size; ++i) {
-    frames_.push_back(std::make_unique<Page>());
-    free_frames_.push_back(pool_size - 1 - i);
+  if (shards == 0) shards = BufferPoolOptions::FromEnv().shards;
+  shards = BufferPoolOptions::ResolveShards(shards);
+  // More shards than frames would force the pool to grow past its budget
+  // (every shard needs at least one frame or pages hashing to it could
+  // never be cached); clamp instead so tiny eviction-stress pools keep
+  // their exact capacity on any core count.
+  if (shards > pool_size) shards = pool_size;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    Shard& shard = *shards_.back();
+    size_t slice = pool_size / shards + (s < pool_size % shards ? 1 : 0);
+    shard.frames.reserve(slice);
+    for (size_t i = 0; i < slice; ++i) {
+      shard.frames.push_back(std::make_unique<Page>());
+      shard.free_frames.push_back(slice - 1 - i);
+    }
+    pool_size_ += slice;
   }
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    size_t frame = free_frames_.back();
-    free_frames_.pop_back();
+std::unique_lock<std::mutex> BufferPool::LockShard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const uint64_t start = obs::NowNanosIfEnabled();
+    lock.lock();
+    if (start != 0) {
+      PoolMetrics::Get().lock_wait_ns->RecordAlways(obs::NowNanos() - start);
+    }
+  }
+  return lock;
+}
+
+void BufferPool::NoteAccess(Shard& shard, bool hit) {
+  shard.window_hits += hit ? 1 : 0;
+  if (++shard.window_accesses == kHitRateWindow) {
+    const uint64_t pct = shard.window_hits * 100 / kHitRateWindow;
+    PoolMetrics::Get().hit_rate->Set(static_cast<int64_t>(pct));
+    PoolMetrics::Get().shard_hit_rate->Record(pct);
+    shard.window_hits = 0;
+    shard.window_accesses = 0;
+  }
+  if (hit) {
+    ++shard.hits;
+    PoolMetrics::Get().hits->Inc();
+  } else {
+    ++shard.misses;
+    PoolMetrics::Get().misses->Inc();
+  }
+}
+
+Status BufferPool::WriteBack(Page* page) {
+  if (pre_write_hook_) {
+    // ARIES write-ahead rule: the log must be durable up to the page's
+    // pageLSN before the page image may reach disk. Non-slotted pages (the
+    // meta page) carry no LSN, so they conservatively force the whole log.
+    SlottedPage sp(page);
+    Lsn page_lsn = sp.IsInitialized() ? sp.lsn() : kInvalidLsn;
+    REACH_RETURN_IF_ERROR(pre_write_hook_(page_lsn));
+  }
+  REACH_RETURN_IF_ERROR(disk_->WritePage(page->page_id(), page->data()));
+  page->set_dirty(false);
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    size_t frame = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return frame;
   }
   // Evict the least-recently-used unpinned frame.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
     size_t frame = *it;
-    Page* page = frames_[frame].get();
+    Page* page = shard.frames[frame].get();
     if (page->pin_count() > 0) continue;
     if (page->dirty()) {
       REACH_FAULT_POINT(faults::kBufEvictWriteback);
-      if (pre_write_hook_) REACH_RETURN_IF_ERROR(pre_write_hook_());
-      REACH_RETURN_IF_ERROR(disk_->WritePage(page->page_id(), page->data()));
-      page->set_dirty(false);
+      REACH_RETURN_IF_ERROR(WriteBack(page));
       PoolMetrics::Get().evict_writebacks->Inc();
     }
-    page_table_.erase(page->page_id());
-    lru_.erase(lru_pos_[frame]);
-    lru_pos_.erase(frame);
+    shard.page_table.erase(page->page_id());
+    shard.lru.erase(shard.lru_pos[frame]);
+    shard.lru_pos.erase(frame);
     return frame;
   }
   return Status::Busy("all buffer frames pinned");
@@ -66,66 +177,62 @@ Result<size_t> BufferPool::GetVictimFrame() {
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
   REACH_FAULT_POINT(faults::kBufFetch);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  const bool hit = it != page_table_.end();
-  window_hits_ += hit ? 1 : 0;
-  if (++window_accesses_ == kHitRateWindow) {
-    PoolMetrics::Get().hit_rate->Set(
-        static_cast<int64_t>(window_hits_ * 100 / kHitRateWindow));
-    window_hits_ = 0;
-    window_accesses_ = 0;
-  }
+  Shard& shard = ShardFor(page_id);
+  auto lock = LockShard(shard);
+  auto it = shard.page_table.find(page_id);
+  const bool hit = it != shard.page_table.end();
+  NoteAccess(shard, hit);
   if (hit) {
-    ++hits_;
-    PoolMetrics::Get().hits->Inc();
     size_t frame = it->second;
-    Page* page = frames_[frame].get();
+    Page* page = shard.frames[frame].get();
     page->Pin();
-    lru_.erase(lru_pos_[frame]);
-    lru_.push_front(frame);
-    lru_pos_[frame] = lru_.begin();
+    shard.lru.erase(shard.lru_pos[frame]);
+    shard.lru.push_front(frame);
+    shard.lru_pos[frame] = shard.lru.begin();
     return page;
   }
-  ++misses_;
-  PoolMetrics::Get().misses->Inc();
-  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
-  Page* page = frames_[frame].get();
+  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
+  Page* page = shard.frames[frame].get();
   page->Reset();
   if (Status st = disk_->ReadPage(page_id, page->data()); !st.ok()) {
-    free_frames_.push_back(frame);  // return the frame on failed read
+    shard.free_frames.push_back(frame);  // return the frame on failed read
     return st;
   }
   page->set_page_id(page_id);
   page->Pin();
-  page_table_[page_id] = frame;
-  lru_.push_front(frame);
-  lru_pos_[frame] = lru_.begin();
+  shard.page_table[page_id] = frame;
+  shard.lru.push_front(frame);
+  shard.lru_pos[frame] = shard.lru.begin();
   return page;
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Allocation has its own lock inside the disk manager; taking the shard
+  // lock only after the id is known keeps allocations of pages that hash to
+  // different shards fully parallel.
   REACH_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
-  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
-  Page* page = frames_[frame].get();
+  Shard& shard = ShardFor(page_id);
+  auto lock = LockShard(shard);
+  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
+  Page* page = shard.frames[frame].get();
   page->Reset();
   page->set_page_id(page_id);
   page->Pin();
   page->set_dirty(true);
-  page_table_[page_id] = frame;
-  lru_.push_front(frame);
-  lru_pos_[frame] = lru_.begin();
+  shard.page_table[page_id] = frame;
+  shard.lru.push_front(frame);
+  shard.lru_pos[frame] = shard.lru.begin();
   return page;
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) {
+  Shard& shard = ShardFor(page_id);
+  auto lock = LockShard(shard);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) {
     return Status::NotFound("page not in pool: " + std::to_string(page_id));
   }
-  Page* page = frames_[it->second].get();
+  Page* page = shard.frames[it->second].get();
   if (page->pin_count() == 0) {
     return Status::FailedPrecondition("unpin of unpinned page");
   }
@@ -136,34 +243,56 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 
 Status BufferPool::FlushPage(PageId page_id) {
   REACH_FAULT_POINT(faults::kBufFlushPage);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return Status::OK();  // not cached
-  Page* page = frames_[it->second].get();
+  Shard& shard = ShardFor(page_id);
+  auto lock = LockShard(shard);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) return Status::OK();  // not cached
+  Page* page = shard.frames[it->second].get();
   if (page->dirty()) {
-    if (pre_write_hook_) REACH_RETURN_IF_ERROR(pre_write_hook_());
-    REACH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data()));
-    page->set_dirty(false);
+    REACH_RETURN_IF_ERROR(WriteBack(page));
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
   REACH_FAULT_POINT(faults::kBufFlushAll);
-  std::lock_guard<std::mutex> lock(mu_);
+  // One full log force up front covers every page this pass writes, so the
+  // per-page hook (which would force up to each pageLSN) is skipped.
   bool flushed_log = false;
-  for (auto& [page_id, frame] : page_table_) {
-    Page* page = frames_[frame].get();
-    if (page->dirty()) {
-      if (pre_write_hook_ && !flushed_log) {
-        REACH_RETURN_IF_ERROR(pre_write_hook_());
-        flushed_log = true;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    auto lock = LockShard(shard);
+    for (auto& [page_id, frame] : shard.page_table) {
+      Page* page = shard.frames[frame].get();
+      if (page->dirty()) {
+        if (pre_write_hook_ && !flushed_log) {
+          REACH_RETURN_IF_ERROR(pre_write_hook_(kInvalidLsn));
+          flushed_log = true;
+        }
+        REACH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data()));
+        page->set_dirty(false);
       }
-      REACH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data()));
-      page->set_dirty(false);
     }
   }
   return Status::OK();
+}
+
+uint64_t BufferPool::hit_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t BufferPool::miss_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
 }
 
 }  // namespace reach

@@ -1,5 +1,12 @@
 // Buffer pool: fixed set of in-memory frames with LRU replacement and
 // pin-count protection, fronting the DiskManager.
+//
+// The pool is partitioned into N independent shards keyed by
+// `page_id % N`, each with its own mutex, page table, LRU list, and slice
+// of the frame budget, so concurrent fetches of distinct pages never
+// contend on one lock. N defaults to the nearest power of two to the
+// hardware concurrency and is overridable via the REACH_STORAGE
+// environment variable (`shards=<N>`, grammar mirroring REACH_WAL).
 #pragma once
 
 #include <functional>
@@ -11,14 +18,33 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/types.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
 namespace reach {
 
+/// Storage tuning knobs. Defaults come from the REACH_STORAGE environment
+/// variable (entries separated by ',' or ';'): "shards=<N>" sets the buffer
+/// pool shard count (0 = auto: nearest power of two to the hardware
+/// concurrency). Unknown entries are ignored so old binaries tolerate new
+/// knobs.
+struct BufferPoolOptions {
+  size_t shards = 0;  // 0 = auto
+
+  static BufferPoolOptions FromEnv();
+  /// Parse a REACH_STORAGE spec string (exposed for tests; FromEnv caches).
+  static BufferPoolOptions Parse(const char* spec);
+  /// Resolve a requested shard count: 0 becomes the auto default.
+  static size_t ResolveShards(size_t requested);
+};
+
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t pool_size);
+  /// `shards` == 0 defers to REACH_STORAGE / the auto default. The frame
+  /// budget is sliced evenly across shards; the shard count is clamped to
+  /// `pool_size` so the pool never exceeds its frame budget.
+  BufferPool(DiskManager* disk, size_t pool_size, size_t shards = 0);
 
   /// Pin the page, reading it from disk if absent. Caller must Unpin.
   Result<Page*> FetchPage(PageId page_id);
@@ -32,42 +58,69 @@ class BufferPool {
   /// Write a specific page back to disk if dirty.
   Status FlushPage(PageId page_id);
 
-  /// Write all dirty frames back to disk.
+  /// Write all dirty frames back to disk (shard by shard).
   Status FlushAll();
 
-  size_t pool_size() const { return frames_.size(); }
+  size_t pool_size() const { return pool_size_; }
+  size_t shard_count() const { return shards_.size(); }
 
   /// WAL rule hook: invoked before any page reaches disk, so the storage
-  /// manager can force the log first (write-ahead invariant).
-  void set_pre_write_hook(std::function<Status()> hook) {
+  /// manager can force the log first (write-ahead invariant). The page's
+  /// ARIES pageLSN is passed so the hook only needs to make the log durable
+  /// up to it; kInvalidLsn means "unknown" (non-slotted page) and forces
+  /// the whole log.
+  using PreWriteHook = std::function<Status(Lsn page_lsn)>;
+  void set_pre_write_hook(PreWriteHook hook) {
     pre_write_hook_ = std::move(hook);
   }
 
-  /// Statistics for benchmarks.
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  /// Statistics for benchmarks (summed over shards).
+  uint64_t hit_count() const;
+  uint64_t miss_count() const;
 
  private:
+  // One independent partition of the pool. Heap-allocated and
+  // cache-line-aligned so neighbouring shards' mutexes never share a line.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Page>> frames;
+    std::unordered_map<PageId, size_t> page_table;
+    std::list<size_t> lru;  // front = most recently used
+    std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos;
+    std::vector<size_t> free_frames;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    // Sliding window feeding the hit-rate metrics: every kHitRateWindow
+    // accesses the shard publishes its hit percentage (gauge = last
+    // completed window anywhere, histogram = per-shard distribution) and
+    // the window resets, so eviction-policy regressions show up fast.
+    uint64_t window_hits = 0;
+    uint64_t window_accesses = 0;
+  };
+  static constexpr uint64_t kHitRateWindow = 1024;
+
+  Shard& ShardFor(PageId page_id) {
+    return *shards_[page_id % shards_.size()];
+  }
+
+  /// Lock a shard, recording time spent blocked on a contended mutex into
+  /// the storage.bufferpool.shard.lock_wait_ns histogram.
+  std::unique_lock<std::mutex> LockShard(Shard& shard);
+
   /// Find a reusable frame (free list first, then LRU victim). Flushes the
-  /// victim if dirty. Returns nullptr if every frame is pinned.
-  Result<size_t> GetVictimFrame();
+  /// victim if dirty. Caller holds `shard.mu`.
+  Result<size_t> GetVictimFrame(Shard& shard);
+
+  /// Write one dirty frame back to disk. Caller holds `shard.mu`.
+  Status WriteBack(Page* page);
+
+  /// Hit/miss bookkeeping for one access. Caller holds `shard.mu`.
+  void NoteAccess(Shard& shard, bool hit);
 
   DiskManager* disk_;
-  std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front = most recently used
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::vector<size_t> free_frames_;
-  std::function<Status()> pre_write_hook_;
-  std::mutex mu_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  // Sliding window feeding the storage.bufferpool.hit_rate gauge: every
-  // kHitRateWindow accesses the hit percentage is published and the window
-  // resets, so eviction-policy regressions show up in one number.
-  static constexpr uint64_t kHitRateWindow = 1024;
-  uint64_t window_hits_ = 0;
-  uint64_t window_accesses_ = 0;
+  size_t pool_size_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  PreWriteHook pre_write_hook_;
 };
 
 }  // namespace reach

@@ -1,5 +1,6 @@
 #include "storage/object_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace reach {
@@ -45,12 +46,22 @@ WalCellImage SnapshotCell(const SlottedPage& sp, SlotId slot) {
 
 }  // namespace
 
-ObjectStore::ObjectStore(BufferPool* pool, Wal* wal, PageId first_data_page)
-    : pool_(pool), wal_(wal), first_data_page_(first_data_page) {}
+ObjectStore::ObjectStore(BufferPool* pool, Wal* wal, PageId first_data_page,
+                         size_t stripes)
+    : pool_(pool), wal_(wal), first_data_page_(first_data_page) {
+  if (stripes == 0) stripes = pool->shard_count();
+  stripes_.reserve(stripes);
+  for (size_t s = 0; s < stripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
 
 Status ObjectStore::Bootstrap() {
-  std::lock_guard<std::mutex> lock(mu_);
-  free_space_.clear();
+  std::unique_lock<std::shared_mutex> lock(op_mu_);
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> slock(stripe->mu);
+    stripe->free_space.clear();
+  }
   // The disk manager knows how many pages exist; scan the data range.
   for (PageId p = first_data_page_;; ++p) {
     auto page = pool_->FetchPage(p);
@@ -61,7 +72,7 @@ Status ObjectStore::Bootstrap() {
     PageGuard guard(pool_, page.value());
     SlottedPage sp(page.value());
     if (sp.IsInitialized()) {
-      free_space_[p] = sp.FreeSpaceForInsert();
+      NoteFreeSpace(p, sp);
     }
   }
   return Status::OK();
@@ -85,12 +96,17 @@ Status ObjectStore::LogPhysical(TxnId txn, SlottedPage* sp, PageId page,
 }
 
 void ObjectStore::NoteFreeSpace(PageId page, const SlottedPage& sp) {
-  free_space_[page] = sp.FreeSpaceForInsert();
+  Stripe& stripe = StripeFor(page);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.free_space[page] = sp.FreeSpaceForInsert();
 }
 
 Result<PageId> ObjectStore::PageWithSpace(size_t need) {
-  for (const auto& [page, space] : free_space_) {
-    if (space >= need) return page;
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [page, space] : stripe->free_space) {
+      if (space >= need) return page;
+    }
   }
   REACH_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
   PageGuard guard(pool_, page);
@@ -284,13 +300,13 @@ Result<std::string> ObjectStore::AssembleBody(const std::string& head_payload) {
 }
 
 Result<Oid> ObjectStore::Insert(TxnId txn, std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(op_mu_);
   REACH_ASSIGN_OR_RETURN(std::string head, BuildBody(txn, bytes));
   return InsertCell(txn, head, SlotFlag::kLive);
 }
 
 Result<std::string> ObjectStore::Read(const Oid& oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(op_mu_);
   std::string payload;
   SlotFlag flag;
   REACH_RETURN_IF_ERROR(ReadCell(oid, &payload, &flag));
@@ -307,7 +323,7 @@ Result<std::string> ObjectStore::Read(const Oid& oid) {
 }
 
 Status ObjectStore::Update(TxnId txn, const Oid& oid, std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(op_mu_);
   std::string home_payload;
   SlotFlag home_flag;
   REACH_RETURN_IF_ERROR(ReadCell(oid, &home_payload, &home_flag));
@@ -347,7 +363,7 @@ Status ObjectStore::Update(TxnId txn, const Oid& oid, std::string_view bytes) {
 }
 
 Status ObjectStore::Delete(TxnId txn, const Oid& oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(op_mu_);
   std::string payload;
   SlotFlag flag;
   REACH_RETURN_IF_ERROR(ReadCell(oid, &payload, &flag));
@@ -367,7 +383,7 @@ Status ObjectStore::Delete(TxnId txn, const Oid& oid) {
 }
 
 bool ObjectStore::Exists(const Oid& oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(op_mu_);
   std::string payload;
   SlotFlag flag;
   Status st = ReadCell(oid, &payload, &flag);
@@ -375,9 +391,19 @@ bool ObjectStore::Exists(const Oid& oid) {
 }
 
 Result<std::vector<Oid>> ObjectStore::ScanAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(op_mu_);
+  // Collect the data pages stripe by stripe, then visit them in page order
+  // so the result is deterministic regardless of stripe/shard counts.
+  std::vector<PageId> pages;
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> slock(stripe->mu);
+    for (const auto& [page_id, _] : stripe->free_space) {
+      pages.push_back(page_id);
+    }
+  }
+  std::sort(pages.begin(), pages.end());
   std::vector<Oid> out;
-  for (const auto& [page_id, _] : free_space_) {
+  for (PageId page_id : pages) {
     REACH_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
     PageGuard guard(pool_, page);
     SlottedPage sp(page);
@@ -398,7 +424,7 @@ Result<std::vector<Oid>> ObjectStore::ScanAll() {
 
 Status ObjectStore::ApplyImage(PageId page_id, SlotId slot,
                                const WalCellImage& img, Lsn lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(op_mu_);
   // Recovery may reference pages the (possibly truncated) data file does
   // not have yet; allocate up to the target page.
   for (;;) {
@@ -441,7 +467,7 @@ Status ObjectStore::ApplyImage(PageId page_id, SlotId slot,
 
 Status ObjectStore::ApplyImageLogged(TxnId txn, PageId page_id, SlotId slot,
                                      const WalCellImage& target) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(op_mu_);
   REACH_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   PageGuard guard(pool_, page);
   SlottedPage sp(page);
@@ -461,8 +487,13 @@ Status ObjectStore::ApplyImageLogged(TxnId txn, PageId page_id, SlotId slot,
 }
 
 size_t ObjectStore::data_page_count() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return free_space_.size();
+  std::shared_lock<std::shared_mutex> lock(op_mu_);
+  size_t total = 0;
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> slock(stripe->mu);
+    total += stripe->free_space.size();
+  }
+  return total;
 }
 
 }  // namespace reach

@@ -7,10 +7,18 @@
 //    continuation segments on other pages.
 //  * Every cell mutation is logged to the WAL as a physical before/after
 //    image, making redo and undo idempotent.
+//
+// Concurrency: readers (Read/Exists/ScanAll) hold a shared operation lock,
+// so lookups of distinct objects proceed in parallel and only contend on
+// the buffer pool shard of their home page. Mutations hold the lock
+// exclusively. The free-space map is striped by `page % N` (N = buffer
+// pool shard count) so bulk passes touch independent cache lines.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -28,7 +36,10 @@ namespace reach {
 class ObjectStore {
  public:
   /// `first_data_page`: pages below this are reserved (meta page 0).
-  ObjectStore(BufferPool* pool, Wal* wal, PageId first_data_page = 1);
+  /// `stripes` == 0 matches the buffer pool's shard count so free-space
+  /// striping lines up with page sharding.
+  ObjectStore(BufferPool* pool, Wal* wal, PageId first_data_page = 1,
+              size_t stripes = 0);
 
   /// Rebuild the free-space map by scanning existing pages. Call once after
   /// recovery / open.
@@ -131,11 +142,28 @@ class ObjectStore {
 
   void NoteFreeSpace(PageId page, const SlottedPage& sp);
 
+  // One stripe of the free-space map (insertable bytes per data page),
+  // keyed `page % stripes_.size()`. Heap-allocated and cache-line-aligned
+  // like the buffer pool shards. The stripe mutex guards the map itself;
+  // lock order is always op_mu_ first, then at most one stripe at a time,
+  // so stripes can never deadlock against each other.
+  struct alignas(64) Stripe {
+    std::mutex mu;
+    std::unordered_map<PageId, size_t> free_space;
+  };
+
+  Stripe& StripeFor(PageId page) {
+    return *stripes_[page % stripes_.size()];
+  }
+
   BufferPool* pool_;
   Wal* wal_;
   PageId first_data_page_;
-  std::mutex mu_;
-  std::unordered_map<PageId, size_t> free_space_;  // insertable bytes
+  // Readers shared, writers exclusive: concurrent Reads of distinct
+  // objects never block each other, and mutations (which may relocate
+  // cells and rewrite the free-space map) run alone.
+  std::shared_mutex op_mu_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
   MutationListener mutation_listener_;
 };
 

@@ -9,10 +9,15 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
   auto sm = std::unique_ptr<StorageManager>(new StorageManager());
   REACH_ASSIGN_OR_RETURN(sm->disk_, DiskManager::Open(base_path + ".db"));
   REACH_ASSIGN_OR_RETURN(sm->wal_, Wal::Open(base_path + ".wal", options.wal));
-  sm->pool_ = std::make_unique<BufferPool>(sm->disk_.get(),
-                                           options.buffer_pool_pages);
+  sm->pool_ = std::make_unique<BufferPool>(
+      sm->disk_.get(), options.buffer_pool_pages, options.bufferpool_shards);
   Wal* wal = sm->wal_.get();
-  sm->pool_->set_pre_write_hook([wal] { return wal->Flush(); });
+  // Write-ahead invariant: force the log up to the page's LSN before its
+  // image reaches disk. Pages without an LSN (the meta page) force the
+  // whole log.
+  sm->pool_->set_pre_write_hook([wal](Lsn page_lsn) {
+    return page_lsn == kInvalidLsn ? wal->Flush() : wal->FlushUpTo(page_lsn);
+  });
   sm->objects_ = std::make_unique<ObjectStore>(sm->pool_.get(), wal,
                                                /*first_data_page=*/1);
 

@@ -18,6 +18,9 @@ namespace reach {
 
 struct StorageOptions {
   size_t buffer_pool_pages = 256;
+  /// Buffer pool shard count; 0 defers to REACH_STORAGE / the auto default
+  /// (nearest power of two to the hardware concurrency).
+  size_t bufferpool_shards = 0;
   WalOptions wal = WalOptions::FromEnv();
 };
 

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -26,6 +27,7 @@ struct WalMetrics {
   obs::Histogram* fsync_ns;
   obs::Histogram* group_size;
   obs::Histogram* group_wait_ns;
+  obs::Gauge* adaptive_delay_us;
 
   static const WalMetrics& Get() {
     static const WalMetrics m = [] {
@@ -36,7 +38,8 @@ struct WalMetrics {
                         reg.counter(obs::kWalFsyncSaved),
                         reg.histogram(obs::kWalFsyncNs),
                         reg.histogram(obs::kWalGroupSize),
-                        reg.histogram(obs::kWalGroupWaitNs)};
+                        reg.histogram(obs::kWalGroupWaitNs),
+                        reg.gauge(obs::kWalAdaptiveDelayUs)};
     }();
     return m;
   }
@@ -84,45 +87,49 @@ bool GetImage(const char* data, size_t len, size_t* pos, WalCellImage* img) {
 
 }  // namespace
 
-WalOptions WalOptions::FromEnv() {
-  static const WalOptions parsed = [] {
-    WalOptions o;
-    const char* spec = std::getenv("REACH_WAL");
-    if (spec == nullptr) return o;
-    std::string entry;
-    auto apply = [&o](const std::string& e) {
-      if (e.empty()) return;
-      std::string key = e, value;
-      if (size_t eq = e.find('='); eq != std::string::npos) {
-        key = e.substr(0, eq);
-        value = e.substr(eq + 1);
-      }
-      if (key == "on" || (key == "group" && (value == "on" || value == "1" ||
-                                             value == "true"))) {
-        o.group_commit = true;
-      } else if (key == "off" ||
-                 (key == "group" &&
-                  (value == "off" || value == "0" || value == "false"))) {
-        o.group_commit = false;
-      } else if (key == "max_batch_bytes") {
-        o.max_batch_bytes = std::strtoull(value.c_str(), nullptr, 0);
-      } else if (key == "max_batch_delay_us") {
-        o.max_batch_delay_us =
-            static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 0));
-      }
-      // Unknown entries are ignored so old binaries tolerate new knobs.
-    };
-    for (const char* p = spec;; ++p) {
-      if (*p == '\0' || *p == ',' || *p == ';') {
-        apply(entry);
-        entry.clear();
-        if (*p == '\0') break;
-      } else {
-        entry.push_back(*p);
-      }
+WalOptions WalOptions::Parse(const char* spec) {
+  WalOptions o;
+  if (spec == nullptr) return o;
+  std::string entry;
+  auto apply = [&o](const std::string& e) {
+    if (e.empty()) return;
+    std::string key = e, value;
+    if (size_t eq = e.find('='); eq != std::string::npos) {
+      key = e.substr(0, eq);
+      value = e.substr(eq + 1);
     }
-    return o;
-  }();
+    if (key == "on" || (key == "group" && (value == "on" || value == "1" ||
+                                           value == "true"))) {
+      o.group_commit = true;
+    } else if (key == "off" ||
+               (key == "group" &&
+                (value == "off" || value == "0" || value == "false"))) {
+      o.group_commit = false;
+    } else if (key == "max_batch_bytes") {
+      o.max_batch_bytes = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (key == "max_batch_delay_us") {
+      o.max_batch_delay_us =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 0));
+    } else if (key == "adaptive") {
+      o.adaptive_delay =
+          value.empty() || value == "on" || value == "1" || value == "true";
+    }
+    // Unknown entries are ignored so old binaries tolerate new knobs.
+  };
+  for (const char* p = spec;; ++p) {
+    if (*p == '\0' || *p == ',' || *p == ';') {
+      apply(entry);
+      entry.clear();
+      if (*p == '\0') break;
+    } else {
+      entry.push_back(*p);
+    }
+  }
+  return o;
+}
+
+WalOptions WalOptions::FromEnv() {
+  static const WalOptions parsed = Parse(std::getenv("REACH_WAL"));
   return parsed;
 }
 
@@ -322,13 +329,21 @@ void Wal::FlusherLoop() {
   // pending — the signal that committers arrive faster than fsyncs finish,
   // which is when the optional coalescing delay pays off.
   bool back_to_back = false;
+  // Adaptive policy state: EWMA of waiters released per batch. The cap
+  // bounds how long a committer can be held hostage for coalescing.
+  double avg_group = 0.0;
+  const uint32_t delay_cap_us =
+      options_.max_batch_delay_us > 0 ? options_.max_batch_delay_us : 200;
   while (true) {
     work_cv_.wait(lock, [this] { return stop_ || HasPendingWork(); });
     if (stop_) return;
-    if (back_to_back && options_.max_batch_delay_us > 0) {
-      auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::microseconds(options_.max_batch_delay_us);
+    const uint32_t delay_us = options_.adaptive_delay
+                                  ? adaptive_delay_us_.load(
+                                        std::memory_order_relaxed)
+                                  : options_.max_batch_delay_us;
+    if (back_to_back && delay_us > 0) {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(delay_us);
       while (!stop_ && buffer_.size() < options_.max_batch_bytes &&
              work_cv_.wait_until(lock, deadline) !=
                  std::cv_status::timeout) {
@@ -375,6 +390,27 @@ void Wal::FlusherLoop() {
       m.group_size->Record(static_cast<uint64_t>(released));
       if (released > 1) m.fsync_saved->Inc(released - 1);
       back_to_back = HasPendingWork();
+      if (options_.adaptive_delay) {
+        // Feedback loop on the observed group size: near-empty batches
+        // under sustained load mean the fsync alone isn't coalescing —
+        // grow the delay to collect more joiners. Big groups (or batches
+        // approaching the byte cap) mean piggybacking already saturates —
+        // shrink back toward zero so committers aren't held up for
+        // nothing.
+        avg_group = avg_group * 0.75 + static_cast<double>(released) * 0.25;
+        const uint32_t cur = adaptive_delay_us_.load(
+            std::memory_order_relaxed);
+        uint32_t next = cur;
+        if (avg_group >= 8.0 || batch.size() >= options_.max_batch_bytes / 2) {
+          next = cur / 2;
+        } else if (back_to_back && avg_group < 2.0) {
+          next = std::min(delay_cap_us, cur + 10);
+        }
+        if (next != cur) {
+          adaptive_delay_us_.store(next, std::memory_order_relaxed);
+          m.adaptive_delay_us->Set(static_cast<int64_t>(next));
+        }
+      }
     } else {
       if (!wrote && !batch.empty()) {
         // The records never reached the file: restore them (in order) so a

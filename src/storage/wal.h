@@ -53,8 +53,8 @@ struct WalRecord {
 
 /// Group-commit policy knobs. Defaults come from the REACH_WAL environment
 /// variable (grammar mirroring REACH_METRICS, entries separated by ',' or
-/// ';'): "group=on|off", "max_batch_bytes=<N>", "max_batch_delay_us=<N>".
-/// Bare "on"/"off" toggles group commit.
+/// ';'): "group=on|off", "max_batch_bytes=<N>", "max_batch_delay_us=<N>",
+/// "adaptive[=on|off]". Bare "on"/"off" toggles group commit.
 struct WalOptions {
   /// Commit piggybacking via the background flusher thread. Off = the
   /// classic inline path: every Flush() does its own write+fsync.
@@ -66,8 +66,18 @@ struct WalOptions {
   /// while the previous fsync ran forms the next batch.
   size_t max_batch_bytes = 1u << 20;
   uint32_t max_batch_delay_us = 0;
+  /// Drive the coalescing delay from the observed batch size instead of the
+  /// fixed max_batch_delay_us: near-empty batches under sustained load grow
+  /// the delay (more joiners per fsync), full batches shrink it back (no
+  /// point delaying committers the fsync already coalesces). The current
+  /// value is visible as the storage.wal.adaptive_delay_us gauge and via
+  /// current_batch_delay_us(). max_batch_delay_us, when nonzero, caps the
+  /// adaptive delay (default cap 200us).
+  bool adaptive_delay = false;
 
   static WalOptions FromEnv();
+  /// Parse a REACH_WAL spec string (exposed for tests; FromEnv caches).
+  static WalOptions Parse(const char* spec);
 };
 
 class Wal {
@@ -122,6 +132,15 @@ class Wal {
 
   const WalOptions& options() const { return options_; }
 
+  /// The coalescing delay the flusher would apply to the next back-to-back
+  /// batch: the adaptive value when options().adaptive_delay is set, the
+  /// fixed max_batch_delay_us otherwise.
+  uint32_t current_batch_delay_us() const {
+    return options_.adaptive_delay
+               ? adaptive_delay_us_.load(std::memory_order_relaxed)
+               : options_.max_batch_delay_us;
+  }
+
  private:
   Wal(std::string path, int fd, WalOptions options)
       : path_(std::move(path)), fd_(fd), options_(options) {}
@@ -159,6 +178,9 @@ class Wal {
   std::string buffer_;  // encoded records not yet written to the file
   size_t buffer_count_ = 0;
   std::atomic<Lsn> durable_lsn_{0};
+  /// Coalescing delay chosen by the adaptive policy (flusher writes, anyone
+  /// reads). Starts at 0 = pure piggybacking until load proves otherwise.
+  std::atomic<uint32_t> adaptive_delay_us_{0};
   /// Outstanding WaitDurable targets; the max element is the flusher's work
   /// signal (failed waiters remove themselves, so a persistent I/O error
   /// cannot spin the flusher).

@@ -64,7 +64,9 @@ class BufferPoolTest : public ::testing::Test {
     auto dm = DiskManager::Open(dir_.DbPath() + ".db");
     ASSERT_TRUE(dm.ok());
     disk_ = std::move(*dm);
-    pool_ = std::make_unique<BufferPool>(disk_.get(), 4);
+    // One shard keeps the 4-frame capacity exact (AllPinnedFails counts
+    // frames); multi-shard behaviour is covered by shard_test.cc.
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 4, /*shards=*/1);
   }
   TempDir dir_;
   std::unique_ptr<DiskManager> disk_;
