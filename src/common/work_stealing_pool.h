@@ -1,0 +1,186 @@
+// Work-stealing task pool: per-worker deques plus stealing, replacing the
+// central mutex+deque ThreadPool on the event-composition hot path. Each
+// worker owns a queue; producers enqueue to their own queue when they *are*
+// a worker (composition cascades stay cache-local) and round-robin across
+// queues otherwise, so N detecting threads never serialize on one pool
+// mutex. An idle worker steals from the back of a sibling's queue (the
+// owner pops the front), skipping victims whose lock is busy.
+//
+// Quiesce semantics match ThreadPool::WaitIdle: drained means every queue
+// is empty AND every worker is idle — tracked by one atomic `pending_`
+// (queued + running) that workers decrement only after the task body
+// returns, so tasks that submit follow-up tasks (composite events feeding
+// further compositors) keep the pool non-idle until the cascade dies out.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reach {
+
+template <typename Task>
+class WorkStealingPool {
+ public:
+  using Runner = std::function<void(Task&)>;
+
+  WorkStealingPool(size_t num_threads, Runner runner)
+      : runner_(std::move(runner)),
+        queues_(num_threads == 0 ? 1 : num_threads) {
+    workers_.reserve(queues_.size());
+    for (size_t i = 0; i < queues_.size(); ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~WorkStealingPool() { Shutdown(); }
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueue a task. Returns false if the pool is shutting down.
+  bool Submit(Task task) {
+    WorkerQueue& q = queues_[HomeQueue()];
+    {
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (shutdown_.load(std::memory_order_relaxed)) return false;
+      pending_.fetch_add(1);
+      queued_.fetch_add(1);
+      q.tasks.push_back(std::move(task));
+    }
+    if (sleepers_.load() > 0) {
+      std::lock_guard<std::mutex> lock(sleep_mu_);
+      work_cv_.notify_one();
+    }
+    return true;
+  }
+
+  /// Block until every queue is empty and every worker is idle.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    idle_cv_.wait(lock, [&] { return pending_.load() == 0; });
+  }
+
+  /// Stop accepting tasks, drain the queues, join workers. Idempotent.
+  void Shutdown() {
+    {
+      // Hold every queue lock while flipping the flag so no Submit is
+      // mid-push against a pool whose workers already decided to exit.
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(queues_.size());
+      for (WorkerQueue& q : queues_) locks.emplace_back(q.mu);
+      shutdown_.store(true);
+    }
+    {
+      std::lock_guard<std::mutex> lock(sleep_mu_);
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  /// Invoked (from a worker thread) each time a task is taken from another
+  /// worker's queue. Set before any Submit; used to mirror a metrics
+  /// counter without coupling this header to the obs layer.
+  void set_steal_callback(std::function<void()> cb) {
+    steal_cb_ = std::move(cb);
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks currently enqueued across all queues (excluding running ones).
+  size_t QueueDepth() const { return queued_.load(); }
+
+  uint64_t steal_count() const { return steals_.load(); }
+
+ private:
+  struct alignas(64) WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  /// Workers enqueue to their own queue; external threads round-robin.
+  size_t HomeQueue() {
+    if (tls_pool_ == this) return tls_index_;
+    return next_queue_.fetch_add(1, std::memory_order_relaxed) %
+           queues_.size();
+  }
+
+  bool TryPop(size_t me, Task* out) {
+    {
+      WorkerQueue& mine = queues_[me];
+      std::lock_guard<std::mutex> lock(mine.mu);
+      if (!mine.tasks.empty()) {
+        *out = std::move(mine.tasks.front());
+        mine.tasks.pop_front();
+        queued_.fetch_sub(1);
+        return true;
+      }
+    }
+    for (size_t k = 1; k < queues_.size(); ++k) {
+      WorkerQueue& victim = queues_[(me + k) % queues_.size()];
+      std::unique_lock<std::mutex> lock(victim.mu, std::try_to_lock);
+      // A busy victim lock means its owner is actively pushing/popping;
+      // move on rather than blocking — a missed steal only delays us until
+      // the next scan.
+      if (!lock.owns_lock() || victim.tasks.empty()) continue;
+      *out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      queued_.fetch_sub(1);
+      lock.unlock();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      if (steal_cb_) steal_cb_();
+      return true;
+    }
+    return false;
+  }
+
+  void WorkerLoop(size_t me) {
+    tls_pool_ = this;
+    tls_index_ = me;
+    for (;;) {
+      Task task;
+      if (TryPop(me, &task)) {
+        runner_(task);
+        if (pending_.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> lock(sleep_mu_);
+          idle_cv_.notify_all();
+        }
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleepers_.fetch_add(1);
+      work_cv_.wait(lock, [&] {
+        return shutdown_.load() || queued_.load() > 0;
+      });
+      sleepers_.fetch_sub(1);
+      if (shutdown_.load() && queued_.load() == 0) return;
+    }
+  }
+
+  Runner runner_;
+  std::function<void()> steal_cb_;
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<size_t> pending_{0};  // queued + running
+  std::atomic<size_t> queued_{0};   // queued only
+  std::atomic<size_t> sleepers_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+
+  static inline thread_local const void* tls_pool_ = nullptr;
+  static inline thread_local size_t tls_index_ = 0;
+};
+
+}  // namespace reach

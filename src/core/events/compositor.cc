@@ -16,6 +16,7 @@ struct CompositorMetrics {
   obs::Counter* completions;
   obs::Counter* expired_partials;
   obs::Counter* discarded_at_eot;
+  obs::Histogram* lock_wait_ns;
 
   static const CompositorMetrics& Get() {
     static const CompositorMetrics m = [] {
@@ -23,7 +24,8 @@ struct CompositorMetrics {
       return CompositorMetrics{reg.counter(obs::kCompositorFed),
                                reg.counter(obs::kCompositorCompletions),
                                reg.counter(obs::kCompositorExpired),
-                               reg.counter(obs::kCompositorDiscardedEot)};
+                               reg.counter(obs::kCompositorDiscardedEot),
+                               reg.histogram(obs::kCompositorLockWaitNs)};
     }();
     return m;
   }
@@ -600,9 +602,21 @@ EventOccurrencePtr Compositor::MakeOccurrence(
   return occ;
 }
 
+std::unique_lock<std::mutex> Compositor::LockStripe(const Stripe& stripe) {
+  std::unique_lock<std::mutex> lock(stripe.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const uint64_t start = obs::NowNanosIfEnabled();
+    lock.lock();
+    if (start != 0) {
+      CompositorMetrics::Get().lock_wait_ns->RecordAlways(obs::NowNanos() -
+                                                          start);
+    }
+  }
+  return lock;
+}
+
 void Compositor::Feed(const EventOccurrencePtr& occ,
                       std::vector<EventOccurrencePtr>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
   fed_.fetch_add(1, std::memory_order_relaxed);
   CompositorMetrics::Get().fed->Inc();
   TxnId key = kNoTxn;
@@ -610,9 +624,11 @@ void Compositor::Feed(const EventOccurrencePtr& occ,
     if (occ->txn == kNoTxn) return;  // temporal events never reach 1tx trees
     key = occ->txn;
   }
-  auto it = instances_.find(key);
-  if (it == instances_.end()) {
-    it = instances_.emplace(key, BuildTree(desc_->expr)).first;
+  Stripe& stripe = StripeFor(key);
+  auto lock = LockStripe(stripe);
+  auto it = stripe.instances.find(key);
+  if (it == stripe.instances.end()) {
+    it = stripe.instances.emplace(key, BuildTree(desc_->expr)).first;
   }
   Node* root = it->second.get();
   if (desc_->scope == CompositeScope::kCrossTxn && desc_->validity_us > 0) {
@@ -638,22 +654,24 @@ void Compositor::Feed(const EventOccurrencePtr& occ,
 
 void Compositor::OnTxnEnd(TxnId txn) {
   if (desc_->scope != CompositeScope::kSingleTxn) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = instances_.find(txn);
-  if (it == instances_.end()) return;
+  Stripe& stripe = StripeFor(txn);
+  auto lock = LockStripe(stripe);
+  auto it = stripe.instances.find(txn);
+  if (it == stripe.instances.end()) return;
   uint64_t discarded = it->second->PartialCount();
   if (discarded != 0) {
     discarded_at_eot_.fetch_add(discarded, std::memory_order_relaxed);
     CompositorMetrics::Get().discarded_at_eot->Inc(discarded);
   }
-  instances_.erase(it);
+  stripe.instances.erase(it);
 }
 
 void Compositor::ExpireOlderThan(Timestamp cutoff) {
   if (desc_->scope != CompositeScope::kCrossTxn) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = instances_.find(kNoTxn);
-  if (it == instances_.end()) return;
+  Stripe& stripe = StripeFor(kNoTxn);
+  auto lock = LockStripe(stripe);
+  auto it = stripe.instances.find(kNoTxn);
+  if (it == stripe.instances.end()) return;
   uint64_t dropped = 0;
   it->second->Expire(cutoff, &dropped);
   if (dropped != 0) {
@@ -663,9 +681,11 @@ void Compositor::ExpireOlderThan(Timestamp cutoff) {
 }
 
 size_t Compositor::LivePartialCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& [_, root] : instances_) n += root->PartialCount();
+  for (const Stripe& stripe : stripes_) {
+    auto lock = LockStripe(stripe);
+    for (const auto& [_, root] : stripe.instances) n += root->PartialCount();
+  }
   return n;
 }
 

@@ -9,6 +9,13 @@
 //     the whole instance is discarded at EOT (trivial garbage collection);
 //   * cross-transaction scope — one global instance whose buffered
 //     partials expire after the validity interval.
+//
+// Single-txn instances are independent by construction (§3.3), so the
+// instance map is striped: `txn % kStripes` picks a cache-line-padded
+// stripe with its own mutex, letting distinct transactions feed the same
+// composite type in parallel. Cross-txn scope keeps its one global
+// instance behind a single stripe's lock — its buffered state is shared
+// and genuinely serial.
 #pragma once
 
 #include <atomic>
@@ -53,6 +60,9 @@ class Compositor {
 
   CompositorStats stats() const;
 
+  /// Instance-map stripes for single-txn scope (kCrossTxn uses exactly one).
+  static constexpr size_t kStripes = 8;
+
  private:
   class Node;
   class PrimitiveNode;
@@ -63,6 +73,21 @@ class Compositor {
   class ClosureNode;
   class HistoryNode;
 
+  // kSingleTxn: per-transaction instance trees, keyed txn % kStripes.
+  // kCrossTxn: the single global instance lives in StripeFor(kNoTxn).
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<TxnId, std::unique_ptr<Node>> instances;
+  };
+
+  Stripe& StripeFor(TxnId key) const {
+    return stripes_[static_cast<size_t>(key) % kStripes];
+  }
+
+  /// try_lock-then-block acquisition recording contended waits into the
+  /// events.compositor.lock_wait_ns histogram (the buffer-pool shard idiom).
+  static std::unique_lock<std::mutex> LockStripe(const Stripe& stripe);
+
   std::unique_ptr<Node> BuildTree(const EventExprPtr& expr) const;
 
   /// Root completions become composite event occurrences.
@@ -71,9 +96,7 @@ class Compositor {
                                     TxnId txn) const;
 
   const EventDescriptor* desc_;
-  mutable std::mutex mu_;
-  // kSingleTxn: per-transaction instance trees. kCrossTxn: instances_[kNoTxn].
-  std::unordered_map<TxnId, std::unique_ptr<Node>> instances_;
+  mutable Stripe stripes_[kStripes];
   // Per-instance stats, lock-free so stats() never contends with Feed();
   // process-wide aggregates are mirrored into the obs::MetricsRegistry.
   std::atomic<uint64_t> fed_{0};

@@ -10,12 +10,18 @@ namespace {
 struct EventMetrics {
   obs::Counter* signaled;
   obs::Counter* composed;
+  obs::Counter* republish;
+  obs::Counter* steals;
+  obs::Gauge* queue_depth;
 
   static const EventMetrics& Get() {
     static const EventMetrics m = [] {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
       return EventMetrics{reg.counter(obs::kEventsSignaled),
-                          reg.counter(obs::kEventsComposed)};
+                          reg.counter(obs::kEventsComposed),
+                          reg.counter(obs::kDispatchRepublish),
+                          reg.counter(obs::kCompositionSteals),
+                          reg.gauge(obs::kCompositionQueueDepth)};
     }();
     return m;
   }
@@ -25,9 +31,27 @@ struct EventMetrics {
 
 EventManager::EventManager(Database* db, EventManagerOptions options)
     : db_(db), options_(options), scheduler_(db->clock()) {
-  if (options_.async_composition) {
-    composition_pool_ =
-        std::make_unique<ThreadPool>(options_.composition_threads);
+  mode_ = options_.async_composition ? options_.composition_mode
+                                     : CompositionMode::kInline;
+  dispatch_.store(std::make_shared<const DispatchSnapshot>(),
+                  std::memory_order_release);
+  switch (mode_) {
+    case CompositionMode::kInline:
+      break;
+    case CompositionMode::kCentralPool:
+      composition_pool_ =
+          std::make_unique<ThreadPool>(options_.composition_threads);
+      break;
+    case CompositionMode::kWorkStealing:
+      steal_pool_ = std::make_unique<WorkStealingPool<ComposeTask>>(
+          options_.composition_threads, [this](ComposeTask& task) {
+            for (Compositor* compositor : task.table->downstream) {
+              Compose(compositor, task.occ);
+            }
+          });
+      steal_pool_->set_steal_callback(
+          [] { EventMetrics::Get().steals->Inc(); });
+      break;
   }
   if (options_.maintain_global_history) {
     history_pool_ = std::make_unique<ThreadPool>(1);
@@ -42,18 +66,54 @@ EventManager::EventManager(Database* db, EventManagerOptions options)
 
 EventManager::~EventManager() {
   scheduler_.Stop();
+  if (steal_pool_) steal_pool_->Shutdown();
   if (composition_pool_) composition_pool_->Shutdown();
   if (history_pool_) history_pool_->Shutdown();
   db_->bus()->Unsubscribe(this);
 }
 
-EventManager::EcaManager* EventManager::CreateManager(EventTypeId id) {
-  std::unique_lock lock(mgr_mu_);
-  EcaManager& mgr = managers_[id];
-  mgr.desc = registry_.Find(id);
-  mgr.history = std::make_unique<LocalHistory>(options_.history_capacity);
-  return &mgr;
+// ---------------------------------------------------------------------------
+// Snapshot publication (copy-on-write; writers hold publish_mu_)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<EventManager::DispatchSnapshot> EventManager::CloneSnapshot()
+    const {
+  // Shallow copy: the per-type tables are shared until a writer needs to
+  // touch one (MutableTable clones that entry only).
+  return std::make_shared<DispatchSnapshot>(*LoadSnapshot());
 }
+
+EventManager::DispatchTable* EventManager::MutableTable(DispatchSnapshot* snap,
+                                                        EventTypeId id) {
+  auto it = snap->tables.find(id);
+  auto table = it == snap->tables.end()
+                   ? std::make_shared<DispatchTable>()
+                   : std::make_shared<DispatchTable>(*it->second);
+  if (table->desc == nullptr) table->desc = registry_.Find(id);
+  if (table->history == nullptr) {
+    table->history = std::make_shared<LocalHistory>(options_.history_capacity);
+  }
+  DispatchTable* raw = table.get();
+  snap->tables[id] = std::move(table);
+  return raw;
+}
+
+void EventManager::PublishSnapshot(std::shared_ptr<DispatchSnapshot> snap) {
+  dispatch_.store(std::move(snap), std::memory_order_release);
+  republished_.fetch_add(1, std::memory_order_relaxed);
+  EventMetrics::Get().republish->Inc();
+}
+
+void EventManager::CreateManager(EventTypeId id) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  auto snap = CloneSnapshot();
+  MutableTable(snap.get(), id);
+  PublishSnapshot(std::move(snap));
+}
+
+// ---------------------------------------------------------------------------
+// Event type definition
+// ---------------------------------------------------------------------------
 
 Result<EventTypeId> EventManager::DefineMethodEvent(
     const std::string& name, const std::string& class_name,
@@ -129,9 +189,15 @@ Result<EventTypeId> EventManager::DefineRelativeEvent(const std::string& name,
                                                       Timestamp delay_us) {
   REACH_ASSIGN_OR_RETURN(
       EventTypeId id, registry_.RegisterRelativeEvent(name, anchor, delay_us));
-  CreateManager(id);
-  // Each anchor occurrence schedules one timer; wiring happens in Signal
-  // via RelativeEventsAnchoredAt.
+  // Publish the new type's table and refresh the anchor's precomputed
+  // relative-event list in the same snapshot; wiring happens in Signal via
+  // the table's relative_anchored entries.
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  auto snap = CloneSnapshot();
+  MutableTable(snap.get(), id);
+  MutableTable(snap.get(), anchor)->relative_anchored =
+      registry_.RelativeEventsAnchoredAt(anchor);
+  PublishSnapshot(std::move(snap));
   return id;
 }
 
@@ -142,6 +208,10 @@ Result<EventTypeId> EventManager::DefineMilestone(const std::string& name,
                          registry_.RegisterMilestone(name, marker,
                                                      deadline_us));
   CreateManager(id);
+  // Opens the marker-bookkeeping gate in Signal: until the first milestone
+  // exists, occurrences skip the per-txn marker insert (and its shard lock)
+  // entirely.
+  milestone_count_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -154,21 +224,30 @@ Result<EventTypeId> EventManager::DefineComposite(const std::string& name,
       EventTypeId id,
       registry_.RegisterComposite(name, expr, scope, policy, validity_us));
   const EventDescriptor* desc = registry_.Find(id);
-  CreateManager(id);
-  std::unique_lock lock(mgr_mu_);
+  std::lock_guard<std::mutex> lock(publish_mu_);
   auto compositor = std::make_unique<Compositor>(desc);
   Compositor* raw = compositor.get();
   compositors_[id] = std::move(compositor);
+  auto snap = CloneSnapshot();
+  MutableTable(snap.get(), id);
   for (EventTypeId leaf : desc->expr->LeafTypes()) {
-    managers_[leaf].downstream.push_back(raw);
+    MutableTable(snap.get(), leaf)->downstream.push_back(raw);
   }
+  snap->compositors.push_back(raw);
+  PublishSnapshot(std::move(snap));
   return id;
 }
 
 void EventManager::AddEventListener(EventTypeId type, EventCallback callback) {
-  std::unique_lock lock(mgr_mu_);
-  managers_[type].listeners.push_back(std::move(callback));
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  auto snap = CloneSnapshot();
+  MutableTable(snap.get(), type)->listeners.push_back(std::move(callback));
+  PublishSnapshot(std::move(snap));
 }
+
+// ---------------------------------------------------------------------------
+// Detection / composition hot path
+// ---------------------------------------------------------------------------
 
 void EventManager::Compose(Compositor* compositor,
                            const EventOccurrencePtr& occ) {
@@ -206,36 +285,40 @@ void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
   signaled_.fetch_add(1, std::memory_order_relaxed);
   EventMetrics::Get().signaled->Inc();
 
-  std::vector<EventCallback> listeners;
-  std::vector<Compositor*> downstream;
-  {
-    std::shared_lock lock(mgr_mu_);
-    auto it = managers_.find(shared->type);
-    if (it == managers_.end()) return;  // unregistered type
-    it->second.history->Append(shared);
-    listeners = it->second.listeners;
-    downstream = it->second.downstream;
-  }
+  // Steady state: one atomic snapshot load, zero allocations, no lock. The
+  // snapshot pins every table (and its listener/downstream vectors) for the
+  // duration of this call; writers republish without disturbing us.
+  SnapshotPtr snap = LoadSnapshot();
+  auto it = snap->tables.find(shared->type);
+  if (it == snap->tables.end()) return;  // unregistered type
+  const DispatchTablePtr& table = it->second;
+  table->history->Append(shared);
 
   // Track per-transaction events for the post-commit global history merge
-  // and for milestone marker bookkeeping.
+  // and (when any milestone is defined) marker bookkeeping — striped by
+  // txn, and skipped entirely when neither consumer exists.
   if (shared->txn != kNoTxn) {
-    std::lock_guard<std::mutex> lock(txn_mu_);
-    if (options_.maintain_global_history) {
-      pending_[shared->txn].push_back(shared);
+    const bool track_markers =
+        milestone_count_.load(std::memory_order_relaxed) > 0;
+    if (options_.maintain_global_history || track_markers) {
+      TxnShard& shard = ShardOf(shared->txn);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (options_.maintain_global_history) {
+        shard.pending[shared->txn].push_back(shared);
+      }
+      if (track_markers) {
+        shard.markers_reached[shared->txn].insert(shared->type);
+      }
     }
-    markers_reached_[shared->txn].insert(shared->type);
-  } else if (options_.maintain_global_history) {
+  } else if (options_.maintain_global_history && history_pool_) {
     // Temporal / cross-txn composite events enter the history directly.
-    if (history_pool_) {
-      history_pool_->Submit([this, shared] { global_history_.Merge({shared}); });
-    }
+    history_pool_->Submit([this, shared] { global_history_.Merge({shared}); });
   }
 
   // 1. Fire the rules registered with this ECA-manager (synchronous: the
   //    go-ahead for the application waits on immediate rules only).
-  for (const EventCallback& cb : listeners) cb(shared);
-  if (signal_ns != 0 && !listeners.empty()) {
+  for (const EventCallback& cb : table->listeners) cb(shared);
+  if (signal_ns != 0 && !table->listeners.empty()) {
     // Go-ahead latency: what the detecting thread waited for synchronous
     // listener (immediate rule) processing.
     obs::RecordSpanSince(obs::PipelineSpans::Get().signal_to_dispatch,
@@ -243,19 +326,33 @@ void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
   }
 
   // 2. Propagate to the compositors of composite events containing this
-  //    type — asynchronously unless configured inline.
-  for (Compositor* compositor : downstream) {
-    if (composition_pool_) {
-      composition_pool_->Submit(
-          [this, compositor, shared] { Compose(compositor, shared); });
-    } else {
-      Compose(compositor, shared);
+  //    type — asynchronously unless configured inline. One enqueue per
+  //    occurrence; the task carries the downstream list via its table.
+  if (!table->downstream.empty()) {
+    switch (mode_) {
+      case CompositionMode::kInline:
+        for (Compositor* compositor : table->downstream) {
+          Compose(compositor, shared);
+        }
+        break;
+      case CompositionMode::kCentralPool:
+        composition_pool_->Submit([this, shared, table = table] {
+          for (Compositor* compositor : table->downstream) {
+            Compose(compositor, shared);
+          }
+        });
+        break;
+      case CompositionMode::kWorkStealing:
+        steal_pool_->Submit(ComposeTask{shared, table});
+        EventMetrics::Get().queue_depth->Set(
+            static_cast<int64_t>(steal_pool_->QueueDepth()));
+        break;
     }
   }
 
-  // 3. Relative temporal events anchored at this type.
-  for (const EventDescriptor* rel :
-       registry_.RelativeEventsAnchoredAt(shared->type)) {
+  // 3. Relative temporal events anchored at this type (precomputed in the
+  //    table — the registry is not consulted on the hot path).
+  for (const EventDescriptor* rel : table->relative_anchored) {
     EventTypeId rel_id = rel->id;
     scheduler_.ScheduleAt(shared->timestamp + rel->delay_us,
                           [this, rel_id](Timestamp t) {
@@ -280,10 +377,18 @@ Status EventManager::Raise(EventTypeId type, TxnId txn,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Transaction lifecycle
+// ---------------------------------------------------------------------------
+
 void EventManager::OnTxnBegin(TxnId txn) {
+  // Without milestones nothing consumes the active set or markers; skip
+  // the bookkeeping (HandleTxnEnd's erases tolerate absence).
+  if (milestone_count_.load(std::memory_order_relaxed) == 0) return;
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
-    active_txns_.insert(txn);
+    TxnShard& shard = ShardOf(txn);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.active_txns.insert(txn);
   }
   // Arm milestone timers for this transaction.
   for (const EventDescriptor* m : registry_.Milestones()) {
@@ -294,11 +399,12 @@ void EventManager::OnTxnBegin(TxnId txn) {
         [this, milestone_id, marker, txn](Timestamp t) {
           bool missed = false;
           {
-            std::lock_guard<std::mutex> lock(txn_mu_);
-            if (active_txns_.contains(txn)) {
-              auto it = markers_reached_.find(txn);
-              missed =
-                  (it == markers_reached_.end()) || !it->second.contains(marker);
+            TxnShard& shard = ShardOf(txn);
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (shard.active_txns.contains(txn)) {
+              auto it = shard.markers_reached.find(txn);
+              missed = (it == shard.markers_reached.end()) ||
+                       !it->second.contains(marker);
             }
           }
           if (missed) {
@@ -315,20 +421,19 @@ void EventManager::OnTxnBegin(TxnId txn) {
 void EventManager::HandleTxnEnd(TxnId txn, bool committed) {
   std::vector<EventOccurrencePtr> events;
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
-    active_txns_.erase(txn);
-    markers_reached_.erase(txn);
-    auto it = pending_.find(txn);
-    if (it != pending_.end()) {
+    TxnShard& shard = ShardOf(txn);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.active_txns.erase(txn);
+    shard.markers_reached.erase(txn);
+    auto it = shard.pending.find(txn);
+    if (it != shard.pending.end()) {
       events = std::move(it->second);
-      pending_.erase(it);
+      shard.pending.erase(it);
     }
   }
   // Single-transaction composition state dies with the transaction (§3.3).
-  {
-    std::shared_lock lock(mgr_mu_);
-    for (auto& [_, compositor] : compositors_) compositor->OnTxnEnd(txn);
-  }
+  SnapshotPtr snap = LoadSnapshot();
+  for (Compositor* compositor : snap->compositors) compositor->OnTxnEnd(txn);
   // Background merge into the global history (committed events only).
   if (committed && !events.empty() && history_pool_) {
     history_pool_->Submit([this, evts = std::move(events)]() mutable {
@@ -379,26 +484,32 @@ void EventManager::OnEvent(const SentryEvent& event) {
 }
 
 void EventManager::Quiesce() {
+  // Composition first (its completions may enqueue history merges).
+  if (steal_pool_) steal_pool_->WaitIdle();
   if (composition_pool_) composition_pool_->WaitIdle();
   if (history_pool_) history_pool_->WaitIdle();
 }
 
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
 const LocalHistory* EventManager::HistoryOf(EventTypeId type) const {
-  std::shared_lock lock(mgr_mu_);
-  auto it = managers_.find(type);
-  return it == managers_.end() ? nullptr : it->second.history.get();
+  SnapshotPtr snap = LoadSnapshot();
+  auto it = snap->tables.find(type);
+  return it == snap->tables.end() ? nullptr : it->second->history.get();
 }
 
 const Compositor* EventManager::CompositorOf(EventTypeId composite) const {
-  std::shared_lock lock(mgr_mu_);
+  std::lock_guard<std::mutex> lock(publish_mu_);
   auto it = compositors_.find(composite);
   return it == compositors_.end() ? nullptr : it->second.get();
 }
 
 size_t EventManager::LivePartials() const {
-  std::shared_lock lock(mgr_mu_);
+  SnapshotPtr snap = LoadSnapshot();
   size_t n = 0;
-  for (const auto& [_, c] : compositors_) n += c->LivePartialCount();
+  for (const Compositor* c : snap->compositors) n += c->LivePartialCount();
   return n;
 }
 

@@ -10,17 +10,28 @@
 // listeners (so immediate rules finish before the application gets the
 // go-ahead) — while composition runs asynchronously on a small pool
 // (§6.4's key design decision), unless configured inline for measurement.
+//
+// Hot-path concurrency (docs/EVENTS.md): the per-type state is published
+// as an immutable snapshot (RCU-style) loaded with one atomic operation in
+// Signal — no lock, no vector copies. Definition-time writers (Define*,
+// AddEventListener) copy-on-write and republish. Per-transaction
+// bookkeeping (pending history, milestone markers, active set) is striped
+// over txn % kTxnShards so concurrent transactions never serialize on one
+// mutex, and composition fans out through a work-stealing pool, one
+// enqueue per occurrence carrying its downstream compositor list.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/work_stealing_pool.h"
 #include "core/events/compositor.h"
 #include "core/events/event.h"
 #include "core/events/event_history.h"
@@ -30,11 +41,20 @@
 
 namespace reach {
 
+/// How composite events are fed from the detecting thread (§6.4).
+enum class CompositionMode {
+  kInline,       // detecting thread runs the compositors (bench E2 baseline)
+  kCentralPool,  // shared mutex+deque ThreadPool (the pre-work-stealing path)
+  kWorkStealing, // per-worker queues + stealing (the default)
+};
+
 struct EventManagerOptions {
   /// Compose composite events asynchronously (the REACH architecture);
   /// false runs compositors inline in the detecting thread (bench E2's
-  /// blocking baseline).
+  /// blocking baseline), overriding `composition_mode`.
   bool async_composition = true;
+  /// Backend for asynchronous composition.
+  CompositionMode composition_mode = CompositionMode::kWorkStealing;
   size_t composition_threads = 2;
   size_t history_capacity = 4096;
   /// Background merge of committed events into the global history.
@@ -99,7 +119,8 @@ class EventManager : public PolicyManager {
   void OnEvent(const SentryEvent& event) override;
 
   /// Drain the asynchronous composition queue (pre-commit barrier so
-  /// deferred rules see a complete picture).
+  /// deferred rules see a complete picture). Drained = all composition
+  /// queues empty and all workers idle, then the history merge likewise.
   void Quiesce();
 
   // -- Introspection --------------------------------------------------------
@@ -115,16 +136,69 @@ class EventManager : public PolicyManager {
   uint64_t signaled_count() const { return signaled_.load(); }
   uint64_t composite_count() const { return composed_.load(); }
 
+  /// Effective composition backend after resolving `async_composition`.
+  CompositionMode composition_mode() const { return mode_; }
+
+  /// Snapshot republish count (dispatch-table copy-on-write writes).
+  uint64_t dispatch_republish_count() const { return republished_.load(); }
+
+  /// Tasks stolen across composition worker queues (0 unless the
+  /// work-stealing backend is active).
+  uint64_t composition_steal_count() const {
+    return steal_pool_ ? steal_pool_->steal_count() : 0;
+  }
+
+  /// Composition tasks currently queued (across all worker queues for the
+  /// work-stealing backend, the central queue otherwise; 0 inline).
+  /// Producers can poll this for backpressure.
+  size_t composition_queue_depth() const {
+    if (steal_pool_) return steal_pool_->QueueDepth();
+    if (composition_pool_) return composition_pool_->QueueDepth();
+    return 0;
+  }
+
  private:
-  struct EcaManager {
+  /// Immutable per-type dispatch state. Never mutated after publication —
+  /// writers clone, edit the clone, and republish the enclosing snapshot.
+  struct DispatchTable {
     const EventDescriptor* desc = nullptr;
     std::vector<EventCallback> listeners;
     std::vector<Compositor*> downstream;  // compositors fed by this type
-    std::unique_ptr<LocalHistory> history;
+    // Relative temporal events anchored at this type, precomputed so the
+    // steady-state Signal path never queries the registry.
+    std::vector<const EventDescriptor*> relative_anchored;
+    std::shared_ptr<LocalHistory> history;  // shared across republishes
+  };
+  using DispatchTablePtr = std::shared_ptr<const DispatchTable>;
+
+  /// One atomic load in Signal yields the whole dispatch state: the
+  /// per-type tables and the flat compositor list EOT sweeps iterate.
+  struct DispatchSnapshot {
+    std::unordered_map<EventTypeId, DispatchTablePtr> tables;
+    std::vector<Compositor*> compositors;
+  };
+  using SnapshotPtr = std::shared_ptr<const DispatchSnapshot>;
+
+  /// One composition enqueue per occurrence: the table pins the downstream
+  /// compositor list (and keeps it alive across republishes).
+  struct ComposeTask {
+    EventOccurrencePtr occ;
+    DispatchTablePtr table;
   };
 
-  /// Create the per-type manager (must not exist yet).
-  EcaManager* CreateManager(EventTypeId id);
+  // -- Copy-on-write publication (all require publish_mu_) ----------------
+
+  SnapshotPtr LoadSnapshot() const {
+    return dispatch_.load(std::memory_order_acquire);
+  }
+  /// Clone the current snapshot for mutation.
+  std::shared_ptr<DispatchSnapshot> CloneSnapshot() const;
+  /// Find-or-create a mutable clone of `id`'s table inside `snap`.
+  DispatchTable* MutableTable(DispatchSnapshot* snap, EventTypeId id);
+  void PublishSnapshot(std::shared_ptr<DispatchSnapshot> snap);
+
+  /// Create and publish the per-type table (must not exist yet).
+  void CreateManager(EventTypeId id);
 
   /// Deliver to one compositor and recursively signal completions.
   void Compose(Compositor* compositor, const EventOccurrencePtr& occ);
@@ -133,28 +207,46 @@ class EventManager : public PolicyManager {
 
   /// Milestone support.
   void OnTxnBegin(TxnId txn);
-  void MarkerReached(EventTypeId marker, TxnId txn);
 
   Database* db_;
   EventManagerOptions options_;
+  CompositionMode mode_ = CompositionMode::kInline;
   EventRegistry registry_;
   TemporalScheduler scheduler_;
-  std::unique_ptr<ThreadPool> composition_pool_;
+  std::unique_ptr<ThreadPool> composition_pool_;  // kCentralPool backend
+  std::unique_ptr<WorkStealingPool<ComposeTask>> steal_pool_;
   std::unique_ptr<ThreadPool> history_pool_;
 
-  mutable std::shared_mutex mgr_mu_;
-  std::unordered_map<EventTypeId, EcaManager> managers_;
+  std::atomic<SnapshotPtr> dispatch_;
+  mutable std::mutex publish_mu_;  // serializes writers; readers never take it
+  // Compositor ownership (under publish_mu_); raw pointers are published in
+  // snapshots. Compositors are never destroyed before the manager.
   std::unordered_map<EventTypeId, std::unique_ptr<Compositor>> compositors_;
 
-  std::mutex txn_mu_;
-  std::unordered_map<TxnId, std::vector<EventOccurrencePtr>> pending_;
-  // markers_reached_[txn] = marker event types raised in txn (milestones).
-  std::unordered_map<TxnId, std::unordered_set<EventTypeId>> markers_reached_;
-  std::unordered_set<TxnId> active_txns_;
+  // Per-transaction bookkeeping, striped by txn % kTxnShards so concurrent
+  // transactions stop serializing on a single mutex (the PR 4 buffer-pool
+  // shard pattern).
+  static constexpr size_t kTxnShards = 16;
+  struct alignas(64) TxnShard {
+    std::mutex mu;
+    std::unordered_map<TxnId, std::vector<EventOccurrencePtr>> pending;
+    // markers_reached[txn] = marker types raised in txn (milestones).
+    std::unordered_map<TxnId, std::unordered_set<EventTypeId>> markers_reached;
+    std::unordered_set<TxnId> active_txns;
+  };
+  TxnShard& ShardOf(TxnId txn) {
+    return txn_shards_[static_cast<size_t>(txn) % kTxnShards];
+  }
+  std::array<TxnShard, kTxnShards> txn_shards_;
+
+  // Marker bookkeeping is skipped entirely (no shard lock, no hash insert)
+  // until the first milestone is defined.
+  std::atomic<size_t> milestone_count_{0};
 
   GlobalHistory global_history_;
   std::atomic<uint64_t> signaled_{0};
   std::atomic<uint64_t> composed_{0};
+  std::atomic<uint64_t> republished_{0};
   std::atomic<uint64_t> next_sequence_{1};
 };
 

@@ -64,6 +64,19 @@ inline constexpr const char* kCompositorExpired =
     "events.compositor.expired_partials";
 inline constexpr const char* kCompositorDiscardedEot =
     "events.compositor.discarded_at_eot";
+/// Time spent blocked on a contended compositor instance-map stripe mutex
+/// (single-txn instances stripe over txn % kStripes; near-zero unless many
+/// transactions hash to the same stripe or a cross-txn compositor is hot).
+inline constexpr const char* kCompositorLockWaitNs =
+    "events.compositor.lock_wait_ns";
+/// Work-stealing composition pool: tasks queued across all worker queues at
+/// the last enqueue (gauge), and tasks taken from a sibling's queue.
+inline constexpr const char* kCompositionQueueDepth =
+    "events.composition.queue_depth";
+inline constexpr const char* kCompositionSteals = "events.composition.steals";
+/// Copy-on-write republishes of the snapshot dispatch table (event/listener
+/// /compositor definitions; the steady-state Signal path never writes).
+inline constexpr const char* kDispatchRepublish = "events.dispatch.republish";
 
 /// Sentry announcement -> EventManager::Signal entry (detection latency).
 inline constexpr const char* kSpanSentryToSignal =

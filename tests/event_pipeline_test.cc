@@ -1,0 +1,323 @@
+// Concurrency suite for the lock-free event dispatch path (docs/EVENTS.md):
+// concurrent Signal across many types and transactions, listener
+// registration racing dispatch (snapshot republish vs readers), striped
+// per-txn bookkeeping, the work-stealing composition pool, and
+// composition-equivalence across the three backends. Run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/work_stealing_pool.h"
+#include "core/events/event_manager.h"
+#include "test_util.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+class EventPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(dir_.DbPath(), {});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+
+  std::unique_ptr<EventManager> Make(EventManagerOptions opts) {
+    return std::make_unique<EventManager>(db_.get(), opts);
+  }
+
+  // Inject an occurrence with an explicit transaction and timestamp (the
+  // dispatch path does not require a live TransactionManager txn).
+  static void SignalOne(EventManager* em, EventTypeId type, TxnId txn,
+                        Timestamp ts) {
+    auto occ = std::make_shared<EventOccurrence>();
+    occ->type = type;
+    occ->txn = txn;
+    occ->timestamp = ts;
+    em->Signal(std::move(occ));
+  }
+
+  // End-of-transaction as the meta bus would announce it.
+  static void Commit(EventManager* em, TxnId txn) {
+    SentryEvent ev;
+    ev.kind = SentryKind::kTxnCommit;
+    ev.txn = txn;
+    em->OnEvent(ev);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// -- WorkStealingPool unit coverage ----------------------------------------
+
+TEST(WorkStealingPoolTest, RunsEveryTaskExactlyOnce) {
+  std::atomic<uint64_t> sum{0};
+  WorkStealingPool<int> pool(4, [&](int& v) {
+    sum.fetch_add(static_cast<uint64_t>(v), std::memory_order_relaxed);
+  });
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(pool.Submit(p * kPerProducer + i + 1));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.WaitIdle();
+  const uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  EXPECT_FALSE(pool.Submit(1));  // after shutdown: rejected, not lost
+}
+
+TEST(WorkStealingPoolTest, WorkersSubmitRecursively) {
+  // A task submitted from a worker goes to that worker's own queue and
+  // still drains; WaitIdle must count it (queued while another runs).
+  std::atomic<int> ran{0};
+  WorkStealingPool<int>* pool_ptr = nullptr;
+  WorkStealingPool<int> pool(2, [&](int& depth) {
+    ran.fetch_add(1);
+    if (depth > 0) ASSERT_TRUE(pool_ptr->Submit(depth - 1));
+  });
+  pool_ptr = &pool;
+  ASSERT_TRUE(pool.Submit(100));
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 101);
+}
+
+// -- Concurrent dispatch stress --------------------------------------------
+
+TEST_F(EventPipelineTest, ConcurrentSignalWithRacingRegistration) {
+  EventManagerOptions opts;
+  opts.composition_mode = CompositionMode::kWorkStealing;
+  opts.composition_threads = 2;
+  auto em = Make(opts);
+
+  constexpr int kTypes = 8;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  constexpr TxnId kTxns = 16;
+
+  std::vector<EventTypeId> types;
+  for (int t = 0; t < kTypes; ++t) {
+    auto id = em->DefineMethodEvent("p" + std::to_string(t), "C",
+                                    "m" + std::to_string(t));
+    ASSERT_TRUE(id.ok());
+    types.push_back(*id);
+    // Bounded-buffer composite per type: completes every 4th occurrence,
+    // single-txn scope so instances stripe over transactions.
+    auto comp = em->DefineComposite(
+        "h" + std::to_string(t),
+        EventExpr::History(EventExpr::Prim(*id), 4),
+        CompositeScope::kSingleTxn);
+    ASSERT_TRUE(comp.ok());
+  }
+
+  std::atomic<uint64_t> listener_hits{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const EventTypeId type = types[(w + i) % kTypes];
+        const TxnId txn = static_cast<TxnId>((w * kPerThread + i) % kTxns) + 1;
+        SignalOne(em.get(), type, txn, i + 1);
+      }
+    });
+  }
+  // Listener registration (snapshot republish) racing the dispatchers.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 64; ++i) {
+      em->AddEventListener(types[i % kTypes],
+                           [&](const EventOccurrencePtr&) {
+                             listener_hits.fetch_add(
+                                 1, std::memory_order_relaxed);
+                           });
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+  em->Quiesce();
+
+  const uint64_t primitives = kThreads * kPerThread;
+  // Every Signal (primitive or composite completion) is counted once.
+  EXPECT_EQ(em->signaled_count(), primitives + em->composite_count());
+  // Each (type, txn) instance completes every 4th feed; with the feeds
+  // spread evenly the total is within one completion per instance.
+  EXPECT_GT(em->composite_count(), 0u);
+  EXPECT_LE(em->composite_count(), primitives / 4);
+  EXPECT_GE(em->dispatch_republish_count(), 64u + 2 * kTypes);
+
+  // EOT GC across all striped instance maps.
+  for (TxnId txn = 1; txn <= kTxns; ++txn) Commit(em.get(), txn);
+  em->Quiesce();
+  EXPECT_EQ(em->LivePartials(), 0u);
+}
+
+TEST_F(EventPipelineTest, StripedTxnBookkeepingMergesOnlyCommitted) {
+  EventManagerOptions opts;
+  opts.composition_mode = CompositionMode::kWorkStealing;
+  auto em = Make(opts);
+  auto id = em->DefineMethodEvent("pp", "C", "mm");
+  ASSERT_TRUE(id.ok());
+
+  constexpr TxnId kTxns = 40;  // spans all 16 shards multiple times
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      for (TxnId txn = 1; txn <= kTxns; ++txn) {
+        for (int i = 0; i < 5; ++i) {
+          SignalOne(em.get(), *id, txn, static_cast<Timestamp>(100 * w + i));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Commit even transactions, abort odd ones.
+  for (TxnId txn = 1; txn <= kTxns; ++txn) {
+    if (txn % 2 == 0) {
+      Commit(em.get(), txn);
+    } else {
+      SentryEvent ev;
+      ev.kind = SentryKind::kTxnAbort;
+      ev.txn = txn;
+      em->OnEvent(ev);
+    }
+  }
+  em->Quiesce();
+  // 4 threads x 20 committed txns x 5 events.
+  EXPECT_EQ(em->global_history()->size(), 4u * (kTxns / 2) * 5u);
+}
+
+// -- Composition equivalence across backends -------------------------------
+
+// Run the same deterministic feed under every backend and demand identical
+// composite completions. Order-sensitive expressions (Seq) use one
+// composition worker, which preserves the feed's FIFO order; the
+// multi-worker configuration uses an order-insensitive History composite.
+struct Completions {
+  std::mutex mu;
+  std::map<TxnId, int> per_txn;
+};
+
+TEST_F(EventPipelineTest, SequenceEquivalenceAcrossBackends) {
+  struct Config {
+    bool async;
+    CompositionMode mode;
+  };
+  const Config configs[] = {
+      {false, CompositionMode::kInline},
+      {true, CompositionMode::kCentralPool},
+      {true, CompositionMode::kWorkStealing},
+  };
+  for (ConsumptionPolicy policy :
+       {ConsumptionPolicy::kChronicle, ConsumptionPolicy::kRecent}) {
+    std::vector<std::map<TxnId, int>> results;
+    for (const Config& cfg : configs) {
+      EventManagerOptions opts;
+      opts.async_composition = cfg.async;
+      opts.composition_mode = cfg.mode;
+      opts.composition_threads = 1;  // FIFO: Seq is feed-order sensitive
+      auto em = Make(opts);
+      auto a = em->DefineMethodEvent("ea", "C", "a");
+      auto b = em->DefineMethodEvent("eb", "C", "b");
+      ASSERT_TRUE(a.ok() && b.ok());
+      auto comp = em->DefineComposite(
+          "seq_ab", EventExpr::Seq(EventExpr::Prim(*a), EventExpr::Prim(*b)),
+          CompositeScope::kSingleTxn, policy);
+      ASSERT_TRUE(comp.ok());
+      Completions done;
+      em->AddEventListener(*comp, [&](const EventOccurrencePtr& occ) {
+        std::lock_guard<std::mutex> lock(done.mu);
+        done.per_txn[occ->txn]++;
+      });
+      Timestamp ts = 0;
+      for (TxnId txn = 1; txn <= 20; ++txn) {
+        for (int k = 0; k < 5; ++k) {
+          SignalOne(em.get(), *a, txn, ++ts);
+          SignalOne(em.get(), *b, txn, ++ts);
+        }
+      }
+      em->Quiesce();
+      for (TxnId txn = 1; txn <= 20; ++txn) Commit(em.get(), txn);
+      em->Quiesce();
+      EXPECT_EQ(em->LivePartials(), 0u);
+      results.push_back(done.per_txn);
+    }
+    // With a strictly alternating a, b feed, both policies pair each a with
+    // the b that follows it: 5 completions per transaction.
+    for (const auto& [txn, count] : results[0]) EXPECT_EQ(count, 5) << txn;
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[0], results[2]);
+  }
+}
+
+TEST_F(EventPipelineTest, HistoryEquivalenceUnderParallelComposition) {
+  // Order-insensitive composite, multi-worker pools, concurrent producers:
+  // completion counts must still match the inline reference exactly.
+  struct Config {
+    bool async;
+    CompositionMode mode;
+    size_t workers;
+  };
+  const Config configs[] = {
+      {false, CompositionMode::kInline, 1},
+      {true, CompositionMode::kCentralPool, 4},
+      {true, CompositionMode::kWorkStealing, 4},
+  };
+  std::vector<std::map<TxnId, int>> results;
+  for (const Config& cfg : configs) {
+    EventManagerOptions opts;
+    opts.async_composition = cfg.async;
+    opts.composition_mode = cfg.mode;
+    opts.composition_threads = cfg.workers;
+    auto em = Make(opts);
+    auto id = em->DefineMethodEvent("eh", "C", "h");
+    ASSERT_TRUE(id.ok());
+    auto comp = em->DefineComposite(
+        "hist8", EventExpr::History(EventExpr::Prim(*id), 8),
+        CompositeScope::kSingleTxn);
+    ASSERT_TRUE(comp.ok());
+    Completions done;
+    em->AddEventListener(*comp, [&](const EventOccurrencePtr& occ) {
+      std::lock_guard<std::mutex> lock(done.mu);
+      done.per_txn[occ->txn]++;
+    });
+    // 4 producers, each with its own transactions: per-txn feed counts are
+    // deterministic even though global interleaving is not.
+    std::vector<std::thread> producers;
+    for (int w = 0; w < 4; ++w) {
+      producers.emplace_back([&, w] {
+        for (int i = 0; i < 400; ++i) {
+          SignalOne(em.get(), *id, static_cast<TxnId>(w * 10 + i % 10) + 1,
+                    i + 1);
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    em->Quiesce();
+    results.push_back(done.per_txn);
+    for (TxnId txn = 1; txn <= 40; ++txn) Commit(em.get(), txn);
+    em->Quiesce();
+    EXPECT_EQ(em->LivePartials(), 0u);
+  }
+  // 40 occurrences per (producer, txn) -> exactly 5 completions each.
+  for (const auto& [txn, count] : results[0]) EXPECT_EQ(count, 5) << txn;
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+}  // namespace
+}  // namespace reach
