@@ -1,0 +1,167 @@
+// Durable event history — cost model for the event-history WAL path
+// (docs/EVENTS.md "Durability & recovery"). Two questions:
+//
+//   1. Signal overhead: what does logging each cross-txn occurrence to the
+//      WAL add to the Signal hot path? BM_SignalHistoryOn vs
+//      BM_SignalHistoryOff differ only in EventManagerOptions::
+//      durable_history; the ratio is gated in scripts/bench_compare.py
+//      (event_history_logging_overhead RATIO_PAIR) — absolute times track
+//      fsync cost of the machine, the ratio is a property of the code.
+//
+//   2. Replay cost: how long does recovery take as the surviving history
+//      tail grows? BM_ReplayAfterRestart reopens a database whose log holds
+//      N unconsumed occurrences; the reopen re-feeds all of them through
+//      the compositor (plus the carryover rewrite), so time should scale
+//      linearly in N.
+//
+// Scratch files live under the working directory by default; /tmp is often
+// tmpfs where WAL flushes are free and the logging overhead looks smaller
+// than it is. Set REACH_BENCH_DIR to aim elsewhere.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/reach/reach_db.h"
+
+namespace reach {
+namespace {
+
+std::filesystem::path ScratchDir() {
+  const char* dir = std::getenv("REACH_BENCH_DIR");
+  std::filesystem::path base =
+      std::filesystem::path(dir != nullptr ? dir : ".") / "bench_eh_scratch";
+  std::filesystem::create_directories(base);
+  return base;
+}
+
+std::string FreshBase(const std::string& tag) {
+  std::string path = (ScratchDir() / tag).string();
+  std::filesystem::remove(path + ".db");
+  std::filesystem::remove(path + ".wal");
+  return path;
+}
+
+struct Db {
+  std::unique_ptr<ReachDb> db;
+  EventTypeId a = kInvalidEventType;
+  EventTypeId b = kInvalidEventType;
+};
+
+// Inline composition, one cross-txn composite Seq(A, B). Raising only A
+// under kRecent keeps compositor state bounded (the newest initiator
+// replaces the previous one), so the Signal benchmarks measure the logging
+// path rather than partial-buffer growth. Auto-checkpointing is off so the
+// on/off ratio isolates the per-occurrence append.
+Db OpenDb(const std::string& base, bool durable_history,
+          ConsumptionPolicy policy) {
+  ReachOptions options;
+  options.events.async_composition = false;
+  options.events.durable_history = durable_history;
+  options.events.history_checkpoint_interval = 0;
+  // The global history is a debug structure that would pin every raised
+  // occurrence for the whole run; the bench measures the logging path.
+  options.events.maintain_global_history = false;
+  auto db = ReachDb::Open(base, options);
+  if (!db.ok()) {
+    fprintf(stderr, "Open(%s): %s\n", base.c_str(),
+            db.status().ToString().c_str());
+    std::abort();
+  }
+  Db out;
+  out.db = std::move(*db);
+  if (!out.db
+           ->RegisterClass(ClassBuilder("Obj").Method(
+               "poke",
+               [](Session&, DbObject&,
+                  const std::vector<Value>&) -> Result<Value> {
+                 return Value();
+               }))
+           .ok()) {
+    std::abort();
+  }
+  auto a = out.db->events()->DefineMethodEvent("A", "Obj", "poke");
+  auto b = out.db->events()->DefineMethodEvent("B", "Obj", "poke", false);
+  if (!a.ok() || !b.ok()) {
+    fprintf(stderr, "DefineMethodEvent: %s / %s\n",
+            a.status().ToString().c_str(), b.status().ToString().c_str());
+    std::abort();
+  }
+  out.a = *a;
+  out.b = *b;
+  auto ab = out.db->events()->DefineComposite(
+      "AB", EventExpr::Seq(EventExpr::Prim(out.a), EventExpr::Prim(out.b)),
+      CompositeScope::kCrossTxn, policy,
+      /*validity_us=*/3600LL * 1000000);
+  if (!ab.ok()) {
+    fprintf(stderr, "DefineComposite: %s\n", ab.status().ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+void SignalLoop(benchmark::State& state, bool durable_history) {
+  Db d = OpenDb(FreshBase(durable_history ? "sig_on" : "sig_off"),
+                durable_history, ConsumptionPolicy::kRecent);
+  for (auto _ : state) {
+    if (!d.db->events()->Raise(d.a, kNoTxn).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (durable_history) {
+    state.counters["logged"] = benchmark::Counter(
+        static_cast<double>(d.db->events()->history_logged()));
+  }
+}
+
+void BM_SignalHistoryOn(benchmark::State& state) { SignalLoop(state, true); }
+void BM_SignalHistoryOff(benchmark::State& state) { SignalLoop(state, false); }
+
+BENCHMARK(BM_SignalHistoryOn);
+BENCHMARK(BM_SignalHistoryOff);
+
+// Replay time vs history length: seed N unconsumed initiators (kChronicle
+// retains every one), flush, close; each iteration reopens the database,
+// which restores/replays the whole tail before the composite is live.
+void BM_ReplayAfterRestart(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string base = FreshBase("replay_" + std::to_string(n));
+  {
+    Db d = OpenDb(base, true, ConsumptionPolicy::kChronicle);
+    for (int i = 0; i < n; ++i) {
+      if (!d.db->events()->Raise(d.a, kNoTxn).ok()) std::abort();
+    }
+    if (!d.db->events()->FlushEventLog().ok()) std::abort();
+  }
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    ReachOptions options;
+    options.events.async_composition = false;
+    options.events.maintain_global_history = false;
+    auto db = ReachDb::Open(base, options);
+    if (!db.ok()) std::abort();
+    auto ev = (*db)->events()->DefineMethodEvent("A", "Obj", "poke");
+    auto ab = (*db)->events()->DefineComposite(
+        "AB", EventExpr::Seq(EventExpr::Prim(*ev), EventExpr::Prim(*ev)),
+        CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle,
+        /*validity_us=*/3600LL * 1000000);
+    if (!ab.ok()) std::abort();
+    replayed = (*db)->events()->history_replayed();
+    benchmark::DoNotOptimize(replayed);
+  }
+  if (replayed != static_cast<uint64_t>(n)) std::abort();
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_ReplayAfterRestart)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

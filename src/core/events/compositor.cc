@@ -1,7 +1,9 @@
 #include "core/events/compositor.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "core/events/event_durability.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 
@@ -83,6 +85,83 @@ void ExpireBuffer(std::vector<Partial>* buf, Timestamp cutoff,
   *dropped += before - buf->size();
 }
 
+// -- Partial-state serialization (SnapshotState / RestoreState) ------------
+
+/// Per-node-class tags validate that a restored state matches the event
+/// expression's tree shape.
+enum : uint8_t {
+  kTagPrimitive = 1,
+  kTagSequence = 2,
+  kTagConjunction = 3,
+  kTagDisjunction = 4,
+  kTagNegation = 5,
+  kTagClosure = 6,
+  kTagHistory = 7,
+};
+
+constexpr uint8_t kStateVersion = 1;
+
+template <typename T>
+void PutScalar(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(const std::string& data, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void EncodeBuffer(const std::vector<Partial>& buf, const EventRegistry* reg,
+                  std::string* out) {
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(buf.size()));
+  for (const Partial& p : buf) {
+    PutScalar<int64_t>(out, p.first_ts);
+    PutScalar<int64_t>(out, p.last_ts);
+    PutScalar<uint64_t>(out, p.first_seq);
+    PutScalar<uint64_t>(out, p.last_seq);
+    PutScalar<uint32_t>(out, p.source.page);
+    PutScalar<uint16_t>(out, p.source.slot);
+    PutScalar<uint16_t>(out, p.source.generation);
+    PutScalar<uint32_t>(out, static_cast<uint32_t>(p.parts.size()));
+    for (const EventOccurrencePtr& occ : p.parts) {
+      eventlog::EncodeOccurrence(*occ, reg, out);
+    }
+  }
+}
+
+bool DecodeBuffer(const std::string& data, size_t* pos,
+                  const EventRegistry* reg, std::vector<Partial>* buf) {
+  uint32_t n = 0;
+  if (!GetScalar(data, pos, &n)) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    Partial p;
+    if (!GetScalar(data, pos, &p.first_ts)) return false;
+    if (!GetScalar(data, pos, &p.last_ts)) return false;
+    if (!GetScalar(data, pos, &p.first_seq)) return false;
+    if (!GetScalar(data, pos, &p.last_seq)) return false;
+    if (!GetScalar(data, pos, &p.source.page)) return false;
+    if (!GetScalar(data, pos, &p.source.slot)) return false;
+    if (!GetScalar(data, pos, &p.source.generation)) return false;
+    uint32_t nparts = 0;
+    if (!GetScalar(data, pos, &nparts)) return false;
+    for (uint32_t k = 0; k < nparts; ++k) {
+      auto occ = eventlog::DecodeOccurrence(data, pos, reg);
+      if (!occ.ok()) return false;
+      p.parts.push_back(std::move(*occ));
+    }
+    buf->push_back(std::move(p));
+  }
+  return true;
+}
+
+bool ReadTag(const std::string& data, size_t* pos, uint8_t expected) {
+  uint8_t tag = 0;
+  return GetScalar(data, pos, &tag) && tag == expected;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -105,6 +184,14 @@ class Compositor::Node {
 
   virtual size_t PartialCount() const = 0;
 
+  /// Serialize this node's buffered partials (pre-order over the tree).
+  virtual void SnapshotNode(const EventRegistry* reg,
+                            std::string* out) const = 0;
+
+  /// Mirror of SnapshotNode; false on any shape or framing mismatch.
+  virtual bool RestoreNode(const std::string& data, size_t* pos,
+                           const EventRegistry* reg) = 0;
+
  protected:
   ConsumptionPolicy policy_;
   Correlation correlation_;
@@ -121,6 +208,14 @@ class Compositor::PrimitiveNode : public Node {
   }
   void Expire(Timestamp, uint64_t*) override {}
   size_t PartialCount() const override { return 0; }
+
+  void SnapshotNode(const EventRegistry*, std::string* out) const override {
+    PutScalar<uint8_t>(out, kTagPrimitive);
+  }
+  bool RestoreNode(const std::string& data, size_t* pos,
+                   const EventRegistry*) override {
+    return ReadTag(data, pos, kTagPrimitive);
+  }
 
  private:
   EventTypeId type_;
@@ -152,6 +247,20 @@ class Compositor::SequenceNode : public Node {
 
   size_t PartialCount() const override {
     return lefts_.size() + left_->PartialCount() + right_->PartialCount();
+  }
+
+  void SnapshotNode(const EventRegistry* reg, std::string* out) const override {
+    PutScalar<uint8_t>(out, kTagSequence);
+    EncodeBuffer(lefts_, reg, out);
+    left_->SnapshotNode(reg, out);
+    right_->SnapshotNode(reg, out);
+  }
+  bool RestoreNode(const std::string& data, size_t* pos,
+                   const EventRegistry* reg) override {
+    return ReadTag(data, pos, kTagSequence) &&
+           DecodeBuffer(data, pos, reg, &lefts_) &&
+           left_->RestoreNode(data, pos, reg) &&
+           right_->RestoreNode(data, pos, reg);
   }
 
  private:
@@ -258,6 +367,21 @@ class Compositor::ConjunctionNode : public Node {
            b_->PartialCount();
   }
 
+  void SnapshotNode(const EventRegistry* reg, std::string* out) const override {
+    PutScalar<uint8_t>(out, kTagConjunction);
+    EncodeBuffer(buf_a_, reg, out);
+    EncodeBuffer(buf_b_, reg, out);
+    a_->SnapshotNode(reg, out);
+    b_->SnapshotNode(reg, out);
+  }
+  bool RestoreNode(const std::string& data, size_t* pos,
+                   const EventRegistry* reg) override {
+    return ReadTag(data, pos, kTagConjunction) &&
+           DecodeBuffer(data, pos, reg, &buf_a_) &&
+           DecodeBuffer(data, pos, reg, &buf_b_) &&
+           a_->RestoreNode(data, pos, reg) && b_->RestoreNode(data, pos, reg);
+  }
+
  private:
   void StoreMine(Partial x, std::vector<Partial>* mine) {
     if (policy_ == ConsumptionPolicy::kRecent) {
@@ -346,6 +470,17 @@ class Compositor::DisjunctionNode : public Node {
     return a_->PartialCount() + b_->PartialCount();
   }
 
+  void SnapshotNode(const EventRegistry* reg, std::string* out) const override {
+    PutScalar<uint8_t>(out, kTagDisjunction);
+    a_->SnapshotNode(reg, out);
+    b_->SnapshotNode(reg, out);
+  }
+  bool RestoreNode(const std::string& data, size_t* pos,
+                   const EventRegistry* reg) override {
+    return ReadTag(data, pos, kTagDisjunction) &&
+           a_->RestoreNode(data, pos, reg) && b_->RestoreNode(data, pos, reg);
+  }
+
  private:
   std::unique_ptr<Node> a_, b_;
 };
@@ -393,6 +528,22 @@ class Compositor::NegationNode : public Node {
   size_t PartialCount() const override {
     return starts_.size() + start_->PartialCount() + neg_->PartialCount() +
            end_->PartialCount();
+  }
+
+  void SnapshotNode(const EventRegistry* reg, std::string* out) const override {
+    PutScalar<uint8_t>(out, kTagNegation);
+    EncodeBuffer(starts_, reg, out);
+    start_->SnapshotNode(reg, out);
+    neg_->SnapshotNode(reg, out);
+    end_->SnapshotNode(reg, out);
+  }
+  bool RestoreNode(const std::string& data, size_t* pos,
+                   const EventRegistry* reg) override {
+    return ReadTag(data, pos, kTagNegation) &&
+           DecodeBuffer(data, pos, reg, &starts_) &&
+           start_->RestoreNode(data, pos, reg) &&
+           neg_->RestoreNode(data, pos, reg) &&
+           end_->RestoreNode(data, pos, reg);
   }
 
  private:
@@ -490,6 +641,20 @@ class Compositor::ClosureNode : public Node {
     return bodies_.size() + body_->PartialCount() + end_->PartialCount();
   }
 
+  void SnapshotNode(const EventRegistry* reg, std::string* out) const override {
+    PutScalar<uint8_t>(out, kTagClosure);
+    EncodeBuffer(bodies_, reg, out);
+    body_->SnapshotNode(reg, out);
+    end_->SnapshotNode(reg, out);
+  }
+  bool RestoreNode(const std::string& data, size_t* pos,
+                   const EventRegistry* reg) override {
+    return ReadTag(data, pos, kTagClosure) &&
+           DecodeBuffer(data, pos, reg, &bodies_) &&
+           body_->RestoreNode(data, pos, reg) &&
+           end_->RestoreNode(data, pos, reg);
+  }
+
  private:
   std::unique_ptr<Node> body_, end_;
   std::vector<Partial> bodies_;
@@ -536,6 +701,18 @@ class Compositor::HistoryNode : public Node {
 
   size_t PartialCount() const override {
     return acc_.size() + body_->PartialCount();
+  }
+
+  void SnapshotNode(const EventRegistry* reg, std::string* out) const override {
+    PutScalar<uint8_t>(out, kTagHistory);
+    EncodeBuffer(acc_, reg, out);
+    body_->SnapshotNode(reg, out);
+  }
+  bool RestoreNode(const std::string& data, size_t* pos,
+                   const EventRegistry* reg) override {
+    return ReadTag(data, pos, kTagHistory) &&
+           DecodeBuffer(data, pos, reg, &acc_) &&
+           body_->RestoreNode(data, pos, reg);
   }
 
  private:
@@ -640,6 +817,10 @@ void Compositor::Feed(const EventOccurrencePtr& occ,
       CompositorMetrics::Get().expired_partials->Inc(dropped);
     }
   }
+  if (desc_->scope == CompositeScope::kCrossTxn &&
+      occ->sequence > last_fed_seq_.load(std::memory_order_relaxed)) {
+    last_fed_seq_.store(occ->sequence, std::memory_order_relaxed);
+  }
   std::vector<Partial> completions;
   root->Feed(occ, &completions);
   for (Partial& p : completions) {
@@ -677,7 +858,45 @@ void Compositor::ExpireOlderThan(Timestamp cutoff) {
   if (dropped != 0) {
     expired_partials_.fetch_add(dropped, std::memory_order_relaxed);
     CompositorMetrics::Get().expired_partials->Inc(dropped);
+    if (gc_listener_) gc_listener_(cutoff, dropped);
   }
+}
+
+std::string Compositor::SnapshotState(const EventRegistry* registry) const {
+  if (desc_->scope != CompositeScope::kCrossTxn) return {};
+  Stripe& stripe = const_cast<Compositor*>(this)->StripeFor(kNoTxn);
+  auto lock = LockStripe(stripe);
+  auto it = stripe.instances.find(kNoTxn);
+  if (it == stripe.instances.end()) return {};
+  std::string out;
+  PutScalar<uint8_t>(&out, kStateVersion);
+  PutScalar<uint64_t>(&out, last_fed_seq_.load(std::memory_order_relaxed));
+  it->second->SnapshotNode(registry, &out);
+  return out;
+}
+
+Status Compositor::RestoreState(const std::string& state,
+                                const EventRegistry* registry) {
+  if (desc_->scope != CompositeScope::kCrossTxn || state.empty()) {
+    return Status::OK();
+  }
+  size_t pos = 0;
+  uint8_t version = 0;
+  uint64_t floor = 0;
+  if (!GetScalar(state, &pos, &version) || version != kStateVersion ||
+      !GetScalar(state, &pos, &floor)) {
+    return Status::Corruption("event checkpoint state header");
+  }
+  auto root = BuildTree(desc_->expr);
+  if (!root->RestoreNode(state, &pos, registry) || pos != state.size()) {
+    return Status::Corruption("event checkpoint state does not match " +
+                              desc_->name + "'s expression shape");
+  }
+  Stripe& stripe = StripeFor(kNoTxn);
+  auto lock = LockStripe(stripe);
+  stripe.instances[kNoTxn] = std::move(root);
+  last_fed_seq_.store(floor, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 size_t Compositor::LivePartialCount() const {

@@ -19,11 +19,14 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/events/event.h"
 #include "core/events/event_registry.h"
 
@@ -59,6 +62,35 @@ class Compositor {
   size_t LivePartialCount() const;
 
   CompositorStats stats() const;
+
+  // -- Durable event history (docs/EVENTS.md "Durability & recovery") ------
+
+  /// Serialize the cross-txn instance's buffered partial state (feed floor
+  /// + node-tree buffers). Empty for single-txn scope or before the first
+  /// feed. The registry supplies type names so occurrences survive id
+  /// reassignment across restarts.
+  std::string SnapshotState(const EventRegistry* registry) const;
+
+  /// Rebuild the cross-txn instance from SnapshotState output. The state
+  /// must have been produced by a compositor with the same event
+  /// expression; a shape mismatch is a Corruption error.
+  Status RestoreState(const std::string& state, const EventRegistry* registry);
+
+  /// Highest occurrence sequence ever fed to the cross-txn instance — the
+  /// replay floor: logged occurrences at or below it are already reflected
+  /// in SnapshotState.
+  uint64_t last_fed_seq() const {
+    return last_fed_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Observer invoked (under the instance stripe lock) after an explicit
+  /// ExpireOlderThan drops partials; the EventManager logs expiry
+  /// tombstones through it. Lazy feed-time GC is excluded: it re-derives
+  /// deterministically from replayed timestamps. Set before the compositor
+  /// is published to concurrent feeders.
+  void set_gc_listener(std::function<void(Timestamp, uint64_t)> listener) {
+    gc_listener_ = std::move(listener);
+  }
 
   /// Instance-map stripes for single-txn scope (kCrossTxn uses exactly one).
   static constexpr size_t kStripes = 8;
@@ -103,6 +135,10 @@ class Compositor {
   std::atomic<uint64_t> completions_{0};
   std::atomic<uint64_t> expired_partials_{0};
   std::atomic<uint64_t> discarded_at_eot_{0};
+  /// Written under the cross-txn stripe lock; read lock-free by
+  /// last_fed_seq().
+  std::atomic<uint64_t> last_fed_seq_{0};
+  std::function<void(Timestamp, uint64_t)> gc_listener_;
 };
 
 }  // namespace reach

@@ -40,6 +40,10 @@ struct EventOccurrence {
   uint64_t detect_ns = 0;
   /// Raising transaction; kNoTxn for temporal events.
   TxnId txn = kNoTxn;
+  /// Set by Signal when this occurrence was appended to the durable event
+  /// history; the EventManager's in-flight accounting (checkpoint
+  /// quiescence) keys off it. Not part of the event algebra.
+  bool history_logged = false;
   /// Receiver object of a method/state event (invalid otherwise).
   Oid source;
   /// Event parameters (method args, {old,new} for state changes, ...).

@@ -1,0 +1,347 @@
+#include "core/events/event_durability.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
+namespace reach {
+
+namespace eventlog {
+
+namespace {
+
+constexpr uint8_t kOccurrenceVersion = 1;
+constexpr uint8_t kCheckpointVersion = 1;
+constexpr uint8_t kTombstoneVersion = 1;
+constexpr uint8_t kKindConsumption = 1;
+constexpr uint8_t kKindExpiry = 2;
+
+template <typename T>
+void PutScalar(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(const std::string& data, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(const std::string& data, size_t* pos, std::string* s) {
+  uint32_t n = 0;
+  if (!GetScalar(data, pos, &n)) return false;
+  if (*pos + n > data.size()) return false;
+  s->assign(data, *pos, n);
+  *pos += n;
+  return true;
+}
+
+uint64_t Fnv1a64(uint64_t h, const void* bytes, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void EncodeOccurrence(const EventOccurrence& occ, const EventRegistry* registry,
+                      std::string* out) {
+  PutScalar<uint8_t>(out, kOccurrenceVersion);
+  PutScalar<uint32_t>(out, occ.type);
+  const EventDescriptor* desc =
+      registry != nullptr ? registry->Find(occ.type) : nullptr;
+  PutString(out, desc != nullptr ? desc->name : std::string());
+  PutScalar<int64_t>(out, occ.timestamp);
+  PutScalar<uint64_t>(out, occ.sequence);
+  PutScalar<uint64_t>(out, occ.txn);
+  PutScalar<uint32_t>(out, occ.source.page);
+  PutScalar<uint16_t>(out, occ.source.slot);
+  PutScalar<uint16_t>(out, occ.source.generation);
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(occ.params.size()));
+  for (const Value& v : occ.params) v.Encode(out);
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(occ.constituents.size()));
+  for (const EventOccurrencePtr& c : occ.constituents) {
+    EncodeOccurrence(*c, registry, out);
+  }
+}
+
+Result<std::shared_ptr<EventOccurrence>> DecodeOccurrence(
+    const std::string& data, size_t* pos, const EventRegistry* registry) {
+  auto corrupt = [] {
+    return Status::Corruption("truncated event occurrence payload");
+  };
+  uint8_t version = 0;
+  if (!GetScalar(data, pos, &version)) return corrupt();
+  if (version != kOccurrenceVersion) {
+    return Status::Corruption("unknown event occurrence version " +
+                              std::to_string(version));
+  }
+  auto occ = std::make_shared<EventOccurrence>();
+  std::string name;
+  if (!GetScalar(data, pos, &occ->type)) return corrupt();
+  if (!GetString(data, pos, &name)) return corrupt();
+  if (!GetScalar(data, pos, &occ->timestamp)) return corrupt();
+  if (!GetScalar(data, pos, &occ->sequence)) return corrupt();
+  if (!GetScalar(data, pos, &occ->txn)) return corrupt();
+  if (!GetScalar(data, pos, &occ->source.page)) return corrupt();
+  if (!GetScalar(data, pos, &occ->source.slot)) return corrupt();
+  if (!GetScalar(data, pos, &occ->source.generation)) return corrupt();
+  // Type ids are not stable across restarts; the name is authoritative when
+  // it resolves in the current registry.
+  if (registry != nullptr && !name.empty()) {
+    const EventDescriptor* desc = registry->FindByName(name);
+    if (desc != nullptr) occ->type = desc->id;
+  }
+  uint32_t nparams = 0;
+  if (!GetScalar(data, pos, &nparams)) return corrupt();
+  for (uint32_t i = 0; i < nparams; ++i) {
+    auto v = Value::Decode(data, pos);
+    if (!v.ok()) return v.status();
+    occ->params.push_back(std::move(*v));
+  }
+  uint32_t nkids = 0;
+  if (!GetScalar(data, pos, &nkids)) return corrupt();
+  for (uint32_t i = 0; i < nkids; ++i) {
+    auto kid = DecodeOccurrence(data, pos, registry);
+    if (!kid.ok()) return kid.status();
+    occ->constituents.push_back(std::move(*kid));
+  }
+  return occ;
+}
+
+uint64_t CompletionKey(const std::string& composite_name,
+                       const EventOccurrence& completion) {
+  uint64_t h = 14695981039346656037ull;
+  h = Fnv1a64(h, composite_name.data(), composite_name.size());
+  std::vector<const EventOccurrence*> leaves;
+  completion.CollectLeaves(&leaves);
+  for (const EventOccurrence* leaf : leaves) {
+    uint64_t seq = leaf->sequence;
+    h = Fnv1a64(h, &seq, sizeof(seq));
+  }
+  return h;
+}
+
+std::string EncodeCheckpoint(
+    uint64_t max_sequence,
+    const std::vector<std::pair<std::string, std::string>>& states) {
+  std::string out;
+  PutScalar<uint8_t>(&out, kCheckpointVersion);
+  PutScalar<uint64_t>(&out, max_sequence);
+  PutScalar<uint32_t>(&out, static_cast<uint32_t>(states.size()));
+  for (const auto& [name, state] : states) {
+    PutString(&out, name);
+    PutString(&out, state);
+  }
+  return out;
+}
+
+std::string EncodeConsumption(uint64_t completion_key) {
+  std::string out;
+  PutScalar<uint8_t>(&out, kTombstoneVersion);
+  PutScalar<uint8_t>(&out, kKindConsumption);
+  PutScalar<uint64_t>(&out, completion_key);
+  return out;
+}
+
+std::string EncodeExpiry(const std::string& composite_name, Timestamp cutoff) {
+  std::string out;
+  PutScalar<uint8_t>(&out, kTombstoneVersion);
+  PutScalar<uint8_t>(&out, kKindExpiry);
+  PutString(&out, composite_name);
+  PutScalar<int64_t>(&out, cutoff);
+  return out;
+}
+
+RecoveredEventState PartitionEventRecords(
+    const std::vector<WalRecord>& records) {
+  RecoveredEventState state;
+  for (const WalRecord& rec : records) {
+    switch (rec.type) {
+      case WalRecordType::kEventOccurrence: {
+        // Track the sequence high-water mark even for occurrences that no
+        // current compositor will consume.
+        size_t pos = 0;
+        auto occ = DecodeOccurrence(rec.payload, &pos, nullptr);
+        if (!occ.ok()) {
+          ++state.malformed;
+          break;
+        }
+        state.max_sequence = std::max(state.max_sequence, (*occ)->sequence);
+        state.tail.push_back(rec.payload);
+        break;
+      }
+      case WalRecordType::kEventCheckpoint: {
+        size_t pos = 0;
+        uint8_t version = 0;
+        uint64_t max_seq = 0;
+        uint32_t n = 0;
+        if (!GetScalar(rec.payload, &pos, &version) ||
+            version != kCheckpointVersion ||
+            !GetScalar(rec.payload, &pos, &max_seq) ||
+            !GetScalar(rec.payload, &pos, &n)) {
+          ++state.malformed;
+          break;
+        }
+        std::unordered_map<std::string, std::string> states;
+        bool ok = true;
+        for (uint32_t i = 0; i < n && ok; ++i) {
+          std::string name, node_state;
+          ok = GetString(rec.payload, &pos, &name) &&
+               GetString(rec.payload, &pos, &node_state);
+          if (ok) states[name] = std::move(node_state);
+        }
+        if (!ok) {
+          ++state.malformed;
+          break;
+        }
+        // A checkpoint subsumes everything logged before it (it is only
+        // written while composition is quiescent — see
+        // EventManager::CheckpointEventState).
+        state.checkpoint_states = std::move(states);
+        state.tail.clear();
+        state.consumed.clear();
+        state.expiry_cutoffs.clear();
+        state.max_sequence = std::max(state.max_sequence, max_seq);
+        break;
+      }
+      case WalRecordType::kEventTombstone: {
+        size_t pos = 0;
+        uint8_t version = 0, kind = 0;
+        if (!GetScalar(rec.payload, &pos, &version) ||
+            version != kTombstoneVersion ||
+            !GetScalar(rec.payload, &pos, &kind)) {
+          ++state.malformed;
+          break;
+        }
+        if (kind == kKindConsumption) {
+          uint64_t key = 0;
+          if (!GetScalar(rec.payload, &pos, &key)) {
+            ++state.malformed;
+            break;
+          }
+          state.consumed.insert(key);
+        } else if (kind == kKindExpiry) {
+          std::string name;
+          int64_t cutoff = 0;
+          if (!GetString(rec.payload, &pos, &name) ||
+              !GetScalar(rec.payload, &pos, &cutoff)) {
+            ++state.malformed;
+            break;
+          }
+          Timestamp& cur = state.expiry_cutoffs[name];
+          cur = std::max(cur, cutoff);
+        } else {
+          ++state.malformed;
+        }
+        break;
+      }
+      default:
+        break;  // data recovery records
+    }
+  }
+  return state;
+}
+
+}  // namespace eventlog
+
+namespace {
+
+struct HistoryMetrics {
+  obs::Counter* logged;
+  obs::Counter* checkpoint_bytes;
+  obs::Counter* failures;
+
+  static const HistoryMetrics& Get() {
+    static const HistoryMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return HistoryMetrics{reg.counter(obs::kEventHistoryLogged),
+                            reg.counter(obs::kEventHistoryCheckpointBytes),
+                            reg.counter(obs::kEventHistoryLogFailures)};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+Status EventHistoryLog::AppendRecord(WalRecordType type, std::string payload) {
+  REACH_FAULT_POINT(faults::kEventHistoryAppend);
+  WalRecord rec;
+  rec.type = type;
+  // Envelope txn stays kNoTxn: the occurrence's transaction lives in the
+  // payload, so data recovery's loser analysis never sees event records.
+  rec.payload = std::move(payload);
+  auto lsn = wal_->Append(std::move(rec));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+Status EventHistoryLog::LogOccurrence(const EventOccurrence& occ) {
+  std::string payload;
+  eventlog::EncodeOccurrence(occ, registry_, &payload);
+  Status st = AppendRecord(WalRecordType::kEventOccurrence,
+                           std::move(payload));
+  if (st.ok()) {
+    logged_.fetch_add(1, std::memory_order_relaxed);
+    HistoryMetrics::Get().logged->Inc();
+  } else {
+    HistoryMetrics::Get().failures->Inc();
+  }
+  return st;
+}
+
+Status EventHistoryLog::LogConsumption(const std::string& composite_name,
+                                       const EventOccurrence& completion) {
+  Status st = AppendRecord(
+      WalRecordType::kEventTombstone,
+      eventlog::EncodeConsumption(
+          eventlog::CompletionKey(composite_name, completion)));
+  if (!st.ok()) HistoryMetrics::Get().failures->Inc();
+  return st;
+}
+
+Status EventHistoryLog::LogExpiry(const std::string& composite_name,
+                                  Timestamp cutoff) {
+  Status st = AppendRecord(WalRecordType::kEventTombstone,
+                           eventlog::EncodeExpiry(composite_name, cutoff));
+  if (!st.ok()) HistoryMetrics::Get().failures->Inc();
+  return st;
+}
+
+Status EventHistoryLog::LogCheckpoint(std::string payload) {
+  REACH_FAULT_POINT(faults::kEventHistoryCheckpoint);
+  const size_t bytes = payload.size();
+  WalRecord rec;
+  rec.type = WalRecordType::kEventCheckpoint;
+  rec.payload = std::move(payload);
+  auto lsn = wal_->Append(std::move(rec));
+  if (!lsn.ok()) {
+    HistoryMetrics::Get().failures->Inc();
+    return lsn.status();
+  }
+  // The checkpoint is the replay floor after the next truncation; it must
+  // not sit in the append buffer when that happens.
+  Status st = wal_->Flush();
+  if (st.ok()) {
+    HistoryMetrics::Get().checkpoint_bytes->Inc(bytes);
+  } else {
+    HistoryMetrics::Get().failures->Inc();
+  }
+  return st;
+}
+
+}  // namespace reach

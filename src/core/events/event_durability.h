@@ -1,0 +1,126 @@
+// Durable event history (docs/EVENTS.md "Durability & recovery").
+//
+// Cross-transaction composite state is a logical fact whose truth must not
+// depend on process lifetime (the paper's §1.3 integration argument): an
+// open composition interval survives a crash. Three WAL record types carry
+// it (storage/wal.h): occurrence appends logged at Signal time through the
+// group-commit path, compositor partial-state checkpoints, and tombstones
+// (a consumption tombstone marks a completion that already fired, an expiry
+// tombstone records an explicit validity cutoff). Recovery replays
+// `checkpoint + tail` per compositor: restore the checkpointed node state,
+// re-feed logged occurrences with sequence > the state's feed floor, and
+// suppress completions whose key is tombstoned.
+//
+// This header holds the payload codec (eventlog namespace) and the
+// EventHistoryLog appender the EventManager writes through.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/events/event.h"
+#include "core/events/event_registry.h"
+#include "storage/wal.h"
+
+namespace reach {
+
+namespace eventlog {
+
+/// Serialize one occurrence (recursively, constituents included). Event
+/// types are stored by id AND name so a restart that re-registers types in
+/// a different order still resolves them (decode remaps via FindByName).
+void EncodeOccurrence(const EventOccurrence& occ, const EventRegistry* registry,
+                      std::string* out);
+
+/// Decode one occurrence from data[*pos...]; advances *pos. With a registry,
+/// the stored type name is re-resolved to the current type id.
+Result<std::shared_ptr<EventOccurrence>> DecodeOccurrence(
+    const std::string& data, size_t* pos, const EventRegistry* registry);
+
+/// Identity of a completion that is stable across restart: FNV-1a over the
+/// composite's name and the sequences of the completion's primitive leaves
+/// (leaf sequences are restored past the logged maximum, so they never
+/// collide across the crash).
+uint64_t CompletionKey(const std::string& composite_name,
+                       const EventOccurrence& completion);
+
+/// Checkpoint payload: the assigned-sequence high-water mark plus one
+/// serialized Compositor::SnapshotState per cross-txn composite (by name).
+std::string EncodeCheckpoint(
+    uint64_t max_sequence,
+    const std::vector<std::pair<std::string, std::string>>& states);
+
+/// Tombstone payloads.
+std::string EncodeConsumption(uint64_t completion_key);
+std::string EncodeExpiry(const std::string& composite_name, Timestamp cutoff);
+
+/// Event-history state reconstructed from a WAL scan, ready for per-
+/// compositor replay at DefineComposite time.
+struct RecoveredEventState {
+  /// Latest checkpoint's per-composite node state, by composite name.
+  std::unordered_map<std::string, std::string> checkpoint_states;
+  /// Highest occurrence sequence seen (checkpoint high-water mark or tail);
+  /// the EventManager restores its sequence counter past this.
+  uint64_t max_sequence = 0;
+  /// Occurrence payloads logged after the latest checkpoint, in log order.
+  std::vector<std::string> tail;
+  /// Completion keys of composites that fired before the crash.
+  std::unordered_set<uint64_t> consumed;
+  /// Largest explicit expiry cutoff per composite name.
+  std::unordered_map<std::string, Timestamp> expiry_cutoffs;
+  /// Event records whose payload failed to decode (skipped, not fatal).
+  size_t malformed = 0;
+
+  bool empty() const {
+    return checkpoint_states.empty() && tail.empty() && consumed.empty() &&
+           expiry_cutoffs.empty();
+  }
+};
+
+/// Split a recovered record stream into checkpoint + tail + tombstones.
+/// Data records are ignored; undecodable event payloads are counted.
+RecoveredEventState PartitionEventRecords(
+    const std::vector<WalRecord>& records);
+
+}  // namespace eventlog
+
+/// Appender for the three event-history record types. Occurrence and
+/// tombstone appends ride the group-commit path (durable with the next
+/// commit fsync); checkpoints flush immediately so the replay floor is
+/// never behind the tail that survives truncation.
+class EventHistoryLog {
+ public:
+  EventHistoryLog(Wal* wal, const EventRegistry* registry)
+      : wal_(wal), registry_(registry) {}
+
+  Status LogOccurrence(const EventOccurrence& occ);
+  Status LogConsumption(const std::string& composite_name,
+                        const EventOccurrence& completion);
+  Status LogExpiry(const std::string& composite_name, Timestamp cutoff);
+  /// Append a checkpoint payload (eventlog::EncodeCheckpoint) and flush.
+  Status LogCheckpoint(std::string payload);
+
+  /// Force buffered event records to stable storage.
+  Status Flush() { return wal_->Flush(); }
+
+  /// Occurrences logged by this process (drives the auto-checkpoint
+  /// interval).
+  uint64_t logged() const { return logged_.load(std::memory_order_relaxed); }
+
+ private:
+  Status AppendRecord(WalRecordType type, std::string payload);
+
+  Wal* wal_;
+  const EventRegistry* registry_;
+  std::atomic<uint64_t> logged_{0};
+};
+
+}  // namespace reach

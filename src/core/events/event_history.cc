@@ -27,14 +27,25 @@ size_t LocalHistory::size() const {
 }
 
 void GlobalHistory::Merge(std::vector<EventOccurrencePtr> events) {
+  auto by_seq = [](const EventOccurrencePtr& a, const EventOccurrencePtr& b) {
+    return a->sequence < b->sequence;
+  };
   std::lock_guard<std::mutex> lock(mu_);
-  // Keep the global history in event order despite asynchronous merges.
+  // Keep the global history in event order despite asynchronous merges —
+  // but the common case (batches arriving in sequence order) must stay
+  // O(batch): re-sorting the whole history per merge turns a stream of
+  // small merges quadratic.
+  const size_t old_size = events_.size();
   events_.insert(events_.end(), std::make_move_iterator(events.begin()),
                  std::make_move_iterator(events.end()));
-  std::sort(events_.begin(), events_.end(),
-            [](const EventOccurrencePtr& a, const EventOccurrencePtr& b) {
-              return a->sequence < b->sequence;
-            });
+  std::sort(events_.begin() + static_cast<long>(old_size), events_.end(),
+            by_seq);
+  if (old_size > 0 && events_.size() > old_size &&
+      by_seq(events_[old_size], events_[old_size - 1])) {
+    std::inplace_merge(events_.begin(),
+                       events_.begin() + static_cast<long>(old_size),
+                       events_.end(), by_seq);
+  }
   ++merges_;
 }
 

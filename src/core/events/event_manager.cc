@@ -2,6 +2,8 @@
 
 #include "obs/metric_names.h"
 #include "obs/pipeline_span.h"
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
 
 namespace reach {
 
@@ -12,6 +14,7 @@ struct EventMetrics {
   obs::Counter* composed;
   obs::Counter* republish;
   obs::Counter* steals;
+  obs::Counter* replayed;
   obs::Gauge* queue_depth;
 
   static const EventMetrics& Get() {
@@ -21,6 +24,7 @@ struct EventMetrics {
                           reg.counter(obs::kEventsComposed),
                           reg.counter(obs::kDispatchRepublish),
                           reg.counter(obs::kCompositionSteals),
+                          reg.counter(obs::kEventHistoryReplayed),
                           reg.gauge(obs::kCompositionQueueDepth)};
     }();
     return m;
@@ -48,6 +52,7 @@ EventManager::EventManager(Database* db, EventManagerOptions options)
             for (Compositor* compositor : task.table->downstream) {
               Compose(compositor, task.occ);
             }
+            FinishFeed(task.occ);
           });
       steal_pool_->set_steal_callback(
           [] { EventMetrics::Get().steals->Inc(); });
@@ -55,6 +60,25 @@ EventManager::EventManager(Database* db, EventManagerOptions options)
   }
   if (options_.maintain_global_history) {
     history_pool_ = std::make_unique<ThreadPool>(1);
+  }
+  if (options_.durable_history && db_->storage() != nullptr) {
+    Wal* wal = db_->storage()->wal();
+    history_log_ = std::make_unique<EventHistoryLog>(wal, &registry_);
+    // StorageManager::Open carried the surviving event records into the
+    // fresh log epoch; partition them once, consume per DefineComposite.
+    std::vector<WalRecord> records;
+    Status st = wal->ReadAll(&records);
+    if (st.ok()) {
+      recovered_ = eventlog::PartitionEventRecords(records);
+      if (recovered_.max_sequence > 0) {
+        // Fresh sequences start past everything logged before the crash so
+        // completion keys (leaf sequence tuples) never collide across it.
+        next_sequence_.store(recovered_.max_sequence + 1,
+                             std::memory_order_relaxed);
+      }
+    } else {
+      RecordHistoryFailure(st);
+    }
   }
   // Transaction lifecycle is always needed (compositor GC, milestones,
   // pending history flush).
@@ -228,10 +252,25 @@ Result<EventTypeId> EventManager::DefineComposite(const std::string& name,
   auto compositor = std::make_unique<Compositor>(desc);
   Compositor* raw = compositor.get();
   compositors_[id] = std::move(compositor);
+  const bool durable =
+      history_log_ != nullptr && scope == CompositeScope::kCrossTxn;
+  if (durable) {
+    // Rebuild pre-crash partial state before the compositor sees live
+    // occurrences, and only then arm the expiry-tombstone listener (replay
+    // must not re-log what it replays).
+    REACH_RETURN_IF_ERROR(RestoreAndReplay(raw, desc));
+    std::string cname = desc->name;
+    raw->set_gc_listener([this, cname](Timestamp cutoff, uint64_t) {
+      Status st = history_log_->LogExpiry(cname, cutoff);
+      if (!st.ok()) RecordHistoryFailure(st);
+    });
+  }
   auto snap = CloneSnapshot();
   MutableTable(snap.get(), id);
   for (EventTypeId leaf : desc->expr->LeafTypes()) {
-    MutableTable(snap.get(), leaf)->downstream.push_back(raw);
+    DispatchTable* leaf_table = MutableTable(snap.get(), leaf);
+    leaf_table->downstream.push_back(raw);
+    if (durable) leaf_table->log_occurrences = true;
   }
   snap->compositors.push_back(raw);
   PublishSnapshot(std::move(snap));
@@ -253,9 +292,16 @@ void EventManager::Compose(Compositor* compositor,
                            const EventOccurrencePtr& occ) {
   std::vector<EventOccurrencePtr> completions;
   compositor->Feed(occ, &completions);
+  const EventDescriptor* desc = compositor->descriptor();
   for (auto& c : completions) {
     composed_.fetch_add(1, std::memory_order_relaxed);
     EventMetrics::Get().composed->Inc();
+    if (history_log_ && desc->scope == CompositeScope::kCrossTxn) {
+      // Tombstone first: a replay after a crash here re-detects the
+      // completion instead of double-firing it.
+      Status st = history_log_->LogConsumption(desc->name, *c);
+      if (!st.ok()) RecordHistoryFailure(st);
+    }
     // Composition latency: from detection of the leaf that completed the
     // composite (this occ) to the completion being raised — includes the
     // async composition queue wait.
@@ -266,6 +312,7 @@ void EventManager::Compose(Compositor* compositor,
 }
 
 void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
+  if (recovery_pending_.load(std::memory_order_acquire)) CompleteRecovery();
   occ->sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   if (occ->timestamp == 0) occ->timestamp = db_->clock()->Now();
   // Pipeline span bookkeeping: an occurrence arriving with a detection
@@ -293,6 +340,23 @@ void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
   if (it == snap->tables.end()) return;  // unregistered type
   const DispatchTablePtr& table = it->second;
   table->history->Append(shared);
+
+  // Durable history: append before any listener or compositor sees the
+  // occurrence, so a crash after this point replays it. The shared lock
+  // orders the append against checkpoints (history_mu_ doc); the in-flight
+  // count holds checkpoints off until downstream composition finishes.
+  if (history_log_ && table->log_occurrences) {
+    std::shared_lock<std::shared_mutex> history_lock(history_mu_);
+    logged_unfed_.fetch_add(1, std::memory_order_acq_rel);
+    Status st = history_log_->LogOccurrence(*shared);
+    if (st.ok()) {
+      occ->history_logged = true;
+      since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      logged_unfed_.fetch_sub(1, std::memory_order_acq_rel);
+      RecordHistoryFailure(st);
+    }
+  }
 
   // Track per-transaction events for the post-commit global history merge
   // and (when any milestone is defined) marker bookkeeping — striped by
@@ -334,12 +398,14 @@ void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
         for (Compositor* compositor : table->downstream) {
           Compose(compositor, shared);
         }
+        FinishFeed(shared);
         break;
       case CompositionMode::kCentralPool:
         composition_pool_->Submit([this, shared, table = table] {
           for (Compositor* compositor : table->downstream) {
             Compose(compositor, shared);
           }
+          FinishFeed(shared);
         });
         break;
       case CompositionMode::kWorkStealing:
@@ -348,6 +414,8 @@ void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
             static_cast<int64_t>(steal_pool_->QueueDepth()));
         break;
     }
+  } else {
+    FinishFeed(shared);
   }
 
   // 3. Relative temporal events anchored at this type (precomputed in the
@@ -484,10 +552,146 @@ void EventManager::OnEvent(const SentryEvent& event) {
 }
 
 void EventManager::Quiesce() {
-  // Composition first (its completions may enqueue history merges).
+  // Recovered completions first — they may enqueue composition work.
+  CompleteRecovery();
+  // Composition next (its completions may enqueue history merges).
   if (steal_pool_) steal_pool_->WaitIdle();
   if (composition_pool_) composition_pool_->WaitIdle();
   if (history_pool_) history_pool_->WaitIdle();
+}
+
+// ---------------------------------------------------------------------------
+// Durable event history
+// ---------------------------------------------------------------------------
+
+Status EventManager::RestoreAndReplay(Compositor* compositor,
+                                      const EventDescriptor* desc) {
+  REACH_FAULT_POINT(faults::kEventHistoryReplay);
+  auto state_it = recovered_.checkpoint_states.find(desc->name);
+  if (state_it != recovered_.checkpoint_states.end()) {
+    REACH_RETURN_IF_ERROR(
+        compositor->RestoreState(state_it->second, &registry_));
+  }
+  if (!recovered_.tail.empty()) {
+    std::unordered_set<EventTypeId> leaves;
+    for (EventTypeId t : desc->expr->LeafTypes()) leaves.insert(t);
+    for (const std::string& payload : recovered_.tail) {
+      size_t pos = 0;
+      auto occ = eventlog::DecodeOccurrence(payload, &pos, &registry_);
+      if (!occ.ok()) continue;  // counted malformed at partition time
+      if (leaves.find((*occ)->type) == leaves.end()) continue;
+      // At or below the restored feed floor = already reflected in the
+      // checkpointed node state.
+      if ((*occ)->sequence <= compositor->last_fed_seq()) continue;
+      std::vector<EventOccurrencePtr> completions;
+      EventOccurrencePtr fed = *occ;
+      compositor->Feed(fed, &completions);
+      replayed_.fetch_add(1, std::memory_order_relaxed);
+      EventMetrics::Get().replayed->Inc();
+      for (auto& c : completions) {
+        if (recovered_.consumed.count(
+                eventlog::CompletionKey(desc->name, *c)) != 0) {
+          continue;  // fired before the crash; tombstoned
+        }
+        std::lock_guard<std::mutex> plock(pending_mu_);
+        pending_recovered_.emplace_back(
+            desc->name, std::const_pointer_cast<EventOccurrence>(c));
+        recovery_pending_.store(true, std::memory_order_release);
+      }
+    }
+  }
+  // Validity cutoffs: first the largest explicit cutoff logged before the
+  // crash, then the downtime itself — partials whose interval lapsed while
+  // the process was down must not survive the restart (§3.3).
+  auto cutoff_it = recovered_.expiry_cutoffs.find(desc->name);
+  if (cutoff_it != recovered_.expiry_cutoffs.end()) {
+    compositor->ExpireOlderThan(cutoff_it->second);
+  }
+  if (desc->validity_us > 0) {
+    compositor->ExpireOlderThan(db_->clock()->Now() - desc->validity_us);
+  }
+  return Status::OK();
+}
+
+void EventManager::CompleteRecovery() {
+  if (!recovery_pending_.exchange(false, std::memory_order_acq_rel)) return;
+  std::vector<std::pair<std::string, std::shared_ptr<EventOccurrence>>>
+      pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending.swap(pending_recovered_);
+  }
+  for (auto& [name, completion] : pending) {
+    if (history_log_) {
+      Status st = history_log_->LogConsumption(name, *completion);
+      if (!st.ok()) RecordHistoryFailure(st);
+    }
+    Signal(std::move(completion));
+  }
+}
+
+Status EventManager::CheckpointEventState() {
+  if (!history_log_) return Status::OK();
+  std::unique_lock<std::shared_mutex> history_lock(history_mu_);
+  if (logged_unfed_.load(std::memory_order_acquire) != 0) {
+    return Status::Busy(
+        "logged occurrences still composing; event checkpoint deferred");
+  }
+  if (recovery_pending_.load(std::memory_order_acquire)) {
+    return Status::Busy(
+        "recovered completions not yet signalled; event checkpoint deferred");
+  }
+  std::vector<std::pair<std::string, std::string>> states;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    for (const auto& [id, compositor] : compositors_) {
+      const EventDescriptor* desc = compositor->descriptor();
+      if (desc->scope != CompositeScope::kCrossTxn) continue;
+      states.emplace_back(desc->name,
+                          compositor->SnapshotState(&registry_));
+    }
+  }
+  if (states.empty() && history_log_->logged() == 0) {
+    // No cross-txn compositors and nothing logged this incarnation: an
+    // empty checkpoint would restore nothing but still survive log
+    // truncation, making every reopen scan a record for no reason (and a
+    // pre-existing tail, if any, is better preserved than superseded).
+    return Status::OK();
+  }
+  Status st = history_log_->LogCheckpoint(eventlog::EncodeCheckpoint(
+      next_sequence_.load(std::memory_order_relaxed) - 1, states));
+  if (st.ok()) {
+    since_checkpoint_.store(0, std::memory_order_relaxed);
+  } else {
+    RecordHistoryFailure(st);
+  }
+  return st;
+}
+
+Status EventManager::FlushEventLog() {
+  return history_log_ ? history_log_->Flush() : Status::OK();
+}
+
+void EventManager::FinishFeed(const EventOccurrencePtr& occ) {
+  if (!occ->history_logged) return;
+  logged_unfed_.fetch_sub(1, std::memory_order_acq_rel);
+  if (options_.history_checkpoint_interval > 0 &&
+      since_checkpoint_.load(std::memory_order_relaxed) >=
+          options_.history_checkpoint_interval) {
+    // Best-effort: Busy (another feed raced in) or an IO error just defers
+    // to the next quiescent moment; nothing is lost, the tail grows.
+    (void)CheckpointEventState();
+  }
+}
+
+void EventManager::RecordHistoryFailure(const Status& status) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  history_status_ = status;
+}
+
+Status EventManager::history_status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return history_status_;
 }
 
 // ---------------------------------------------------------------------------

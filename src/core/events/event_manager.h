@@ -26,14 +26,18 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "common/work_stealing_pool.h"
 #include "core/events/compositor.h"
 #include "core/events/event.h"
+#include "core/events/event_durability.h"
 #include "core/events/event_history.h"
 #include "core/events/event_registry.h"
 #include "core/events/temporal_scheduler.h"
@@ -59,6 +63,15 @@ struct EventManagerOptions {
   size_t history_capacity = 4096;
   /// Background merge of committed events into the global history.
   bool maintain_global_history = true;
+  /// Log cross-transaction composite state to the WAL (docs/EVENTS.md
+  /// "Durability & recovery"): occurrences feeding cross-txn compositors
+  /// are appended at Signal time through the group-commit path, partial
+  /// state is checkpointed, and DefineComposite replays checkpoint + tail
+  /// after a restart.
+  bool durable_history = true;
+  /// Auto-checkpoint compositor state after this many logged occurrences
+  /// (0 disables; explicit CheckpointEventState still works).
+  uint64_t history_checkpoint_interval = 256;
 };
 
 class EventManager : public PolicyManager {
@@ -123,6 +136,35 @@ class EventManager : public PolicyManager {
   /// queues empty and all workers idle, then the history merge likewise.
   void Quiesce();
 
+  // -- Durable event history ----------------------------------------------
+
+  /// Write an event-history checkpoint: the sequence high-water mark plus
+  /// every cross-txn compositor's partial state, flushed to the WAL. Busy
+  /// when logged occurrences are still being composed (the checkpoint would
+  /// silently drop them from the replay tail) or recovered completions have
+  /// not been re-signalled yet — retry after Quiesce.
+  Status CheckpointEventState();
+
+  /// Signal composite completions reconstructed by replay whose firing the
+  /// crash pre-empted. Runs once per recovery batch; invoked from Quiesce
+  /// and lazily from the first Signal so listeners attached after
+  /// DefineComposite still observe them.
+  void CompleteRecovery();
+
+  /// Force buffered event-history records to stable storage.
+  Status FlushEventLog();
+
+  /// Last event-history append/checkpoint failure (OK when healthy). The
+  /// history degrades gracefully: detection continues, durability is lost.
+  Status history_status() const;
+
+  uint64_t history_logged() const {
+    return history_log_ ? history_log_->logged() : 0;
+  }
+  uint64_t history_replayed() const {
+    return replayed_.load(std::memory_order_relaxed);
+  }
+
   // -- Introspection --------------------------------------------------------
 
   GlobalHistory* global_history() { return &global_history_; }
@@ -168,6 +210,9 @@ class EventManager : public PolicyManager {
     // steady-state Signal path never queries the registry.
     std::vector<const EventDescriptor*> relative_anchored;
     std::shared_ptr<LocalHistory> history;  // shared across republishes
+    /// This type feeds a cross-txn compositor: Signal appends each
+    /// occurrence to the durable event history before dispatching it.
+    bool log_occurrences = false;
   };
   using DispatchTablePtr = std::shared_ptr<const DispatchTable>;
 
@@ -202,6 +247,17 @@ class EventManager : public PolicyManager {
 
   /// Deliver to one compositor and recursively signal completions.
   void Compose(Compositor* compositor, const EventOccurrencePtr& occ);
+
+  /// Restore a freshly created cross-txn compositor from the recovered
+  /// checkpoint state and re-feed the logged tail (publish_mu_ held; the
+  /// compositor is not yet published, so feeds are uncontended).
+  Status RestoreAndReplay(Compositor* compositor, const EventDescriptor* desc);
+
+  /// Downstream composition of `occ` finished: release the in-flight count
+  /// that holds checkpoints off, and opportunistically auto-checkpoint.
+  void FinishFeed(const EventOccurrencePtr& occ);
+
+  void RecordHistoryFailure(const Status& status);
 
   void HandleTxnEnd(TxnId txn, bool committed);
 
@@ -248,6 +304,29 @@ class EventManager : public PolicyManager {
   std::atomic<uint64_t> composed_{0};
   std::atomic<uint64_t> republished_{0};
   std::atomic<uint64_t> next_sequence_{1};
+
+  // -- Durable event history ----------------------------------------------
+  std::unique_ptr<EventHistoryLog> history_log_;  // null when disabled
+  /// Checkpoint + tail + tombstones scanned from the WAL at construction;
+  /// consumed incrementally as composites are (re)defined. Mutated only
+  /// under publish_mu_.
+  eventlog::RecoveredEventState recovered_;
+  /// Orders occurrence appends against checkpoints: Signal logs under a
+  /// shared lock, CheckpointEventState verifies quiescence under the
+  /// exclusive lock, so an occurrence is never WAL-ordered before a
+  /// checkpoint that missed its feed.
+  mutable std::shared_mutex history_mu_;
+  /// Occurrences appended to the history but not yet fully composed.
+  std::atomic<uint64_t> logged_unfed_{0};
+  std::atomic<uint64_t> since_checkpoint_{0};
+  std::atomic<uint64_t> replayed_{0};
+  /// Replayed completions (composite name, occurrence) awaiting Signal.
+  std::vector<std::pair<std::string, std::shared_ptr<EventOccurrence>>>
+      pending_recovered_;
+  std::mutex pending_mu_;
+  std::atomic<bool> recovery_pending_{false};
+  mutable std::mutex status_mu_;
+  Status history_status_;
 };
 
 }  // namespace reach

@@ -31,6 +31,10 @@ Status ReachDb::Checkpoint() {
     return Status::FailedPrecondition(
         "checkpoint requires no active transactions");
   }
+  // Event-history checkpoint first: the storage checkpoint truncates the
+  // log keeping only the latest event checkpoint + tail, so writing the
+  // checkpoint now minimizes what the carryover re-appends.
+  REACH_RETURN_IF_ERROR(events_->CheckpointEventState());
   return db_->storage()->Checkpoint();
 }
 

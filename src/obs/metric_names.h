@@ -77,6 +77,18 @@ inline constexpr const char* kCompositionSteals = "events.composition.steals";
 /// Copy-on-write republishes of the snapshot dispatch table (event/listener
 /// /compositor definitions; the steady-state Signal path never writes).
 inline constexpr const char* kDispatchRepublish = "events.dispatch.republish";
+/// Durable event history: cross-txn occurrences logged to the WAL, logged
+/// occurrences re-fed into compositors during recovery replay, cumulative
+/// bytes of compositor-state checkpoint records, and append/checkpoint
+/// failures
+/// that were absorbed on the Signal path (surfaced via
+/// EventManager::history_status()).
+inline constexpr const char* kEventHistoryLogged = "events.history.logged";
+inline constexpr const char* kEventHistoryReplayed = "events.history.replayed";
+inline constexpr const char* kEventHistoryCheckpointBytes =
+    "events.history.checkpoint_bytes";
+inline constexpr const char* kEventHistoryLogFailures =
+    "events.history.log_failures";
 
 /// Sentry announcement -> EventManager::Signal entry (detection latency).
 inline constexpr const char* kSpanSentryToSignal =

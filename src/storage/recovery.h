@@ -18,6 +18,9 @@ struct RecoveryStats {
   size_t committed_txns = 0;
   size_t aborted_txns = 0;
   size_t loser_txns = 0;
+  /// Event-history records re-appended across the post-recovery truncation
+  /// (last event checkpoint + tail; see StorageManager carryover).
+  size_t event_records_carried = 0;
 };
 
 class RecoveryManager {

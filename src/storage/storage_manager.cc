@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
 namespace reach {
 
 Result<std::unique_ptr<StorageManager>> StorageManager::Open(
@@ -64,7 +67,8 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
   REACH_RETURN_IF_ERROR(sm->pool_->FlushAll());
   REACH_RETURN_IF_ERROR(sm->WriteLsnFloor(wal->next_lsn()));
   REACH_RETURN_IF_ERROR(sm->disk_->Sync());
-  REACH_RETURN_IF_ERROR(wal->Truncate());
+  REACH_RETURN_IF_ERROR(sm->RotateLogKeepingEventHistory(
+      &sm->recovery_stats_.event_records_carried));
 
   REACH_RETURN_IF_ERROR(sm->objects_->Bootstrap());
   return sm;
@@ -109,7 +113,31 @@ Status StorageManager::Checkpoint() {
   REACH_RETURN_IF_ERROR(pool_->FlushAll());
   REACH_RETURN_IF_ERROR(WriteLsnFloor(wal_->next_lsn()));
   REACH_RETURN_IF_ERROR(disk_->Sync());
-  return wal_->Truncate();
+  return RotateLogKeepingEventHistory();
+}
+
+Status StorageManager::RotateLogKeepingEventHistory(size_t* carried) {
+  if (carried != nullptr) *carried = 0;
+  REACH_FAULT_POINT(faults::kEventHistoryCarryover);
+  std::vector<WalRecord> records;
+  REACH_RETURN_IF_ERROR(wal_->ReadAll(&records));
+  // Keep the last event checkpoint and every event record after it; with no
+  // checkpoint the whole history is the replay tail.
+  std::vector<WalRecord> keep;
+  for (WalRecord& rec : records) {
+    if (!IsEventRecord(rec.type)) continue;
+    if (rec.type == WalRecordType::kEventCheckpoint) keep.clear();
+    keep.push_back(std::move(rec));
+  }
+  REACH_RETURN_IF_ERROR(wal_->Truncate());
+  if (keep.empty()) return Status::OK();
+  for (WalRecord& rec : keep) {
+    rec.lsn = kInvalidLsn;  // reassigned in the fresh epoch
+    auto lsn = wal_->Append(std::move(rec));
+    if (!lsn.ok()) return lsn.status();
+  }
+  if (carried != nullptr) *carried = keep.size();
+  return wal_->Flush();
 }
 
 Result<Lsn> StorageManager::ReadLsnFloor() {

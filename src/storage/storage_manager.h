@@ -48,7 +48,9 @@ class StorageManager {
   Status LogAbort(TxnId txn);
 
   /// Flush all pages and truncate the log. Precondition: no transaction is
-  /// active (all undo information in the log becomes unavailable).
+  /// active (all undo information in the log becomes unavailable). Event
+  /// history records survive the truncation (see
+  /// RotateLogKeepingEventHistory).
   Status Checkpoint();
 
   /// Meta page (page 0) root pointer: where the data dictionary lives.
@@ -66,6 +68,12 @@ class StorageManager {
   /// (page LSNs stamped in an earlier epoch must never exceed new LSNs).
   Result<Lsn> ReadLsnFloor();
   Status WriteLsnFloor(Lsn floor);
+
+  /// Truncate the log but preserve the durable event history: the last
+  /// event-checkpoint record and every event record after it (everything,
+  /// if no checkpoint exists) are re-appended into the fresh log and
+  /// flushed. `carried` (optional) receives the record count.
+  Status RotateLogKeepingEventHistory(size_t* carried = nullptr);
 
   static constexpr uint32_t kMetaMagic = 0x52454d54;  // "REMT"
   static constexpr size_t kLsnFloorOffset =

@@ -176,6 +176,9 @@ void Wal::EncodeRecord(const WalRecord& rec, std::string* out) {
     PutScalar<uint16_t>(&body, rec.slot);
     PutImage(&body, rec.before);
     PutImage(&body, rec.after);
+  } else if (IsEventRecord(rec.type)) {
+    PutScalar<uint32_t>(&body, static_cast<uint32_t>(rec.payload.size()));
+    body.append(rec.payload);
   }
   uint32_t crc = Fnv1a(body.data(), body.size());
   PutScalar<uint32_t>(out, static_cast<uint32_t>(body.size()));
@@ -213,6 +216,12 @@ bool Wal::DecodeRecord(const char* data, size_t len, size_t* consumed,
     out->slot = slot;
     if (!GetImage(body, body_len, &bpos, &out->before)) return false;
     if (!GetImage(body, body_len, &bpos, &out->after)) return false;
+  } else if (IsEventRecord(out->type)) {
+    uint32_t n = 0;
+    if (!GetScalar(body, body_len, &bpos, &n)) return false;
+    if (bpos + n > body_len) return false;
+    out->payload.assign(body + bpos, n);
+    bpos += n;
   }
   *consumed = pos + body_len + sizeof(uint32_t);
   return true;

@@ -30,7 +30,22 @@ enum class WalRecordType : uint8_t {
   kCommit = 3,
   kAbort = 4,
   kCheckpoint = 5,
+  // Durable event history (docs/EVENTS.md "Durability & recovery"). These
+  // carry an opaque payload encoded by core/events/event_durability.h; the
+  // envelope txn stays kNoTxn so data recovery's loser analysis never sees
+  // an event record as an unfinished transaction.
+  kEventOccurrence = 6,  // one cross-txn leaf occurrence, logged at Signal
+  kEventCheckpoint = 7,  // compositor partial-state snapshot (replay floor)
+  kEventTombstone = 8,   // consumption (completion fired) or expiry cutoff
 };
+
+/// Records that belong to the event history rather than data recovery.
+/// Truncation preserves them (see StorageManager carryover).
+inline bool IsEventRecord(WalRecordType type) {
+  return type == WalRecordType::kEventOccurrence ||
+         type == WalRecordType::kEventCheckpoint ||
+         type == WalRecordType::kEventTombstone;
+}
 
 /// Cell state on a page: flag + generation + payload bytes. flag==0 (kFree)
 /// means "no cell" (the payload must be empty then).
@@ -49,6 +64,8 @@ struct WalRecord {
   SlotId slot = 0;
   WalCellImage before;
   WalCellImage after;
+  // Event records only: opaque body framed by the record envelope.
+  std::string payload;
 };
 
 /// Group-commit policy knobs. Defaults come from the REACH_WAL environment

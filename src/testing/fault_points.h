@@ -27,6 +27,18 @@ inline constexpr const char* kWalTruncate = "wal.truncate";
 /// (rethrown on the committer threads — see Wal::FlusherLoop).
 inline constexpr const char* kWalFlusherBatch = "wal.flusher.batch";
 
+// -- Durable event history (docs/EVENTS.md "Durability & recovery") --------
+/// Appending one cross-txn occurrence record at Signal time.
+inline constexpr const char* kEventHistoryAppend = "wal.event_history.append";
+/// Writing a compositor partial-state checkpoint record.
+inline constexpr const char* kEventHistoryCheckpoint =
+    "wal.event_history.checkpoint";
+/// Replaying checkpoint + tail into a compositor at DefineComposite time.
+inline constexpr const char* kEventHistoryReplay = "wal.event_history.replay";
+/// Re-appending surviving event records across a log truncation.
+inline constexpr const char* kEventHistoryCarryover =
+    "wal.event_history.carryover";
+
 // -- BufferPool ------------------------------------------------------------
 inline constexpr const char* kBufFetch = "bufferpool.fetch";
 inline constexpr const char* kBufEvictWriteback = "bufferpool.evict.writeback";
@@ -48,6 +60,8 @@ inline constexpr const char* kAll[] = {
     kDiskReadPage,    kDiskWritePage,     kDiskAllocatePage, kDiskSync,
     kWalAppend,       kWalFlushWrite,     kWalFlushFsync,    kWalTruncate,
     kWalFlusherBatch,
+    kEventHistoryAppend, kEventHistoryCheckpoint, kEventHistoryReplay,
+    kEventHistoryCarryover,
     kBufFetch,        kBufEvictWriteback, kBufFlushPage,     kBufFlushAll,
     kTxnBegin,        kTxnCommitEntry,    kTxnCommitForce,   kTxnAbortEntry,
     kRuleDeferredFlush, kRuleSubtxnExec,  kRuleDetachedExec,

@@ -1,0 +1,439 @@
+// Recovery differential for the durable event history (docs/EVENTS.md
+// "Durability & recovery"): for each SNOOP consumption policy, crash
+// mid-composition under fault injection, recover, and assert the detection
+// output is identical to an uninterrupted run. Detections are canonicalized
+// as composite name + leaf logical timestamps — sequences are process-local
+// and shift across a restart, timestamps come from the shared virtual clock
+// and identify leaves exactly.
+//
+// Composition runs inline: crash faults may only fire on the test's own
+// thread (a FaultInjectedCrash on a pool worker would terminate the
+// process), and inline feeds make the detection order deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/reach/reach_db.h"
+#include "test_util.h"
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::TempDir;
+
+constexpr Timestamp kSec = 1000000;
+
+/// One scripted driver step: raise primitive 'A' or 'B' at a virtual time.
+struct Step {
+  char event;
+  Timestamp at;
+};
+
+std::string CanonOne(const EventOccurrencePtr& det) {
+  std::vector<const EventOccurrence*> leaves;
+  det->CollectLeaves(&leaves);
+  std::vector<Timestamp> ts;
+  for (const EventOccurrence* leaf : leaves) ts.push_back(leaf->timestamp);
+  std::sort(ts.begin(), ts.end());
+  std::string out = "AB:";
+  for (Timestamp t : ts) out += std::to_string(t) + ",";
+  return out;
+}
+
+std::multiset<std::string> Canon(const std::vector<EventOccurrencePtr>& dets) {
+  std::multiset<std::string> out;
+  for (const auto& d : dets) out.insert(CanonOne(d));
+  return out;
+}
+
+/// One open database phase: primitives A and B, composite AB = Seq(A, B)
+/// with the policy under test, listener collecting completions.
+struct Phase {
+  std::unique_ptr<ReachDb> db;
+  EventTypeId a = kInvalidEventType;
+  EventTypeId b = kInvalidEventType;
+  EventTypeId ab = kInvalidEventType;
+  std::shared_ptr<std::vector<EventOccurrencePtr>> detections =
+      std::make_shared<std::vector<EventOccurrencePtr>>();
+
+  Status RunStep(VirtualClock* clock, const Step& step) {
+    clock->Set(step.at);
+    return db->events()->Raise(step.event == 'A' ? a : b, kNoTxn);
+  }
+};
+
+Phase OpenPhase(const std::string& base, VirtualClock* clock,
+                ConsumptionPolicy policy, Timestamp validity_us) {
+  ReachOptions options;
+  options.database.clock = clock;
+  options.events.async_composition = false;
+  auto db = ReachDb::Open(base, options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  Phase p;
+  p.db = std::move(*db);
+  EXPECT_TRUE(p.db->RegisterClass(
+                      ClassBuilder("Obj")
+                          .Method("a",
+                                  [](Session&, DbObject&,
+                                     const std::vector<Value>&)
+                                      -> Result<Value> { return Value(); })
+                          .Method("b",
+                                  [](Session&, DbObject&,
+                                     const std::vector<Value>&)
+                                      -> Result<Value> { return Value(); }))
+                  .ok());
+  p.a = *p.db->events()->DefineMethodEvent("A", "Obj", "a");
+  p.b = *p.db->events()->DefineMethodEvent("B", "Obj", "b");
+  auto ab = p.db->events()->DefineComposite(
+      "AB", EventExpr::Seq(EventExpr::Prim(p.a), EventExpr::Prim(p.b)),
+      CompositeScope::kCrossTxn, policy, validity_us);
+  EXPECT_TRUE(ab.ok()) << ab.status().ToString();
+  p.ab = *ab;
+  auto sink = p.detections;
+  p.db->events()->AddEventListener(
+      p.ab, [sink](const EventOccurrencePtr& occ) { sink->push_back(occ); });
+  return p;
+}
+
+const std::vector<Step> kSchedule = {
+    {'A', 10 * kSec}, {'A', 20 * kSec}, {'A', 30 * kSec},
+    {'B', 40 * kSec}, {'B', 50 * kSec},
+};
+
+/// The reference: same schedule, no interruption.
+std::multiset<std::string> RunUninterrupted(ConsumptionPolicy policy,
+                                            Timestamp validity_us,
+                                            const std::vector<Step>& steps) {
+  TempDir dir;
+  VirtualClock clock;
+  Phase p = OpenPhase(dir.DbPath(), &clock, policy, validity_us);
+  for (const Step& s : steps) EXPECT_TRUE(p.RunStep(&clock, s).ok());
+  p.db->Drain();
+  return Canon(*p.detections);
+}
+
+struct InterruptedResult {
+  std::multiset<std::string> detections;
+  uint64_t replayed = 0;
+};
+
+/// Crash-and-recover run: steps [0, crash_idx) execute normally; the crash
+/// fault (if any) is armed, step crash_idx runs (it may throw the injected
+/// crash), the process "dies" (phase torn down), and a fresh phase replays
+/// the history before running the remaining steps.
+InterruptedResult RunWithRestart(ConsumptionPolicy policy,
+                                 Timestamp validity_us,
+                                 const std::vector<Step>& steps,
+                                 size_t crash_idx, const char* crash_point,
+                                 bool checkpoint_before_crash) {
+  auto& reg = FaultRegistry::Instance();
+  TempDir dir;
+  VirtualClock clock;
+  InterruptedResult result;
+  size_t resume_from = crash_idx;
+  {
+    Phase p = OpenPhase(dir.DbPath(), &clock, policy, validity_us);
+    for (size_t i = 0; i < crash_idx; ++i) {
+      EXPECT_TRUE(p.RunStep(&clock, steps[i]).ok());
+    }
+    if (checkpoint_before_crash) EXPECT_TRUE(p.db->Checkpoint().ok());
+    // Steps before the crash reached the durable log (group commit would
+    // have flushed them in a real workload; Raise has no commit to ride).
+    EXPECT_TRUE(p.db->events()->FlushEventLog().ok());
+    if (crash_point != nullptr) {
+      reg.ArmCrash(crash_point, /*nth=*/1);
+      try {
+        Status st = p.RunStep(&clock, steps[crash_idx]);
+        // The crash point may sit past the step's effect (e.g. a checkpoint
+        // fault never fires from a plain Raise).
+        EXPECT_TRUE(st.ok()) << st.ToString();
+        resume_from = crash_idx + 1;
+      } catch (const FaultInjectedCrash& crash) {
+        EXPECT_EQ(std::string(crash.point()), std::string(crash_point));
+        resume_from = crash_idx;  // the step never happened; re-run it
+      }
+      reg.DisarmAll();
+    } else {
+      // Plain restart (no fault): the boundary step still runs and reaches
+      // the durable log before teardown, so it forms the post-checkpoint
+      // tail that recovery must replay.
+      EXPECT_TRUE(p.RunStep(&clock, steps[crash_idx]).ok());
+      EXPECT_TRUE(p.db->events()->FlushEventLog().ok());
+      resume_from = crash_idx + 1;
+    }
+    for (const auto& d : *p.detections) result.detections.insert(CanonOne(d));
+    // Phase torn down here with whatever state the "crash" left behind.
+  }
+  Phase p2 = OpenPhase(dir.DbPath(), &clock, policy, validity_us);
+  result.replayed = p2.db->events()->history_replayed();
+  for (size_t i = resume_from; i < steps.size(); ++i) {
+    EXPECT_TRUE(p2.RunStep(&clock, steps[i]).ok());
+  }
+  p2.db->Drain();
+  for (const auto& d : *p2.detections) result.detections.insert(CanonOne(d));
+  return result;
+}
+
+class EventRecoveryTest
+    : public ::testing::TestWithParam<ConsumptionPolicy> {
+ protected:
+  void SetUp() override { FaultRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FaultRegistry::Instance().DisarmAll(); }
+};
+
+// The headline differential: crash while appending the third occurrence to
+// the event history (before any terminator arrived), recover, finish the
+// schedule — detections must match the uninterrupted run exactly.
+TEST_P(EventRecoveryTest, CrashDuringOccurrenceAppendIsLossless) {
+  const Timestamp validity = 100 * kSec;
+  auto expected = RunUninterrupted(GetParam(), validity, kSchedule);
+  ASSERT_FALSE(expected.empty());
+  auto crashed = RunWithRestart(GetParam(), validity, kSchedule,
+                                /*crash_idx=*/2, faults::kEventHistoryAppend,
+                                /*checkpoint_before_crash=*/false);
+  EXPECT_EQ(crashed.detections, expected);
+  // The surviving tail (A@10, A@20) was actually replayed, not re-raised.
+  EXPECT_GE(crashed.replayed, 2u);
+}
+
+// Restart after a completion already fired: the consumption tombstone must
+// suppress the replayed completion, or the differential double-counts it.
+TEST_P(EventRecoveryTest, RestartAfterCompletionDoesNotRefire) {
+  const Timestamp validity = 100 * kSec;
+  auto expected = RunUninterrupted(GetParam(), validity, kSchedule);
+  auto restarted = RunWithRestart(GetParam(), validity, kSchedule,
+                                  /*crash_idx=*/4, /*crash_point=*/nullptr,
+                                  /*checkpoint_before_crash=*/false);
+  EXPECT_EQ(restarted.detections, expected);
+}
+
+// Recovery replays checkpoint + tail: partial state checkpointed after two
+// occurrences, one more logged after it, then restart.
+TEST_P(EventRecoveryTest, CheckpointPlusTailReplay) {
+  const Timestamp validity = 100 * kSec;
+  auto expected = RunUninterrupted(GetParam(), validity, kSchedule);
+  auto restarted = RunWithRestart(GetParam(), validity, kSchedule,
+                                  /*crash_idx=*/2, /*crash_point=*/nullptr,
+                                  /*checkpoint_before_crash=*/true);
+  EXPECT_EQ(restarted.detections, expected);
+  // The checkpoint absorbed A@10 and A@20; only the post-checkpoint tail
+  // (A@30, fed before teardown) replays.
+  EXPECT_LE(restarted.replayed, 1u);
+}
+
+// Crash inside the checkpoint write itself: the torn checkpoint must not
+// replace the tail it was about to subsume.
+TEST_P(EventRecoveryTest, CrashDuringCheckpointKeepsTail) {
+  const Timestamp validity = 100 * kSec;
+  auto& reg = FaultRegistry::Instance();
+  auto expected = RunUninterrupted(GetParam(), validity, kSchedule);
+  TempDir dir;
+  VirtualClock clock;
+  std::multiset<std::string> detections;
+  {
+    Phase p = OpenPhase(dir.DbPath(), &clock, GetParam(), validity);
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(p.RunStep(&clock, kSchedule[i]).ok());
+    }
+    ASSERT_TRUE(p.db->events()->FlushEventLog().ok());
+    reg.ArmCrash(faults::kEventHistoryCheckpoint, /*nth=*/1);
+    EXPECT_THROW((void)p.db->Checkpoint(), FaultInjectedCrash);
+    reg.DisarmAll();
+    for (const auto& d : *p.detections) detections.insert(CanonOne(d));
+  }
+  Phase p2 = OpenPhase(dir.DbPath(), &clock, GetParam(), validity);
+  EXPECT_GE(p2.db->events()->history_replayed(), 3u);
+  for (size_t i = 3; i < kSchedule.size(); ++i) {
+    ASSERT_TRUE(p2.RunStep(&clock, kSchedule[i]).ok());
+  }
+  p2.db->Drain();
+  for (const auto& d : *p2.detections) detections.insert(CanonOne(d));
+  EXPECT_EQ(detections, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, EventRecoveryTest,
+    ::testing::Values(ConsumptionPolicy::kRecent,
+                      ConsumptionPolicy::kChronicle,
+                      ConsumptionPolicy::kContinuous,
+                      ConsumptionPolicy::kCumulative),
+    [](const ::testing::TestParamInfo<ConsumptionPolicy>& info) {
+      switch (info.param) {
+        case ConsumptionPolicy::kRecent: return std::string("Recent");
+        case ConsumptionPolicy::kChronicle: return std::string("Chronicle");
+        case ConsumptionPolicy::kContinuous: return std::string("Continuous");
+        case ConsumptionPolicy::kCumulative: return std::string("Cumulative");
+      }
+      return std::string("Unknown");
+    });
+
+// ---------------------------------------------------------------------------
+// Validity intervals across the restart gap
+// ---------------------------------------------------------------------------
+
+// An initiator whose validity interval lapses while the process is down is
+// expired at recovery (before any feed), so the terminator finds nothing; an
+// initiator still inside its window survives the restart and completes.
+TEST(EventValidityRecoveryTest, ExpiryInsideDowntimeWindowIsHonored) {
+  const Timestamp validity = 15 * kSec;
+  TempDir dir;
+  VirtualClock clock;
+  {
+    Phase p = OpenPhase(dir.DbPath(), &clock, ConsumptionPolicy::kChronicle,
+                        validity);
+    ASSERT_TRUE(p.RunStep(&clock, {'A', 10 * kSec}).ok());
+    ASSERT_TRUE(p.db->events()->FlushEventLog().ok());
+    EXPECT_EQ(p.db->events()->CompositorOf(p.ab)->LivePartialCount(), 1u);
+  }
+  // Downtime: the validity interval of A@10 (10s..25s) lapses at 40s.
+  clock.Set(40 * kSec);
+  Phase p2 = OpenPhase(dir.DbPath(), &clock, ConsumptionPolicy::kChronicle,
+                       validity);
+  const Compositor* comp = p2.db->events()->CompositorOf(p2.ab);
+  ASSERT_NE(comp, nullptr);
+  // Expired during recovery, before any new occurrence arrived.
+  EXPECT_EQ(comp->LivePartialCount(), 0u);
+  EXPECT_GE(comp->stats().expired_partials, 1u);
+  ASSERT_TRUE(p2.RunStep(&clock, {'B', 41 * kSec}).ok());
+  p2.db->Drain();
+  EXPECT_TRUE(p2.detections->empty())
+      << "completion used an initiator that expired during downtime";
+
+  // Positive control: an initiator still inside its window at reopen time
+  // survives the restart and pairs with the terminator.
+  ASSERT_TRUE(p2.RunStep(&clock, {'A', 42 * kSec}).ok());
+  ASSERT_TRUE(p2.db->events()->FlushEventLog().ok());
+  std::multiset<std::string> expected = {"AB:" + std::to_string(42 * kSec) +
+                                         "," + std::to_string(50 * kSec) +
+                                         ","};
+  clock.Set(50 * kSec);
+  Phase p3 = OpenPhase(dir.DbPath(), &clock, ConsumptionPolicy::kChronicle,
+                       validity);
+  ASSERT_TRUE(p3.RunStep(&clock, {'B', 50 * kSec}).ok());
+  p3.db->Drain();
+  EXPECT_EQ(Canon(*p3.detections), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Validity GC property test (satellite: random interleavings vs. a model)
+// ---------------------------------------------------------------------------
+
+// Drive a cross-txn Seq(E1, E2) chronicle compositor with a random
+// interleaving and mirror it with an exact reference model: on every feed,
+// partials older than the validity cutoff drop first, then an E1 opens an
+// initiator and an E2 consumes the oldest open one. Invariants: no partial
+// survives past its cutoff, the expired_partials counter equals the model's
+// drops exactly, completions and live counts match — and a
+// snapshot/restore "restart" in the middle changes nothing.
+TEST(EventValidityRecoveryTest, RandomInterleavingsMatchGcModel) {
+  for (uint32_t seed : {11u, 23u, 47u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EventRegistry registry;
+    EventTypeId e1 = *registry.RegisterMethodEvent("E1", "C", "m1");
+    EventTypeId e2 = *registry.RegisterMethodEvent("E2", "C", "m2");
+    const Timestamp validity = 50;
+    auto id = registry.RegisterComposite(
+        "pair", EventExpr::Seq(EventExpr::Prim(e1), EventExpr::Prim(e2)),
+        CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle, validity);
+    ASSERT_TRUE(id.ok());
+    const EventDescriptor* desc = registry.Find(*id);
+    auto compositor = std::make_unique<Compositor>(desc);
+
+    std::mt19937 rng(seed);
+    std::vector<Timestamp> open;  // model: open initiators' timestamps
+    uint64_t model_drops = 0, model_completions = 0;
+    uint64_t actual_completions = 0;
+    Timestamp t = 0;
+    uint64_t seq = 0;
+    for (int step = 0; step < 400; ++step) {
+      t += 1 + static_cast<Timestamp>(rng() % 40);
+      bool is_e1 = (rng() % 2) == 0;
+      // Model: lazy GC first (the compositor expires before feeding).
+      Timestamp cutoff = t - validity;
+      size_t before = open.size();
+      open.erase(std::remove_if(open.begin(), open.end(),
+                                [cutoff](Timestamp ts) {
+                                  return ts < cutoff;
+                                }),
+                 open.end());
+      model_drops += before - open.size();
+      if (is_e1) {
+        open.push_back(t);
+      } else if (!open.empty()) {
+        open.erase(open.begin());  // chronicle: oldest initiator consumed
+        model_completions++;
+      }
+
+      auto occ = std::make_shared<EventOccurrence>();
+      occ->type = is_e1 ? e1 : e2;
+      occ->timestamp = t;
+      occ->sequence = ++seq;
+      occ->txn = 1;
+      std::vector<EventOccurrencePtr> out;
+      compositor->Feed(occ, &out);
+      actual_completions += out.size();
+
+      ASSERT_EQ(compositor->LivePartialCount(), open.size())
+          << "at step " << step;
+      for (Timestamp ts : open) {
+        ASSERT_GE(ts, cutoff) << "model partial survived past its cutoff";
+      }
+
+      if (step == 200) {
+        // Mid-stream "restart": serialize, restore into a fresh compositor,
+        // and continue on the restored instance.
+        std::string state = compositor->SnapshotState(&registry);
+        ASSERT_FALSE(state.empty());
+        auto restored = std::make_unique<Compositor>(desc);
+        ASSERT_TRUE(restored->RestoreState(state, &registry).ok());
+        ASSERT_EQ(restored->LivePartialCount(), open.size());
+        uint64_t expired_so_far = compositor->stats().expired_partials;
+        ASSERT_EQ(expired_so_far, model_drops);
+        model_drops = 0;  // the fresh instance counts from zero
+        compositor = std::move(restored);
+      }
+    }
+    EXPECT_EQ(actual_completions, model_completions);
+    EXPECT_EQ(compositor->stats().expired_partials, model_drops);
+  }
+}
+
+// Corrupt checkpoint state is a typed Corruption error, not a crash.
+TEST(EventValidityRecoveryTest, ShapeMismatchIsCorruption) {
+  EventRegistry registry;
+  EventTypeId e1 = *registry.RegisterMethodEvent("E1", "C", "m1");
+  EventTypeId e2 = *registry.RegisterMethodEvent("E2", "C", "m2");
+  auto seq_id = registry.RegisterComposite(
+      "pair", EventExpr::Seq(EventExpr::Prim(e1), EventExpr::Prim(e2)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle, 1000);
+  auto and_id = registry.RegisterComposite(
+      "both", EventExpr::And(EventExpr::Prim(e1), EventExpr::Prim(e2)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle, 1000);
+  ASSERT_TRUE(seq_id.ok() && and_id.ok());
+  Compositor seq_comp(registry.Find(*seq_id));
+  Compositor and_comp(registry.Find(*and_id));
+  auto occ = std::make_shared<EventOccurrence>();
+  occ->type = e1;
+  occ->timestamp = 5;
+  occ->sequence = 1;
+  occ->txn = 1;
+  std::vector<EventOccurrencePtr> out;
+  seq_comp.Feed(occ, &out);
+  std::string state = seq_comp.SnapshotState(&registry);
+  ASSERT_FALSE(state.empty());
+  Status st = and_comp.RestoreState(state, &registry);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  Status truncated =
+      seq_comp.RestoreState(state.substr(0, state.size() / 2), &registry);
+  EXPECT_TRUE(truncated.IsCorruption()) << truncated.ToString();
+}
+
+}  // namespace
+}  // namespace reach

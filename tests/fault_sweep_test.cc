@@ -7,6 +7,7 @@
 // the database reopens intact once the fault is disarmed.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,15 @@ void RunActiveWorkload(const std::string& base) {
     return;
   }
   auto ev = db->events()->DefineMethodEvent("poked", "Obj", "poke");
+  // A cross-txn composite routes every poke through the durable event
+  // history (wal.event_history.append at Signal, .replay at definition,
+  // .checkpoint at Checkpoint, .carryover at Open).
+  if (ev.ok()) {
+    (void)db->events()->DefineComposite(
+        "poke_pair", EventExpr::Seq(EventExpr::Prim(*ev), EventExpr::Prim(*ev)),
+        CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle,
+        /*validity_us=*/60 * 1000000);
+  }
   if (ev.ok()) {
     RuleSpec immediate;
     immediate.name = "imm";
@@ -262,6 +272,74 @@ TEST_F(FaultSweepTest, EveryPointDegradesGracefullyAndRecovers) {
         << "database did not recover after " << point << ": "
         << reopened.status().ToString();
   }
+}
+
+// The event-history points degrade with *typed* errors, not silent loss:
+// an append failure is recorded in EventManager::history_status(), a replay
+// failure surfaces from DefineComposite, a checkpoint failure from
+// Checkpoint — and detection itself keeps working throughout.
+TEST_F(FaultSweepTest, EventHistoryFaultsSurfaceTypedErrors) {
+  auto& reg = FaultRegistry::Instance();
+  TempDir dir;
+  ReachOptions options;
+  options.events.async_composition = false;
+  auto db = ReachDb::Open(dir.DbPath(), options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->RegisterClass(ClassBuilder("Obj").Method(
+                      "poke",
+                      [](Session&, DbObject&,
+                         const std::vector<Value>&) -> Result<Value> {
+                        return Value();
+                      }))
+                  .ok());
+  auto ev = (*db)->events()->DefineMethodEvent("poked", "Obj", "poke");
+  ASSERT_TRUE(ev.ok());
+
+  // Replay fault: DefineComposite surfaces the injected status.
+  reg.ArmError(faults::kEventHistoryReplay, Status::Code::kIoError);
+  auto failed = (*db)->events()->DefineComposite(
+      "pair_a", EventExpr::Seq(EventExpr::Prim(*ev), EventExpr::Prim(*ev)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle,
+      /*validity_us=*/60 * 1000000);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsIoError()) << failed.status().ToString();
+  reg.DisarmAll();
+
+  auto pair = (*db)->events()->DefineComposite(
+      "pair_b", EventExpr::Seq(EventExpr::Prim(*ev), EventExpr::Prim(*ev)),
+      CompositeScope::kCrossTxn, ConsumptionPolicy::kChronicle,
+      /*validity_us=*/60 * 1000000);
+  ASSERT_TRUE(pair.ok());
+  std::atomic<int> detected{0};
+  (*db)->events()->AddEventListener(
+      *pair, [&](const EventOccurrencePtr&) { detected++; });
+
+  // Append fault: the occurrence still dispatches (degraded durability, not
+  // lost detection) and the failure lands in history_status().
+  reg.ArmError(faults::kEventHistoryAppend, Status::Code::kIoError, /*nth=*/1,
+               /*one_shot=*/false);
+  Session s((*db)->database());
+  Oid obj;
+  ASSERT_TRUE(s.Begin().ok());
+  obj = *s.PersistNew("Obj", {});
+  ASSERT_TRUE(s.Commit().ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(s.Begin().ok());
+    (void)s.Invoke(obj, "poke");
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  (*db)->Drain();
+  EXPECT_EQ(detected.load(), 1);
+  EXPECT_TRUE((*db)->events()->history_status().IsIoError());
+  reg.DisarmAll();
+
+  // Checkpoint fault: ReachDb::Checkpoint propagates the typed error.
+  reg.ArmError(faults::kEventHistoryCheckpoint, Status::Code::kIoError);
+  Status ckpt = (*db)->Checkpoint();
+  EXPECT_TRUE(ckpt.IsIoError()) << ckpt.ToString();
+  reg.DisarmAll();
+  EXPECT_TRUE((*db)->Checkpoint().ok());
 }
 
 // Same sweep at a later hit: the component is mid-flight rather than at the
