@@ -3,13 +3,18 @@
 // through EventManager::Signal while the composition backend and the
 // composite fan-out are swept.
 //
-//   BM_SignalFanout         work-stealing composition (the default)
+//   BM_SignalFanout         work-stealing composition, batch_mode off (the
+//                           per-occurrence path, kept as the scaling
+//                           baseline)
+//   BM_SignalFanoutBatched  work-stealing with the batched admission/
+//                           dequeue/eval pipeline (the default config)
 //   BM_SignalFanoutCentral  central mutex+deque pool (the pre-striping path)
 //   BM_SignalFanout/comp:0  pure dispatch: snapshot load + history append,
 //                           no composition enqueue at all
 //   BM_CompositeLatency*    single-thread Signal->Quiesce round trip for a
 //                           conjunction: full completion latency including
-//                           the pool handoff, per backend
+//                           the pool handoff, per backend — batch_mode off
+//                           (latency mode must not regress)
 //
 // Each detecting thread signals its own primitive event type inside its own
 // transaction, so per-type histories and per-txn compositor instances are
@@ -65,13 +70,14 @@ struct SharedEm {
 SharedEm g_em;
 
 void SetupPipeline(CompositionMode mode, int composites_per_type,
-                   const std::string& tag) {
+                   bool batch, const std::string& tag) {
   auto db = Database::Open(ScratchBase(tag), {});
   if (!db.ok()) std::abort();
   g_em.db = std::move(*db);
   EventManagerOptions opts;
   opts.composition_mode = mode;
   opts.composition_threads = 2;
+  opts.batch_mode = batch;
   // The producers never commit, so don't buffer per-txn history forever.
   opts.maintain_global_history = false;
   g_em.em = std::make_unique<EventManager>(g_em.db.get(), opts);
@@ -106,17 +112,23 @@ void TeardownPipeline(benchmark::State& state) {
   g_em.db.reset();
 }
 
-void FanoutBody(benchmark::State& state, CompositionMode mode,
+void FanoutBody(benchmark::State& state, CompositionMode mode, bool batch,
                 const std::string& tag) {
   const int comp = static_cast<int>(state.range(0));
   if (state.thread_index() == 0) {
-    SetupPipeline(mode, comp, tag + std::to_string(comp));
+    SetupPipeline(mode, comp, batch, tag + std::to_string(comp));
   }
-  const EventTypeId type = g_em.types[static_cast<size_t>(
-      state.thread_index()) % g_em.types.size()];
   const TxnId txn = static_cast<TxnId>(state.thread_index()) + 1;
+  EventTypeId type = 0;
   size_t n = 0;
   for (auto _ : state) {
+    if (n == 0) {
+      // Read shared setup state only after the start barrier: thread 0
+      // populates g_em.types before the loop, and non-zero threads reaching
+      // the modulo earlier raced it (types.size() == 0 is a SIGFPE).
+      type = g_em.types[static_cast<size_t>(state.thread_index()) %
+                        g_em.types.size()];
+    }
     auto occ = std::make_shared<EventOccurrence>();
     occ->type = type;
     occ->txn = txn;
@@ -133,10 +145,14 @@ void FanoutBody(benchmark::State& state, CompositionMode mode,
 }
 
 void BM_SignalFanout(benchmark::State& state) {
-  FanoutBody(state, CompositionMode::kWorkStealing, "ws");
+  FanoutBody(state, CompositionMode::kWorkStealing, /*batch=*/false, "ws");
+}
+void BM_SignalFanoutBatched(benchmark::State& state) {
+  FanoutBody(state, CompositionMode::kWorkStealing, /*batch=*/true, "wsb");
 }
 void BM_SignalFanoutCentral(benchmark::State& state) {
-  FanoutBody(state, CompositionMode::kCentralPool, "central");
+  FanoutBody(state, CompositionMode::kCentralPool, /*batch=*/false,
+             "central");
 }
 
 BENCHMARK(BM_SignalFanout)
@@ -146,6 +162,14 @@ BENCHMARK(BM_SignalFanout)
     ->Threads(1)
     ->Threads(2)
     ->Threads(4)
+    ->Threads(8)
+    ->Threads(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_SignalFanoutBatched)
+    ->ArgName("comp")
+    ->Arg(4)
+    ->Threads(1)
     ->Threads(8)
     ->Threads(16)
     ->UseRealTime()
@@ -169,6 +193,7 @@ void LatencyBody(benchmark::State& state, CompositionMode mode, bool async,
   opts.async_composition = async;
   opts.composition_mode = mode;
   opts.composition_threads = 2;
+  opts.batch_mode = false;  // latency mode: per-occurrence dispatch
   opts.maintain_global_history = false;
   EventManager em((*db).get(), opts);
   auto a = em.DefineMethodEvent("lat_a", "Bench", "a");

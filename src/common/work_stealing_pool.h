@@ -13,6 +13,7 @@
 // further compositors) keep the pool non-idle until the cascade dies out.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -57,6 +58,27 @@ class WorkStealingPool {
     if (sleepers_.load() > 0) {
       std::lock_guard<std::mutex> lock(sleep_mu_);
       work_cv_.notify_one();
+    }
+    return true;
+  }
+
+  /// Enqueue `tasks` with one queue-lock acquisition and one wake-up pass —
+  /// the batched-admission counterpart of Submit (docs/EVENTS.md "Batched
+  /// pipeline"). All tasks land on one queue, in order; siblings steal from
+  /// its back as usual. Returns false (enqueuing nothing) on shutdown.
+  bool SubmitBatch(std::vector<Task> tasks) {
+    if (tasks.empty()) return true;
+    WorkerQueue& q = queues_[HomeQueue()];
+    {
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (shutdown_.load(std::memory_order_relaxed)) return false;
+      pending_.fetch_add(tasks.size());
+      queued_.fetch_add(tasks.size());
+      for (Task& t : tasks) q.tasks.push_back(std::move(t));
+    }
+    if (sleepers_.load() > 0) {
+      std::lock_guard<std::mutex> lock(sleep_mu_);
+      work_cv_.notify_all();
     }
     return true;
   }
@@ -113,17 +135,36 @@ class WorkStealingPool {
            queues_.size();
   }
 
-  bool TryPop(size_t me, Task* out) {
+  /// Owner dequeue: drain up to kOwnerDrain tasks from the front of our own
+  /// queue under one lock (batch dequeue — the per-task lock acquisition was
+  /// half the pop cost), falling back to stealing a single task otherwise.
+  /// Drained tasks are no longer visible to thieves; the drain cap bounds
+  /// how much work a slow task can strand behind it.
+  static constexpr size_t kOwnerDrain = 8;
+
+  size_t TryTake(size_t me, std::vector<Task>* out) {
     {
       WorkerQueue& mine = queues_[me];
       std::lock_guard<std::mutex> lock(mine.mu);
       if (!mine.tasks.empty()) {
-        *out = std::move(mine.tasks.front());
-        mine.tasks.pop_front();
-        queued_.fetch_sub(1);
-        return true;
+        const size_t take = std::min(kOwnerDrain, mine.tasks.size());
+        for (size_t i = 0; i < take; ++i) {
+          out->push_back(std::move(mine.tasks.front()));
+          mine.tasks.pop_front();
+        }
+        queued_.fetch_sub(take);
+        return take;
       }
     }
+    Task stolen;
+    if (TrySteal(me, &stolen)) {
+      out->push_back(std::move(stolen));
+      return 1;
+    }
+    return 0;
+  }
+
+  bool TrySteal(size_t me, Task* out) {
     for (size_t k = 1; k < queues_.size(); ++k) {
       WorkerQueue& victim = queues_[(me + k) % queues_.size()];
       std::unique_lock<std::mutex> lock(victim.mu, std::try_to_lock);
@@ -145,13 +186,19 @@ class WorkStealingPool {
   void WorkerLoop(size_t me) {
     tls_pool_ = this;
     tls_index_ = me;
+    std::vector<Task> taken;
+    taken.reserve(kOwnerDrain);
     for (;;) {
-      Task task;
-      if (TryPop(me, &task)) {
-        runner_(task);
-        if (pending_.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> lock(sleep_mu_);
-          idle_cv_.notify_all();
+      taken.clear();
+      if (TryTake(me, &taken) > 0) {
+        for (Task& task : taken) {
+          runner_(task);
+          // Decrement per task (not per drain) so WaitIdle only observes
+          // idle when every taken task has actually finished running.
+          if (pending_.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(sleep_mu_);
+            idle_cv_.notify_all();
+          }
         }
         continue;
       }

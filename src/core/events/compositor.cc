@@ -792,22 +792,17 @@ std::unique_lock<std::mutex> Compositor::LockStripe(const Stripe& stripe) {
   return lock;
 }
 
-void Compositor::Feed(const EventOccurrencePtr& occ,
-                      std::vector<EventOccurrencePtr>* out) {
-  fed_.fetch_add(1, std::memory_order_relaxed);
-  CompositorMetrics::Get().fed->Inc();
-  TxnId key = kNoTxn;
-  if (desc_->scope == CompositeScope::kSingleTxn) {
-    if (occ->txn == kNoTxn) return;  // temporal events never reach 1tx trees
-    key = occ->txn;
-  }
-  Stripe& stripe = StripeFor(key);
-  auto lock = LockStripe(stripe);
+Compositor::Node* Compositor::InstanceFor(Stripe& stripe, TxnId key) {
   auto it = stripe.instances.find(key);
   if (it == stripe.instances.end()) {
     it = stripe.instances.emplace(key, BuildTree(desc_->expr)).first;
   }
-  Node* root = it->second.get();
+  return it->second.get();
+}
+
+void Compositor::FeedLocked(Node* root, TxnId key,
+                            const EventOccurrencePtr& occ,
+                            std::vector<EventOccurrencePtr>* out) {
   if (desc_->scope == CompositeScope::kCrossTxn && desc_->validity_us > 0) {
     // Lazy validity GC keyed to the incoming occurrence's timestamp.
     uint64_t dropped = 0;
@@ -830,6 +825,55 @@ void Compositor::Feed(const EventOccurrencePtr& occ,
                                   desc_->scope == CompositeScope::kSingleTxn
                                       ? key
                                       : kNoTxn));
+  }
+}
+
+void Compositor::Feed(const EventOccurrencePtr& occ,
+                      std::vector<EventOccurrencePtr>* out) {
+  fed_.fetch_add(1, std::memory_order_relaxed);
+  CompositorMetrics::Get().fed->Inc();
+  TxnId key = kNoTxn;
+  if (desc_->scope == CompositeScope::kSingleTxn) {
+    if (occ->txn == kNoTxn) return;  // temporal events never reach 1tx trees
+    key = occ->txn;
+  }
+  Stripe& stripe = StripeFor(key);
+  auto lock = LockStripe(stripe);
+  FeedLocked(InstanceFor(stripe, key), key, occ, out);
+}
+
+void Compositor::FeedBatch(const EventBatch& batch, const uint32_t* indices,
+                           size_t count,
+                           std::vector<EventOccurrencePtr>* out) {
+  if (count == 0) return;
+  fed_.fetch_add(count, std::memory_order_relaxed);
+  CompositorMetrics::Get().fed->Inc(count);
+  const bool single_txn = desc_->scope == CompositeScope::kSingleTxn;
+  size_t i = 0;
+  while (i < count) {
+    TxnId key = kNoTxn;
+    if (single_txn) {
+      key = batch.txns[indices[i]];
+      if (key == kNoTxn) {  // temporal events never reach 1tx trees
+        ++i;
+        continue;
+      }
+    }
+    // Extend the run while subsequent occurrences map to the same instance
+    // key — one stripe acquisition and one instance lookup per run.
+    size_t j = i + 1;
+    if (single_txn) {
+      while (j < count && batch.txns[indices[j]] == key) ++j;
+    } else {
+      j = count;  // cross-txn scope: one global instance, one run
+    }
+    Stripe& stripe = StripeFor(key);
+    auto lock = LockStripe(stripe);
+    Node* root = InstanceFor(stripe, key);
+    for (size_t k = i; k < j; ++k) {
+      FeedLocked(root, key, batch.occs[indices[k]], out);
+    }
+    i = j;
   }
 }
 

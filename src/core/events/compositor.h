@@ -28,6 +28,7 @@
 
 #include "common/status.h"
 #include "core/events/event.h"
+#include "core/events/event_batch.h"
 #include "core/events/event_registry.h"
 
 namespace reach {
@@ -50,6 +51,14 @@ class Compositor {
   /// descriptor id) are appended to `out`. Thread-safe.
   void Feed(const EventOccurrencePtr& occ,
             std::vector<EventOccurrencePtr>* out);
+
+  /// Batched feed (docs/EVENTS.md "Batched pipeline"): feed the batch
+  /// elements selected by `indices[0..count)` in index order. Equivalent to
+  /// calling Feed per element, but the instance-map stripe is locked once
+  /// per run of same-stripe occurrences instead of once per occurrence.
+  /// Thread-safe.
+  void FeedBatch(const EventBatch& batch, const uint32_t* indices,
+                 size_t count, std::vector<EventOccurrencePtr>* out);
 
   /// Single-txn scope: drop the automaton instance of `txn` (EOT GC).
   void OnTxnEnd(TxnId txn);
@@ -121,6 +130,14 @@ class Compositor {
   static std::unique_lock<std::mutex> LockStripe(const Stripe& stripe);
 
   std::unique_ptr<Node> BuildTree(const EventExprPtr& expr) const;
+
+  /// Find-or-create the instance for `key` (stripe lock held by caller).
+  Node* InstanceFor(Stripe& stripe, TxnId key);
+
+  /// The per-occurrence feed body: lazy validity GC, feed-floor update,
+  /// node-tree feed, completion materialization. Stripe lock held.
+  void FeedLocked(Node* root, TxnId key, const EventOccurrencePtr& occ,
+                  std::vector<EventOccurrencePtr>* out);
 
   /// Root completions become composite event occurrences.
   EventOccurrencePtr MakeOccurrence(std::vector<EventOccurrencePtr> parts,

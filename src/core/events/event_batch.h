@@ -1,0 +1,73 @@
+// EventBatch: a structure-of-arrays run of event occurrences travelling
+// through the batched pipeline (docs/EVENTS.md "Batched pipeline").
+//
+// Admission appends one element to each parallel array; downstream
+// consumers scan the scalar arrays (type ids for the EvalBatch leaf
+// filter, txn ids for compositor stripe grouping) without touching the
+// payload shared_ptrs, so the hot loops are monomorphic over contiguous
+// integers and the refcounted payloads are only dereferenced for the
+// occurrences that actually feed a compositor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/events/event.h"
+
+namespace reach {
+
+struct EventBatch {
+  std::vector<EventTypeId> types;
+  std::vector<TxnId> txns;
+  std::vector<Timestamp> timestamps;
+  std::vector<EventOccurrencePtr> occs;  // payload refs, same index space
+
+  size_t size() const { return occs.size(); }
+  bool empty() const { return occs.empty(); }
+
+  void reserve(size_t n) {
+    types.reserve(n);
+    txns.reserve(n);
+    timestamps.reserve(n);
+    occs.reserve(n);
+  }
+
+  void clear() {
+    types.clear();
+    txns.clear();
+    timestamps.clear();
+    occs.clear();
+  }
+
+  void swap(EventBatch& other) {
+    types.swap(other.types);
+    txns.swap(other.txns);
+    timestamps.swap(other.timestamps);
+    occs.swap(other.occs);
+  }
+
+  void push_back(const EventOccurrencePtr& occ) {
+    types.push_back(occ->type);
+    txns.push_back(occ->txn);
+    timestamps.push_back(occ->timestamp);
+    occs.push_back(occ);
+  }
+
+  /// Invoke `fn(begin, end)` for each maximal run of consecutive equal
+  /// type ids — the unit the flush path dispatches per table lookup.
+  template <typename Fn>
+  void ForEachTypeRun(Fn fn) const {
+    const size_t n = types.size();
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i + 1;
+      while (j < n && types[j] == types[i]) ++j;
+      fn(i, j);
+      i = j;
+    }
+  }
+};
+
+}  // namespace reach

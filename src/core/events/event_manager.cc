@@ -1,5 +1,7 @@
 #include "core/events/event_manager.h"
 
+#include <algorithm>
+
 #include "obs/metric_names.h"
 #include "obs/pipeline_span.h"
 #include "testing/fault_points.h"
@@ -16,6 +18,9 @@ struct EventMetrics {
   obs::Counter* steals;
   obs::Counter* replayed;
   obs::Gauge* queue_depth;
+  obs::Histogram* batch_size;
+  obs::Counter* batch_flushes;
+  obs::Counter* batch_fallbacks;
 
   static const EventMetrics& Get() {
     static const EventMetrics m = [] {
@@ -25,7 +30,10 @@ struct EventMetrics {
                           reg.counter(obs::kDispatchRepublish),
                           reg.counter(obs::kCompositionSteals),
                           reg.counter(obs::kEventHistoryReplayed),
-                          reg.gauge(obs::kCompositionQueueDepth)};
+                          reg.gauge(obs::kCompositionQueueDepth),
+                          reg.histogram(obs::kEventsBatchSize),
+                          reg.counter(obs::kEventsBatchFlushes),
+                          reg.counter(obs::kEventsBatchFallbacks)};
     }();
     return m;
   }
@@ -49,6 +57,10 @@ EventManager::EventManager(Database* db, EventManagerOptions options)
     case CompositionMode::kWorkStealing:
       steal_pool_ = std::make_unique<WorkStealingPool<ComposeTask>>(
           options_.composition_threads, [this](ComposeTask& task) {
+            if (task.batch) {
+              ComposeBatch(task.compositor, *task.batch);
+              return;
+            }
             for (Compositor* compositor : task.table->downstream) {
               Compose(compositor, task.occ);
             }
@@ -58,6 +70,8 @@ EventManager::EventManager(Database* db, EventManagerOptions options)
           [] { EventMetrics::Get().steals->Inc(); });
       break;
   }
+  batch_enabled_ =
+      options_.batch_mode && mode_ == CompositionMode::kWorkStealing;
   if (options_.maintain_global_history) {
     history_pool_ = std::make_unique<ThreadPool>(1);
   }
@@ -90,6 +104,9 @@ EventManager::EventManager(Database* db, EventManagerOptions options)
 
 EventManager::~EventManager() {
   scheduler_.Stop();
+  // Hand buffered occurrences to the pool before shutdown — Shutdown
+  // drains its queues, so nothing admitted before destruction is dropped.
+  if (batch_enabled_) FlushBatches();
   if (steal_pool_) steal_pool_->Shutdown();
   if (composition_pool_) composition_pool_->Shutdown();
   if (history_pool_) history_pool_->Shutdown();
@@ -311,6 +328,151 @@ void EventManager::Compose(Compositor* compositor,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched pipeline (docs/EVENTS.md "Batched pipeline")
+// ---------------------------------------------------------------------------
+
+EventManager::BatchBuffer* EventManager::LocalBuffer() {
+  // One buffer per (thread, manager). The manager owns the buffer; the
+  // thread-local holds a weak_ptr, so a manager dying (and freeing its
+  // buffers) leaves only an expired entry here — including when a new
+  // manager reuses the address (the expired check defeats ABA).
+  thread_local std::unordered_map<const EventManager*,
+                                  std::weak_ptr<BatchBuffer>>
+      cache;
+  auto& slot = cache[this];
+  if (auto live = slot.lock()) return live.get();
+  auto buf = std::make_shared<BatchBuffer>();
+  {
+    std::lock_guard<std::mutex> lock(batch_buffers_mu_);
+    batch_buffers_.push_back(buf);
+  }
+  if (cache.size() > 64) {
+    for (auto it = cache.begin(); it != cache.end();) {
+      it = (it->first != this && it->second.expired()) ? cache.erase(it)
+                                                       : std::next(it);
+    }
+  }
+  slot = buf;
+  return buf.get();
+}
+
+void EventManager::BatchAdmit(const EventOccurrencePtr& occ) {
+  BatchBuffer* buf = LocalBuffer();
+  size_t size;
+  {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->batch.occs.capacity() == 0) {
+      buf->batch.reserve(options_.batch_max_events);
+    }
+    buf->batch.push_back(occ);
+    size = buf->batch.size();
+  }
+  if (size >= options_.batch_max_events) FlushBuffer(buf);  // size trigger
+}
+
+size_t EventManager::FlushBuffer(BatchBuffer* buf) {
+  // flush_mu is held across dispatch: two concurrent flushes of one buffer
+  // (owner's size trigger vs. another thread's EOT sweep) dispatch their
+  // swapped-out batches strictly in swap order, preserving this thread's
+  // admission order end to end.
+  std::lock_guard<std::mutex> flush_lock(buf->flush_mu);
+  EventBatch local;
+  {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->batch.empty()) return 0;
+    local.swap(buf->batch);
+  }
+  const size_t n = local.size();
+  DispatchBatch(std::move(local));
+  return n;
+}
+
+size_t EventManager::FlushBatches() {
+  std::vector<std::shared_ptr<BatchBuffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(batch_buffers_mu_);
+    bufs = batch_buffers_;
+  }
+  size_t n = 0;
+  for (const auto& buf : bufs) n += FlushBuffer(buf.get());
+  return n;
+}
+
+size_t EventManager::batched_pending() const {
+  std::vector<std::shared_ptr<BatchBuffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(batch_buffers_mu_);
+    bufs = batch_buffers_;
+  }
+  size_t n = 0;
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    n += buf->batch.size();
+  }
+  return n;
+}
+
+void EventManager::DispatchBatch(EventBatch batch) {
+  const EventMetrics& metrics = EventMetrics::Get();
+  metrics.batch_flushes->Inc();
+  metrics.batch_size->Record(batch.size());
+  SnapshotPtr snap = LoadSnapshot();
+  auto shared = std::make_shared<const EventBatch>(std::move(batch));
+  // Distinct downstream compositors in first-appearance order — one table
+  // lookup per type run, linear dedup (a batch spans a handful of
+  // compositors; hashing would cost more than it saves).
+  std::vector<Compositor*> targets;
+  shared->ForEachTypeRun([&](size_t i, size_t) {
+    auto it = snap->tables.find(shared->types[i]);
+    if (it == snap->tables.end()) return;
+    for (Compositor* c : it->second->downstream) {
+      if (std::find(targets.begin(), targets.end(), c) == targets.end()) {
+        targets.push_back(c);
+      }
+    }
+  });
+  // One task per compositor, all enqueued under one queue lock: independent
+  // compositors stay stealable while the whole flush costs one enqueue.
+  std::vector<ComposeTask> tasks;
+  tasks.reserve(targets.size());
+  for (Compositor* c : targets) {
+    ComposeTask task;
+    task.batch = shared;
+    task.compositor = c;
+    tasks.push_back(std::move(task));
+  }
+  steal_pool_->SubmitBatch(std::move(tasks));
+  metrics.queue_depth->Set(static_cast<int64_t>(steal_pool_->QueueDepth()));
+}
+
+void EventManager::ComposeBatch(Compositor* compositor,
+                                const EventBatch& batch) {
+  // Select this compositor's leaf occurrences with one monomorphic scan of
+  // the type-id array, then feed them as runs (one stripe lock per run).
+  thread_local std::vector<uint32_t> scratch;
+  scratch.clear();
+  const EventDescriptor* desc = compositor->descriptor();
+  desc->expr->EvalBatch(batch.types.data(), batch.size(), &scratch);
+  if (scratch.empty()) return;
+  std::vector<EventOccurrencePtr> completions;
+  compositor->FeedBatch(batch, scratch.data(), scratch.size(), &completions);
+  for (auto& c : completions) {
+    composed_.fetch_add(1, std::memory_order_relaxed);
+    EventMetrics::Get().composed->Inc();
+    if (history_log_ && desc->scope == CompositeScope::kCrossTxn) {
+      Status st = history_log_->LogConsumption(desc->name, *c);
+      if (!st.ok()) RecordHistoryFailure(st);
+    }
+    // Composition latency from the terminating leaf's detection stamp (the
+    // last constituent is the occurrence that completed the composite).
+    obs::RecordSpanSince(
+        obs::PipelineSpans::Get().signal_to_compose,
+        c->constituents.empty() ? 0 : c->constituents.back()->detect_ns);
+    Signal(std::const_pointer_cast<EventOccurrence>(c));
+  }
+}
+
 void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
   if (recovery_pending_.load(std::memory_order_acquire)) CompleteRecovery();
   occ->sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
@@ -377,6 +539,28 @@ void EventManager::Signal(std::shared_ptr<EventOccurrence> occ) {
   } else if (options_.maintain_global_history && history_pool_) {
     // Temporal / cross-txn composite events enter the history directly.
     history_pool_->Submit([this, shared] { global_history_.Merge({shared}); });
+  }
+
+  // Batched pipeline (docs/EVENTS.md "Batched pipeline"): an occurrence
+  // whose only downstream work is asynchronous composition joins this
+  // thread's admission batch instead of enqueuing individually. Everything
+  // needing synchronous or individually-ordered treatment — listener-
+  // bearing types (immediate coupling), durable cross-txn participants
+  // (the history log is written per occurrence), temporal events, and
+  // composite completions — stays on the scalar path below, after flushing
+  // our buffer so the scalar dispatch cannot overtake occurrences this
+  // thread already admitted.
+  if (batch_enabled_ && !table->downstream.empty()) {
+    const bool batchable =
+        table->listeners.empty() && table->relative_anchored.empty() &&
+        !table->log_occurrences && shared->txn != kNoTxn &&
+        shared->constituents.empty();
+    if (batchable) {
+      BatchAdmit(shared);
+      return;
+    }
+    EventMetrics::Get().batch_fallbacks->Inc();
+    FlushBuffer(LocalBuffer());
   }
 
   // 1. Fire the rules registered with this ECA-manager (synchronous: the
@@ -518,9 +702,15 @@ void EventManager::OnEvent(const SentryEvent& event) {
       if (event.args.empty()) OnTxnBegin(event.txn);
       break;
     case SentryKind::kTxnCommit:
+      // EOT trigger: hand every buffered occurrence to the composition
+      // pool before the end-of-transaction sweep discards single-txn
+      // automaton instances — exactly when the scalar path would already
+      // have enqueued them.
+      if (batch_enabled_) FlushBatches();
       HandleTxnEnd(event.txn, /*committed=*/true);
       break;
     case SentryKind::kTxnAbort:
+      if (batch_enabled_) FlushBatches();
       HandleTxnEnd(event.txn, /*committed=*/false);
       break;
     default:
@@ -554,9 +744,16 @@ void EventManager::OnEvent(const SentryEvent& event) {
 void EventManager::Quiesce() {
   // Recovered completions first — they may enqueue composition work.
   CompleteRecovery();
-  // Composition next (its completions may enqueue history merges).
-  if (steal_pool_) steal_pool_->WaitIdle();
-  if (composition_pool_) composition_pool_->WaitIdle();
+  // Composition next (its completions may enqueue history merges). Batched
+  // admission makes this a loop: workers running listener callbacks can
+  // admit fresh occurrences into their own buffers (a rule raising a
+  // primitive event), so flush-then-drain repeats until no buffer refills.
+  for (;;) {
+    const size_t flushed = batch_enabled_ ? FlushBatches() : 0;
+    if (steal_pool_) steal_pool_->WaitIdle();
+    if (composition_pool_) composition_pool_->WaitIdle();
+    if (flushed == 0 && (!batch_enabled_ || batched_pending() == 0)) break;
+  }
   if (history_pool_) history_pool_->WaitIdle();
 }
 

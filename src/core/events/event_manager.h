@@ -37,6 +37,7 @@
 #include "common/work_stealing_pool.h"
 #include "core/events/compositor.h"
 #include "core/events/event.h"
+#include "core/events/event_batch.h"
 #include "core/events/event_durability.h"
 #include "core/events/event_history.h"
 #include "core/events/event_registry.h"
@@ -72,6 +73,18 @@ struct EventManagerOptions {
   /// Auto-checkpoint compositor state after this many logged occurrences
   /// (0 disables; explicit CheckpointEventState still works).
   uint64_t history_checkpoint_interval = 256;
+  /// Batched pipeline (docs/EVENTS.md "Batched pipeline"): Signal admits
+  /// composition-bound occurrences into per-thread SoA batches flushed on
+  /// size / coupling-boundary / end-of-transaction triggers, and the
+  /// work-stealing pool moves them as whole batches. Occurrences that need
+  /// synchronous semantics — listener-bearing types (immediate coupling),
+  /// durable cross-txn participants, temporal events, composite
+  /// completions — always take the single-occurrence path. `false` is the
+  /// latency mode: every occurrence dispatches individually, exactly the
+  /// pre-batching pipeline. Only the kWorkStealing backend batches.
+  bool batch_mode = true;
+  /// Admission-buffer capacity; a full buffer flushes (the size trigger).
+  size_t batch_max_events = 64;
 };
 
 class EventManager : public PolicyManager {
@@ -199,6 +212,16 @@ class EventManager : public PolicyManager {
     return 0;
   }
 
+  /// Occurrences admitted to per-thread batch buffers but not yet flushed
+  /// to the composition pool (0 in latency mode). Tests use this to pin
+  /// down the flush triggers; it is not a hot-path API (walks all buffers).
+  size_t batched_pending() const;
+
+  /// Flush every thread's admission buffer to the composition pool (the
+  /// EOT trigger runs this; Quiesce loops it until the cascade dies out).
+  /// Returns the number of occurrences dispatched.
+  size_t FlushBatches();
+
  private:
   /// Immutable per-type dispatch state. Never mutated after publication —
   /// writers clone, edit the clone, and republish the enclosing snapshot.
@@ -224,11 +247,17 @@ class EventManager : public PolicyManager {
   };
   using SnapshotPtr = std::shared_ptr<const DispatchSnapshot>;
 
-  /// One composition enqueue per occurrence: the table pins the downstream
-  /// compositor list (and keeps it alive across republishes).
+  /// Scalar path: one enqueue per occurrence; the table pins the downstream
+  /// compositor list across republishes. Batched path: one enqueue per
+  /// (admission batch, downstream compositor) — the batch is shared across
+  /// the flush's tasks, and per-compositor tasks keep independent
+  /// compositors stealable. Compositors outlive the manager's pools, so the
+  /// raw pointer is safe in-flight.
   struct ComposeTask {
     EventOccurrencePtr occ;
     DispatchTablePtr table;
+    std::shared_ptr<const EventBatch> batch;  // non-null = batched task
+    Compositor* compositor = nullptr;         // batched task's target
   };
 
   // -- Copy-on-write publication (all require publish_mu_) ----------------
@@ -247,6 +276,37 @@ class EventManager : public PolicyManager {
 
   /// Deliver to one compositor and recursively signal completions.
   void Compose(Compositor* compositor, const EventOccurrencePtr& occ);
+
+  // -- Batched pipeline (docs/EVENTS.md "Batched pipeline") ---------------
+
+  /// Per-thread admission buffer. `mu` guards the batch itself (owner
+  /// appends vs. an EOT/Quiesce flusher swapping it out); `flush_mu` is
+  /// held across dispatch so two flushes of one buffer cannot reorder its
+  /// batches (per-thread admission order is the order compositors see).
+  struct BatchBuffer {
+    std::mutex mu;
+    std::mutex flush_mu;
+    EventBatch batch;
+  };
+
+  /// This thread's buffer for this manager (created and registered on
+  /// first use; cached in a thread-local keyed by manager identity).
+  BatchBuffer* LocalBuffer();
+
+  /// Append to the calling thread's buffer; flushes on the size trigger.
+  void BatchAdmit(const EventOccurrencePtr& occ);
+
+  /// Swap out and dispatch one buffer. Returns occurrences dispatched.
+  size_t FlushBuffer(BatchBuffer* buf);
+
+  /// Dispatch a swapped-out batch: one snapshot load, one table lookup per
+  /// type run, then one pool enqueue per distinct downstream compositor
+  /// (SubmitBatch — one queue lock for all of them).
+  void DispatchBatch(EventBatch batch);
+
+  /// Worker side: feed `compositor` the batch elements its event
+  /// expression selects (EvalBatch), then signal completions.
+  void ComposeBatch(Compositor* compositor, const EventBatch& batch);
 
   /// Restore a freshly created cross-txn compositor from the recovered
   /// checkpoint state and re-feed the logged tail (publish_mu_ held; the
@@ -267,6 +327,13 @@ class EventManager : public PolicyManager {
   Database* db_;
   EventManagerOptions options_;
   CompositionMode mode_ = CompositionMode::kInline;
+  /// batch_mode resolved against the backend (only kWorkStealing batches).
+  bool batch_enabled_ = false;
+  /// All threads' admission buffers, for the EOT/Quiesce flush sweep.
+  /// Owned here; thread-locals hold weak_ptrs so a dead manager's buffers
+  /// never dangle.
+  std::vector<std::shared_ptr<BatchBuffer>> batch_buffers_;
+  mutable std::mutex batch_buffers_mu_;
   EventRegistry registry_;
   TemporalScheduler scheduler_;
   std::unique_ptr<ThreadPool> composition_pool_;  // kCentralPool backend

@@ -16,10 +16,6 @@
 #include "core/events/event.h"
 #include "oodb/session.h"
 
-namespace reach::obs {
-class Histogram;
-}  // namespace reach::obs
-
 namespace reach {
 
 /// The six REACH coupling modes (§3.2).
@@ -80,10 +76,15 @@ struct Rule {
   bool enabled = true;
   uint64_t registration_seq = 0;  // for oldest/newest tie-breaking
   RuleStats stats;
-  /// Per-rule exec-time histogram ("rules.exec_ns.rule.<name>"), admitted
-  /// lazily on first execution up to a global cardinality cap — nullptr
-  /// until then (see rule_engine.cc).
-  std::atomic<obs::Histogram*> exec_hist{nullptr};
+  /// Process-unique instance id for the per-rule histogram slot table
+  /// (rule ids are only unique per engine; slots outlive engines).
+  uint64_t uid = 0;
+  /// Cached slot in the bounded per-rule histogram table
+  /// ("rules.exec_ns.rule.<name>") — opaque here to keep obs out of the
+  /// rule vocabulary. Revalidated against the slot's owner uid on every
+  /// record, because a cold rule's slot can be evicted and handed to a
+  /// newly hot rule (see rule_engine.cc).
+  std::atomic<void*> hist_slot{nullptr};
 };
 
 }  // namespace reach

@@ -59,33 +59,104 @@ uint64_t RuleTimingStart(const RuleTrace& trace) {
   return (trace.enabled() || obs::MetricsEnabled()) ? obs::NowNanos() : 0;
 }
 
-/// Cardinality bound on the per-rule breakdown: only the first
-/// kPerRuleHistogramCap distinct rules to execute get a
-/// "rules.exec_ns.rule.<name>" histogram. In practice the hottest rules
-/// execute first and most, so the bounded map is the top-of-the-profile
-/// view without letting a rule-churning workload grow the registry forever.
+/// Cardinality bound on the per-rule breakdown: at most
+/// kPerRuleHistogramCap rules hold a "rules.exec_ns.rule.<name>" histogram
+/// at a time. Admission is evict-and-replace: when every slot is taken, a
+/// newly executing rule evicts the least-recently-executed holder —
+/// provided that holder has been idle for at least kEvictIdleTicks recorded
+/// executions, so two hot rules never ping-pong a slot. The histogram
+/// objects themselves live forever in the registry (registry entries are
+/// never deleted), so a name-churning workload still grows the registry by
+/// its count of distinct admitted names; rules.histogram.evicted makes that
+/// churn visible.
 constexpr size_t kPerRuleHistogramCap = 32;
+constexpr uint64_t kEvictIdleTicks = 64;
+
+struct PerRuleSlots {
+  struct Slot {
+    /// Owning rule's process-unique uid; 0 = free. Cleared before the slot
+    /// is rebound so a stale owner's cached-pointer check fails.
+    std::atomic<uint64_t> owner{0};
+    /// Tick of the owner's most recent recorded execution (LRU key).
+    std::atomic<uint64_t> last_used{0};
+    std::atomic<obs::Histogram*> hist{nullptr};
+  };
+
+  std::mutex mu;  // guards rebinding; the record fast path is lock-free
+  Slot slots[kPerRuleHistogramCap];
+  /// Advances once per recorded rule execution (the "time" for LRU/idle).
+  std::atomic<uint64_t> clock{0};
+  obs::Counter* evicted = obs::MetricsRegistry::Instance().counter(
+      obs::kRulesHistogramEvicted);
+
+  static PerRuleSlots& Get() {
+    static PerRuleSlots t;
+    return t;
+  }
+};
 
 obs::Histogram* PerRuleHistogram(Rule* rule) {
-  obs::Histogram* h = rule->exec_hist.load(std::memory_order_acquire);
-  if (h != nullptr) return h;
-  static std::atomic<size_t> admitted{0};
-  if (admitted.fetch_add(1, std::memory_order_relaxed) >=
-      kPerRuleHistogramCap) {
-    admitted.fetch_sub(1, std::memory_order_relaxed);
-    return nullptr;
+  PerRuleSlots& t = PerRuleSlots::Get();
+  const uint64_t now = t.clock.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto* slot =
+      static_cast<PerRuleSlots::Slot*>(rule->hist_slot.load(std::memory_order_acquire));
+  if (slot != nullptr && slot->owner.load(std::memory_order_acquire) == rule->uid) {
+    slot->last_used.store(now, std::memory_order_relaxed);
+    // A racing eviction between the owner check and this load can land one
+    // sample in the successor's histogram — acceptable for observability.
+    return slot->hist.load(std::memory_order_acquire);
   }
-  h = obs::MetricsRegistry::Instance().histogram(
-      std::string(obs::kRulesExecNsRulePrefix) + rule->spec.name);
-  obs::Histogram* expected = nullptr;
-  if (!rule->exec_hist.compare_exchange_strong(expected, h,
-                                               std::memory_order_acq_rel)) {
-    // Another thread admitted this rule first; refund the slot (the
-    // registry handed both threads the same histogram).
-    admitted.fetch_sub(1, std::memory_order_relaxed);
-    return expected;
+  // First execution, or this rule's slot was evicted: claim a free slot or
+  // replace the least-recently-executed holder if it has gone idle.
+  std::lock_guard<std::mutex> lock(t.mu);
+  slot = static_cast<PerRuleSlots::Slot*>(
+      rule->hist_slot.load(std::memory_order_acquire));
+  if (slot != nullptr && slot->owner.load(std::memory_order_acquire) == rule->uid) {
+    slot->last_used.store(now, std::memory_order_relaxed);
+    return slot->hist.load(std::memory_order_acquire);
   }
-  return h;
+  PerRuleSlots::Slot* victim = nullptr;
+  for (auto& s : t.slots) {
+    if (s.owner.load(std::memory_order_relaxed) == 0) {
+      victim = &s;
+      break;
+    }
+    if (victim == nullptr ||
+        s.last_used.load(std::memory_order_relaxed) <
+            victim->last_used.load(std::memory_order_relaxed)) {
+      victim = &s;
+    }
+  }
+  if (victim->owner.load(std::memory_order_relaxed) != 0) {
+    const uint64_t idle =
+        now - victim->last_used.load(std::memory_order_relaxed);
+    if (idle <= kEvictIdleTicks) return nullptr;  // every holder is hot
+    t.evicted->Inc();
+  }
+  victim->owner.store(0, std::memory_order_release);
+  victim->hist.store(obs::MetricsRegistry::Instance().histogram(
+                         std::string(obs::kRulesExecNsRulePrefix) +
+                         rule->spec.name),
+                     std::memory_order_release);
+  victim->last_used.store(now, std::memory_order_relaxed);
+  victim->owner.store(rule->uid, std::memory_order_release);
+  rule->hist_slot.store(victim, std::memory_order_release);
+  return victim->hist.load(std::memory_order_acquire);
+}
+
+/// Frees a dying rule's histogram slot (DropRule / engine teardown) so the
+/// next admission takes it without waiting out the idle-eviction window.
+/// Safe even if the slot was already evicted and rebound: the owner-uid
+/// check makes the release a no-op then.
+void ReleasePerRuleSlot(Rule* rule) {
+  auto* slot = static_cast<PerRuleSlots::Slot*>(
+      rule->hist_slot.load(std::memory_order_acquire));
+  if (slot == nullptr) return;
+  PerRuleSlots& t = PerRuleSlots::Get();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (slot->owner.load(std::memory_order_relaxed) == rule->uid) {
+    slot->owner.store(0, std::memory_order_release);
+  }
 }
 
 void RecordRuleTiming(Rule* rule, CouplingMode mode, uint64_t start_ns,
@@ -120,6 +191,7 @@ RuleEngine::~RuleEngine() {
   db_->txns()->RemoveListener(this);
   detached_pool_->Shutdown();
   if (rule_pool_) rule_pool_->Shutdown();
+  for (auto& [id, rule] : rules_) ReleasePerRuleSlot(rule.get());
 }
 
 Result<RuleId> RuleEngine::DefineRule(RuleSpec spec) {
@@ -153,6 +225,8 @@ Result<RuleId> RuleEngine::DefineRule(RuleSpec spec) {
   }
   auto rule = std::make_unique<Rule>();
   rule->id = next_id_++;
+  static std::atomic<uint64_t> next_rule_uid{0};
+  rule->uid = next_rule_uid.fetch_add(1, std::memory_order_relaxed) + 1;
   rule->registration_seq = next_registration_seq_++;
   rule->spec = std::move(spec);
   RuleId id = rule->id;
@@ -197,6 +271,7 @@ Status RuleEngine::DropRule(const std::string& name) {
   }
   auto& vec = by_event_[event];
   vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+  ReleasePerRuleSlot(rules_[id].get());
   rules_.erase(id);
   by_name_.erase(it);
   return Status::OK();

@@ -77,6 +77,13 @@ inline constexpr const char* kCompositionSteals = "events.composition.steals";
 /// Copy-on-write republishes of the snapshot dispatch table (event/listener
 /// /compositor definitions; the steady-state Signal path never writes).
 inline constexpr const char* kDispatchRepublish = "events.dispatch.republish";
+/// Batched pipeline (docs/EVENTS.md "Batched pipeline"): occurrences per
+/// admission-buffer flush (a count histogram, not nanoseconds), flushes
+/// dispatched, and occurrences that bypassed batching through the scalar
+/// fallback (listener-bearing, durable cross-txn, temporal, or composite).
+inline constexpr const char* kEventsBatchSize = "events.batch.size";
+inline constexpr const char* kEventsBatchFlushes = "events.batch.flushes";
+inline constexpr const char* kEventsBatchFallbacks = "events.batch.fallbacks";
 /// Durable event history: cross-txn occurrences logged to the WAL, logged
 /// occurrences re-fed into compositors during recovery replay, cumulative
 /// bytes of compositor-state checkpoint records, and append/checkpoint
@@ -114,9 +121,14 @@ inline constexpr const char* kRulesDeferredRounds = "rules.deferred_rounds";
 inline constexpr const char* kRulesExecNsPrefix = "rules.exec_ns.";
 inline constexpr const char* kRulesFireLagNsPrefix = "rules.fire_lag_ns.";
 /// Per-rule breakdown: "rules.exec_ns.rule.<name>". Bounded cardinality —
-/// only the first kPerRuleHistogramCap rules to fire get a histogram (see
-/// rule_engine.cc), so a misbehaving rule is localizable without enabling
-/// the full RuleTrace.
+/// at most kPerRuleHistogramCap rules hold a histogram at a time; when the
+/// cap is full, a newly executing rule evicts the least-recently-executed
+/// holder (see rule_engine.cc), so the hot set is always localizable
+/// without enabling the full RuleTrace.
 inline constexpr const char* kRulesExecNsRulePrefix = "rules.exec_ns.rule.";
+/// Evict-and-replace admissions above: incremented each time a cold rule's
+/// per-rule histogram slot is handed to a newly executing rule.
+inline constexpr const char* kRulesHistogramEvicted =
+    "rules.histogram.evicted";
 
 }  // namespace reach::obs

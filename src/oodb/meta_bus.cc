@@ -92,7 +92,9 @@ bool MetaBus::Monitored(SentryKind kind, const std::string& class_name,
   size_t k = static_cast<size_t>(kind);
   if (wildcard_[k]) return true;
   if (exact_[k].empty()) return false;
-  return exact_[k].contains(class_name + "::" + member);
+  // Heterogeneous probe: no "<class>::<member>" concatenation (and no
+  // allocation) on this per-sentried-call path.
+  return exact_[k].find(InterestKey{class_name, member}) != exact_[k].end();
 }
 
 size_t MetaBus::Announce(const SentryEvent& event) {

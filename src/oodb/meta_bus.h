@@ -7,8 +7,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -66,12 +68,70 @@ class MetaBus {
     return true;
   }
 
+  /// Probe key for the exact-interest set: the two halves of a
+  /// "<class>::<member>" key, so the per-call Monitored check (every
+  /// sentried method invocation) hashes and compares in place instead of
+  /// allocating the concatenation.
+  struct InterestKey {
+    std::string_view class_name;
+    std::string_view member;
+  };
+
+  struct InterestHash {
+    using is_transparent = void;
+    static size_t Fnv(size_t h, std::string_view s) {
+      for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= UINT64_C(1099511628211);
+      }
+      return h;
+    }
+    size_t operator()(std::string_view s) const {
+      return Fnv(UINT64_C(14695981039346656037), s);
+    }
+    size_t operator()(const std::string& s) const {
+      return (*this)(std::string_view(s));
+    }
+    size_t operator()(const InterestKey& k) const {
+      size_t h = Fnv(UINT64_C(14695981039346656037), k.class_name);
+      h = Fnv(h, "::");
+      return Fnv(h, k.member);
+    }
+  };
+
+  struct InterestEq {
+    using is_transparent = void;
+    static bool Matches(std::string_view s, const InterestKey& k) {
+      const size_t n = k.class_name.size();
+      return s.size() == n + 2 + k.member.size() &&
+             s.compare(0, n, k.class_name) == 0 && s[n] == ':' &&
+             s[n + 1] == ':' &&
+             s.compare(n + 2, std::string_view::npos, k.member) == 0;
+    }
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+    bool operator()(std::string_view a, const InterestKey& b) const {
+      return Matches(a, b);
+    }
+    bool operator()(const InterestKey& a, std::string_view b) const {
+      return Matches(b, a);
+    }
+    bool operator()(const InterestKey& a, const InterestKey& b) const {
+      return a.class_name == b.class_name && a.member == b.member;
+    }
+  };
+
+  using InterestSet =
+      std::unordered_set<std::string, InterestHash, InterestEq>;
+
   mutable std::mutex mu_;
   std::array<std::vector<Subscription>, kNumSentryKinds> subs_;
   // Fast interest test: per kind, whether a wildcard subscription exists
-  // plus the set of exact "<class>::<member>" keys.
+  // plus the set of exact "<class>::<member>" keys (heterogeneous lookup —
+  // see InterestKey).
   std::array<bool, kNumSentryKinds> wildcard_{};
-  std::array<std::unordered_set<std::string>, kNumSentryKinds> exact_;
+  std::array<InterestSet, kNumSentryKinds> exact_;
   std::atomic<uint64_t> useful_{0};
   std::atomic<uint64_t> useless_{0};
 };

@@ -5,6 +5,8 @@
 #include <atomic>
 
 #include "core/reach/reach_db.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "test_util.h"
 
 namespace reach {
@@ -831,6 +833,66 @@ TEST_F(RulesTest, TemporalRuleRunsDetached) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   FAIL() << "temporal rule never ran";
+}
+
+// The per-rule exec histogram table is bounded (32 slots) with
+// evict-and-replace admission: once every slot is held, a newly executing
+// rule evicts the least-recently-executed holder after that holder has been
+// idle long enough. A rule past the cap must eventually get its
+// "rules.exec_ns.rule.<name>" histogram instead of being dropped forever.
+TEST_F(RulesTest, PerRuleHistogramEvictsColdRules) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  reg.SetEnabled(true);
+  Oid counter = MakeCounter();
+  auto ev = db_->events()->DefineMethodEvent("bump_ev", "Counter", "bump");
+  // 32 filler rules occupy every slot, then go cold (disabled); one late
+  // rule keeps executing until the idle-eviction window lets it in.
+  for (int i = 0; i < 32; ++i) {
+    RuleSpec spec;
+    spec.name = "filler" + std::to_string(i);
+    spec.event = *ev;
+    spec.coupling = CouplingMode::kImmediate;
+    spec.action = [](Session&, const EventOccurrence&) -> Status {
+      return Status::OK();
+    };
+    ASSERT_TRUE(db_->rules()->DefineRule(std::move(spec)).ok());
+  }
+  RuleSpec late;
+  late.name = "late_comer";
+  late.event = *ev;
+  late.coupling = CouplingMode::kImmediate;
+  late.action = [](Session&, const EventOccurrence&) -> Status {
+    return Status::OK();
+  };
+  ASSERT_TRUE(db_->rules()->DefineRule(std::move(late)).ok());
+  ASSERT_TRUE(db_->rules()->SetRuleEnabled("late_comer", false).ok());
+
+  const uint64_t evicted_before =
+      reg.counter(obs::kRulesHistogramEvicted)->value();
+  Session s(db_->database());
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Invoke(counter, "bump").ok());  // fillers claim their slots
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        db_->rules()->SetRuleEnabled("filler" + std::to_string(i), false)
+            .ok());
+  }
+  ASSERT_TRUE(db_->rules()->SetRuleEnabled("late_comer", true).ok());
+  // Each execution advances the admission clock by one tick; the idle
+  // window is 64 ticks, so ~100 executions guarantee an eviction.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s.Invoke(counter, "bump").ok());
+  }
+  ASSERT_TRUE(s.Commit().ok());
+
+  EXPECT_GT(reg.counter(obs::kRulesHistogramEvicted)->value(),
+            evicted_before);
+  obs::HistogramSnapshot snap =
+      reg.histogram(std::string(obs::kRulesExecNsRulePrefix) + "late_comer")
+          ->Snapshot();
+  EXPECT_GT(snap.count, 0u);
+  reg.SetEnabled(false);
+  reg.ResetAll();
 }
 
 }  // namespace
