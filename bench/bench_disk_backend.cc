@@ -1,0 +1,169 @@
+// Disk backend comparison — the acceptance benchmark for the pluggable
+// batched-I/O layer (docs/STORAGE.md "Async disk backend"). Three workloads,
+// each swept across backend={posix,async,uring} (arg 0/1/2; uring silently
+// resolves to async where io_uring is unavailable, keeping benchmark names
+// stable for the baseline):
+//
+//  * BM_ColdScan — ObjectStore::ScanAll with a pool far smaller than the
+//    data file, so every scan re-reads the pages through the batched
+//    readahead path. posix = one pread per page; async = pooled parallel
+//    preads; uring = one ring doorbell per 32-page window.
+//  * BM_Checkpoint — dirty every data page, then BufferPool::FlushAll.
+//    posix = one pwrite per page; async/uring = contiguous runs coalesced
+//    into pwritev/IORING_OP_WRITEV submissions.
+//  * BM_WalAppend — append + group-commit flush of one physical record.
+//    uring fuses the write+fsync pair into one linked submission.
+//
+// CI gates the async/posix and uring/posix cold-scan and checkpoint ratios
+// via RATIO_PAIRS in scripts/bench_compare.py: absolute times track machine
+// speed, but the batched backends losing their edge over the synchronous
+// loop is a property of the code.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/disk_backend.h"
+#include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+namespace {
+
+constexpr int kObjects = 1024;       // ~4 objects/page -> ~256 data pages
+constexpr size_t kScanPoolPages = 48;  // far below the data page count
+constexpr size_t kCheckpointPoolPages = 512;  // holds every data page
+
+std::string ScratchBase(const std::string& tag) {
+  const char* dir = std::getenv("REACH_BENCH_DIR");
+  std::filesystem::path base =
+      std::filesystem::path(dir != nullptr ? dir : ".") /
+      "bench_disk_backend_scratch";
+  std::filesystem::create_directories(base);
+  std::string path = (base / tag).string();
+  std::filesystem::remove(path + ".db");
+  std::filesystem::remove(path + ".wal");
+  return path;
+}
+
+DiskBackendKind KindForArg(int64_t arg) {
+  switch (arg) {
+    case 1:
+      return DiskBackendKind::kAsync;
+    case 2:
+      return DiskBackendKind::kUring;
+    default:
+      return DiskBackendKind::kPosix;
+  }
+}
+
+std::unique_ptr<StorageManager> OpenSeeded(const std::string& tag,
+                                           DiskBackendKind kind,
+                                           size_t pool_pages,
+                                           std::vector<Oid>* oids) {
+  StorageOptions opts;
+  opts.buffer_pool_pages = pool_pages;
+  opts.disk_backend = kind;
+  auto sm = StorageManager::Open(ScratchBase(tag), opts);
+  if (!sm.ok()) std::abort();
+  TransactionManager tm(sm->get());
+  auto txn = tm.Begin();
+  if (!txn.ok()) std::abort();
+  std::string payload(900, 'd');  // ~4 cells per 4K page
+  oids->clear();
+  for (int i = 0; i < kObjects; ++i) {
+    auto oid = (*sm)->objects()->Insert(*txn, payload);
+    if (!oid.ok()) std::abort();
+    oids->push_back(*oid);
+  }
+  if (!tm.Commit(*txn).ok()) std::abort();
+  return std::move(*sm);
+}
+
+void BM_ColdScan(benchmark::State& state) {
+  std::vector<Oid> oids;
+  auto sm = OpenSeeded("coldscan" + std::to_string(state.range(0)),
+                       KindForArg(state.range(0)), kScanPoolPages, &oids);
+  // Flush so the timed scans read clean pages (no evict write-back noise).
+  if (!sm->Checkpoint().ok()) std::abort();
+  for (auto _ : state) {
+    auto scanned = sm->objects()->ScanAll();
+    if (!scanned.ok()) std::abort();
+    benchmark::DoNotOptimize(scanned->size());
+  }
+  state.SetItemsProcessed(state.iterations() * kObjects);
+  state.counters["pages"] = benchmark::Counter(
+      static_cast<double>(sm->objects()->data_page_count()));
+}
+
+void BM_Checkpoint(benchmark::State& state) {
+  std::vector<Oid> oids;
+  auto sm = OpenSeeded("checkpoint" + std::to_string(state.range(0)),
+                       KindForArg(state.range(0)), kCheckpointPoolPages,
+                       &oids);
+  TransactionManager tm(sm.get());
+  std::string payload(900, 'e');
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Dirty every data page; the pool holds them all, so FlushAll sees the
+    // full set and the backends' coalescing has something to merge.
+    auto txn = tm.Begin();
+    if (!txn.ok()) std::abort();
+    for (const Oid& oid : oids) {
+      if (!sm->objects()->Update(*txn, oid, payload).ok()) std::abort();
+    }
+    if (!tm.Commit(*txn).ok()) std::abort();
+    state.ResumeTiming();
+    if (!sm->buffer_pool()->FlushAll().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * kObjects);
+}
+
+void BM_WalAppend(benchmark::State& state) {
+  std::vector<Oid> oids;
+  auto sm = OpenSeeded("walappend" + std::to_string(state.range(0)),
+                       KindForArg(state.range(0)), kCheckpointPoolPages,
+                       &oids);
+  TransactionManager tm(sm.get());
+  std::string payload(256, 'w');
+  for (auto _ : state) {
+    auto txn = tm.Begin();
+    if (!txn.ok()) std::abort();
+    if (!sm->objects()->Update(*txn, oids[0], payload).ok()) std::abort();
+    // Commit forces the log: append + write + fsync (fused on uring).
+    if (!tm.Commit(*txn).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ColdScan)
+    ->ArgName("backend")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_Checkpoint)
+    ->ArgName("backend")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_WalAppend)
+    ->ArgName("backend")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

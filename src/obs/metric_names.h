@@ -40,6 +40,16 @@ inline constexpr const char* kBufShardHitRate =
 /// is near-zero when the shard count matches the core count).
 inline constexpr const char* kBufShardLockWaitNs =
     "storage.bufferpool.shard.lock_wait_ns";
+/// Batched disk backend (docs/STORAGE.md "Async disk backend"): pages per
+/// batched ReadPages/WritePages call (count histogram), coalesced contiguous
+/// runs per write batch (count histogram), submission depth handed to the
+/// backend in one call (gauge: last batch), and wall time of one batched
+/// call from submit to final completion.
+inline constexpr const char* kDiskBatchPages = "storage.disk.batch.pages";
+inline constexpr const char* kDiskCoalescedRuns =
+    "storage.disk.coalesced_runs";
+inline constexpr const char* kDiskSubmitDepth = "storage.disk.submit_depth";
+inline constexpr const char* kDiskCompleteNs = "storage.disk.complete_ns";
 
 // -- Transactions ----------------------------------------------------------
 inline constexpr const char* kTxnBegun = "txn.begun";

@@ -180,6 +180,13 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   Shard& shard = ShardFor(page_id);
   auto lock = LockShard(shard);
   auto it = shard.page_table.find(page_id);
+  // A frame mid-fill by ReadAhead is in the table but not yet readable; wait
+  // for the batch to land, then re-look-up (a failed fill removes it).
+  while (it != shard.page_table.end() &&
+         shard.frames[it->second]->io_pending()) {
+    shard.io_cv.wait(lock);
+    it = shard.page_table.find(page_id);
+  }
   const bool hit = it != shard.page_table.end();
   NoteAccess(shard, hit);
   if (hit) {
@@ -254,27 +261,87 @@ Status BufferPool::FlushPage(PageId page_id) {
   return Status::OK();
 }
 
+Status BufferPool::ReadAhead(const std::vector<PageId>& pages) {
+  // Stage: reserve a pinned io_pending frame per absent page, so nothing can
+  // evict or hand out the frame while the batch is in flight.
+  std::vector<PageReadRequest> batch;
+  std::vector<Page*> staged;
+  batch.reserve(pages.size());
+  const PageId limit = disk_->num_pages();
+  for (PageId page_id : pages) {
+    if (page_id >= limit) continue;
+    Shard& shard = ShardFor(page_id);
+    auto lock = LockShard(shard);
+    if (shard.page_table.count(page_id) > 0) continue;  // resident or mid-fill
+    auto frame_or = GetVictimFrame(shard);
+    if (!frame_or.ok()) continue;  // no evictable frame: FetchPage will read
+    Page* page = shard.frames[*frame_or].get();
+    page->Reset();
+    page->set_page_id(page_id);
+    page->set_io_pending(true);
+    page->Pin();
+    shard.page_table[page_id] = *frame_or;
+    shard.lru.push_front(*frame_or);
+    shard.lru_pos[*frame_or] = shard.lru.begin();
+    staged.push_back(page);
+    batch.push_back(PageReadRequest{page_id, page->data()});
+  }
+  // One batched submission — even when empty, so the disk.backend.* fault
+  // points see every readahead pass.
+  Status st = disk_->ReadPages(batch);
+  // Publish: clear io_pending and wake waiters; on failure unwind the staged
+  // frames so FetchPage retries synchronously instead of serving zeros.
+  for (Page* page : staged) {
+    Shard& shard = ShardFor(page->page_id());
+    auto lock = LockShard(shard);
+    page->set_io_pending(false);
+    page->Unpin();
+    if (!st.ok()) {
+      auto it = shard.page_table.find(page->page_id());
+      size_t frame = it->second;
+      shard.page_table.erase(it);
+      shard.lru.erase(shard.lru_pos[frame]);
+      shard.lru_pos.erase(frame);
+      shard.free_frames.push_back(frame);
+    }
+    shard.io_cv.notify_all();
+  }
+  return st;
+}
+
 Status BufferPool::FlushAll() {
   REACH_FAULT_POINT(faults::kBufFlushAll);
-  // One full log force up front covers every page this pass writes, so the
-  // per-page hook (which would force up to each pageLSN) is skipped.
-  bool flushed_log = false;
+  // Collect and pin every dirty frame so it stays resident after the shard
+  // locks drop; the batched submission below needs the images in place.
+  std::vector<std::pair<PageId, const char*>> batch;
+  std::vector<Page*> pinned;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     auto lock = LockShard(shard);
     for (auto& [page_id, frame] : shard.page_table) {
       Page* page = shard.frames[frame].get();
       if (page->dirty()) {
-        if (pre_write_hook_ && !flushed_log) {
-          REACH_RETURN_IF_ERROR(pre_write_hook_(kInvalidLsn));
-          flushed_log = true;
-        }
-        REACH_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data()));
-        page->set_dirty(false);
+        page->Pin();
+        pinned.push_back(page);
+        batch.emplace_back(page_id, page->data());
       }
     }
   }
-  return Status::OK();
+  // One full log force covers every page in the batch (the per-page hook
+  // would force up to each pageLSN individually).
+  Status st;
+  if (!batch.empty() && pre_write_hook_) st = pre_write_hook_(kInvalidLsn);
+  // Single batched submission: DiskManager sorts and coalesces contiguous
+  // pages into runs. Submitted even when empty so the disk.backend.* fault
+  // points see every checkpoint.
+  if (st.ok()) st = disk_->WritePages(std::move(batch));
+  for (Page* page : pinned) {
+    Shard& shard = ShardFor(page->page_id());
+    auto lock = LockShard(shard);
+    if (st.ok()) page->set_dirty(false);
+    page->Unpin();
+  }
+  return st;
 }
 
 uint64_t BufferPool::hit_count() const {

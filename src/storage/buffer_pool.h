@@ -9,6 +9,7 @@
 // environment variable (`shards=<N>`, grammar mirroring REACH_WAL).
 #pragma once
 
+#include <condition_variable>
 #include <functional>
 #include <list>
 #include <memory>
@@ -47,7 +48,16 @@ class BufferPool {
   BufferPool(DiskManager* disk, size_t pool_size, size_t shards = 0);
 
   /// Pin the page, reading it from disk if absent. Caller must Unpin.
+  /// Blocks briefly if the page is mid-fill by a concurrent ReadAhead.
   Result<Page*> FetchPage(PageId page_id);
+
+  /// Warm the pool with `pages` in one batched backend submission
+  /// (DiskManager::ReadPages) so subsequent FetchPage calls hit. Pages
+  /// already resident, mid-fill, or without an evictable frame are skipped —
+  /// FetchPage falls back to a synchronous read for those. Best-effort on
+  /// skips, but a failed backend submission is reported (and the staged
+  /// frames are released).
+  Status ReadAhead(const std::vector<PageId>& pages);
 
   /// Allocate a fresh page on disk and pin it.
   Result<Page*> NewPage();
@@ -58,11 +68,17 @@ class BufferPool {
   /// Write a specific page back to disk if dirty.
   Status FlushPage(PageId page_id);
 
-  /// Write all dirty frames back to disk (shard by shard).
+  /// Write all dirty frames back to disk in one batched backend submission:
+  /// dirty frames are collected and pinned shard by shard, the log is forced
+  /// once, and the sorted batch goes down as coalesced runs
+  /// (DiskManager::WritePages). Caller must guarantee no concurrent
+  /// mutators (the documented Checkpoint precondition).
   Status FlushAll();
 
   size_t pool_size() const { return pool_size_; }
   size_t shard_count() const { return shards_.size(); }
+  /// Pages currently in the underlying data file (readahead upper bound).
+  PageId disk_pages() const { return disk_->num_pages(); }
 
   /// WAL rule hook: invoked before any page reaches disk, so the storage
   /// manager can force the log first (write-ahead invariant). The page's
@@ -83,6 +99,9 @@ class BufferPool {
   // cache-line-aligned so neighbouring shards' mutexes never share a line.
   struct alignas(64) Shard {
     mutable std::mutex mu;
+    // Signalled when a ReadAhead fill completes (io_pending cleared) so
+    // concurrent FetchPage callers of the same page can stop waiting.
+    std::condition_variable io_cv;
     std::vector<std::unique_ptr<Page>> frames;
     std::unordered_map<PageId, size_t> page_table;
     std::list<size_t> lru;  // front = most recently used

@@ -1,0 +1,268 @@
+#include "storage/disk_backend.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/completion.h"
+#include "common/thread_pool.h"
+
+namespace reach {
+
+namespace {
+
+Status IoError(const char* op, PageId page) {
+  return Status::IoError(std::string(op) + " page " + std::to_string(page) +
+                         ": " + std::strerror(errno));
+}
+
+Status PreadPage(int fd, const PageReadRequest& req) {
+  ssize_t n = ::pread(fd, req.buf, kPageSize,
+                      static_cast<off_t>(req.page) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) return IoError("pread", req.page);
+  return Status::OK();
+}
+
+/// Write one coalesced run with a single pwritev; partial writes resume at
+/// the interrupted iovec (pwritev may stop short at any byte).
+Status PwritevRun(int fd, const PageWriteRun& run) {
+  off_t offset = static_cast<off_t>(run.first_page) * kPageSize;
+  std::vector<iovec> iov = run.iov;  // resumable cursor
+  size_t idx = 0;
+  while (idx < iov.size()) {
+    int cnt = static_cast<int>(std::min<size_t>(iov.size() - idx, IOV_MAX));
+    ssize_t n = ::pwritev(fd, iov.data() + idx, cnt, offset);
+    if (n < 0) return IoError("pwritev", run.first_page);
+    offset += n;
+    while (n > 0 && idx < iov.size()) {
+      if (static_cast<size_t>(n) >= iov[idx].iov_len) {
+        n -= static_cast<ssize_t>(iov[idx].iov_len);
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + n;
+        iov[idx].iov_len -= static_cast<size_t>(n);
+        n = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// -- posix: the historical synchronous path --------------------------------
+
+class PosixBackend : public DiskBackend {
+ public:
+  const char* name() const override { return "posix"; }
+
+  Status ReadPages(int fd, const std::vector<PageReadRequest>& batch) override {
+    for (const PageReadRequest& req : batch) {
+      REACH_RETURN_IF_ERROR(PreadPage(fd, req));
+    }
+    return Status::OK();
+  }
+
+  Status WriteRuns(int fd, const std::vector<PageWriteRun>& runs) override {
+    // Page-by-page pwrite, exactly the pre-backend FlushAll behavior; run
+    // grouping is ignored.
+    for (const PageWriteRun& run : runs) {
+      for (size_t i = 0; i < run.iov.size(); ++i) {
+        PageId page = run.first_page + static_cast<PageId>(i);
+        ssize_t n = ::pwrite(fd, run.iov[i].iov_base, run.iov[i].iov_len,
+                             static_cast<off_t>(page) * kPageSize);
+        if (n != static_cast<ssize_t>(run.iov[i].iov_len)) {
+          return IoError("pwrite", page);
+        }
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// -- async: thread-pooled fan-out ------------------------------------------
+
+class AsyncBackend : public DiskBackend {
+ public:
+  explicit AsyncBackend(size_t io_threads)
+      : pool_(io_threads > 0
+                  ? io_threads
+                  : std::min<size_t>(
+                        4, std::max<size_t>(
+                               1, std::thread::hardware_concurrency()))) {}
+
+  const char* name() const override { return "async"; }
+
+  Status ReadPages(int fd, const std::vector<PageReadRequest>& batch) override {
+    if (batch.empty()) return Status::OK();
+    if (batch.size() == 1) return PreadPage(fd, batch[0]);
+    // Slice the batch into one chunk per worker rather than one task per
+    // page: the latch handshake is paid per chunk, the preads run in
+    // parallel within and across chunks.
+    const size_t chunks =
+        std::min(batch.size(), pool_.num_threads());
+    CompletionLatch latch(chunks);
+    const size_t per = (batch.size() + chunks - 1) / chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * per;
+      const size_t end = std::min(batch.size(), begin + per);
+      if (begin >= end) {
+        latch.CountDown();
+        continue;
+      }
+      bool accepted = pool_.Submit([fd, &batch, &latch, begin, end] {
+        Status st;
+        for (size_t i = begin; i < end && st.ok(); ++i) {
+          st = PreadPage(fd, batch[i]);
+        }
+        latch.CountDown(std::move(st));
+      });
+      if (!accepted) latch.CountDown(Status::Aborted("io pool shut down"));
+    }
+    return latch.Wait();
+  }
+
+  Status WriteRuns(int fd, const std::vector<PageWriteRun>& runs) override {
+    if (runs.empty()) return Status::OK();
+    if (runs.size() == 1) return PwritevRun(fd, runs[0]);
+    CompletionLatch latch(runs.size());
+    for (const PageWriteRun& run : runs) {
+      bool accepted = pool_.Submit(
+          [fd, &run, &latch] { latch.CountDown(PwritevRun(fd, run)); });
+      if (!accepted) latch.CountDown(Status::Aborted("io pool shut down"));
+    }
+    return latch.Wait();
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace
+
+// -- shared base behavior ---------------------------------------------------
+
+Status DiskBackend::AppendSync(int fd, const char* data, size_t len) {
+  if (len > 0) {
+    size_t done = 0;
+    while (done < len) {
+      ssize_t n = ::write(fd, data + done, len - done);
+      if (n < 0) {
+        return Status::IoError(std::string("append write: ") +
+                               std::strerror(errno));
+      }
+      done += static_cast<size_t>(n);
+    }
+  }
+  if (::fsync(fd) != 0) {
+    return Status::IoError(std::string("append fsync: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::vector<PageWriteRun> BuildWriteRuns(
+    std::vector<std::pair<PageId, const char*>> batch, size_t max_run_pages) {
+  std::vector<PageWriteRun> runs;
+  if (batch.empty()) return runs;
+  if (max_run_pages == 0) max_run_pages = 1;
+  std::sort(batch.begin(), batch.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [page, data] : batch) {
+    const bool extends =
+        !runs.empty() &&
+        runs.back().first_page + runs.back().iov.size() == page &&
+        runs.back().iov.size() < max_run_pages;
+    if (!extends) {
+      runs.emplace_back();
+      runs.back().first_page = page;
+    }
+    runs.back().iov.push_back(
+        iovec{const_cast<char*>(data), kPageSize});
+  }
+  return runs;
+}
+
+DiskBackendOptions DiskBackendOptions::Parse(const char* spec) {
+  DiskBackendOptions o;
+  if (spec == nullptr) return o;
+  std::string entry;
+  auto apply = [&o](const std::string& e) {
+    if (e.empty()) return;
+    std::string key = e, value;
+    if (size_t eq = e.find('='); eq != std::string::npos) {
+      key = e.substr(0, eq);
+      value = e.substr(eq + 1);
+    }
+    if (key == "backend") {
+      if (value == "posix") {
+        o.kind = DiskBackendKind::kPosix;
+      } else if (value == "async") {
+        o.kind = DiskBackendKind::kAsync;
+      } else if (value == "uring") {
+        o.kind = DiskBackendKind::kUring;
+      }
+      // Unrecognized backend names keep the default (posix) so old binaries
+      // tolerate new knobs.
+    } else if (key == "io_threads") {
+      o.io_threads = std::strtoull(value.c_str(), nullptr, 0);
+    }
+  };
+  for (const char* p = spec;; ++p) {
+    if (*p == '\0' || *p == ',' || *p == ';') {
+      apply(entry);
+      entry.clear();
+      if (*p == '\0') break;
+    } else {
+      entry.push_back(*p);
+    }
+  }
+  return o;
+}
+
+DiskBackendOptions DiskBackendOptions::FromEnv() {
+  static const DiskBackendOptions parsed =
+      Parse(std::getenv("REACH_STORAGE"));
+  return parsed;
+}
+
+DiskBackendKind DiskBackend::Resolve(DiskBackendKind kind) {
+  if (kind == DiskBackendKind::kDefault) kind = DiskBackendOptions::FromEnv().kind;
+  if (kind == DiskBackendKind::kDefault) kind = DiskBackendKind::kPosix;
+  return kind;
+}
+
+bool UringBackendAvailable() {
+#if REACH_HAS_IO_URING
+  static const bool available = [] {
+    auto probe = CreateUringBackend();
+    return probe != nullptr;
+  }();
+  return available;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<DiskBackend> DiskBackend::Create(DiskBackendKind kind) {
+  switch (Resolve(kind)) {
+    case DiskBackendKind::kPosix:
+      return std::make_unique<PosixBackend>();
+    case DiskBackendKind::kUring:
+#if REACH_HAS_IO_URING
+      if (auto uring = CreateUringBackend()) return uring;
+#endif
+      // Kernel/toolchain without io_uring: fall back to the portable async
+      // backend so `backend=uring` configs stay functional everywhere.
+      [[fallthrough]];
+    case DiskBackendKind::kAsync:
+    default:
+      return std::make_unique<AsyncBackend>(
+          DiskBackendOptions::FromEnv().io_threads);
+  }
+}
+
+}  // namespace reach

@@ -1,0 +1,128 @@
+// Pluggable disk I/O backends behind the page API (docs/STORAGE.md "Async
+// disk backend").
+//
+// A DiskBackend turns batches of page-granular requests into syscalls. Three
+// implementations, selected via `REACH_STORAGE=backend={posix,async,uring}`:
+//
+//  * posix — the historical synchronous path: one pread/pwrite per page,
+//    executed on the calling thread. Default; semantics unchanged.
+//  * async — portable thread-pooled backend: batch members are fanned out
+//    over a small worker pool and joined through a CompletionLatch, and
+//    contiguous write runs are coalesced into single pwritev submissions.
+//  * uring — io_uring via raw syscalls (no liburing dependency): a whole
+//    batch becomes one submission ring doorbell instead of N syscalls, and
+//    the WAL's append+fsync pair is fused into one linked submission.
+//    Compiled only when <linux/io_uring.h> is available (REACH_HAS_IO_URING,
+//    CMake feature detect) and falls back to `async` at runtime when the
+//    kernel refuses io_uring_setup, so `backend=uring` is always safe to
+//    request.
+//
+// Backends are stateless with respect to files — every call takes the fd —
+// so one instance can serve a data file or a WAL. Callers own request
+// buffers and run descriptors for the duration of the call; all entry
+// points are blocking (submission + completion) and thread-safe.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace reach {
+
+enum class DiskBackendKind {
+  kDefault,  // defer to REACH_STORAGE, else posix
+  kPosix,
+  kAsync,
+  kUring,
+};
+
+/// Backend selection knobs parsed from the same REACH_STORAGE grammar as
+/// BufferPoolOptions (`backend=posix|async|uring`, entries separated by ','
+/// or ';'); unknown entries are ignored so the two parsers coexist.
+struct DiskBackendOptions {
+  DiskBackendKind kind = DiskBackendKind::kDefault;
+  /// Worker threads for the async backend (0 = auto: min(4, cores)).
+  size_t io_threads = 0;
+
+  static DiskBackendOptions FromEnv();
+  static DiskBackendOptions Parse(const char* spec);
+};
+
+/// One page-granular read: fill `buf` (kPageSize bytes) from `page`.
+struct PageReadRequest {
+  PageId page = kInvalidPageId;
+  char* buf = nullptr;
+};
+
+/// A maximal run of contiguous dirty pages, pre-sorted by the caller
+/// (DiskManager::WritePages): `iov[i]` is the in-memory image of page
+/// `first_page + i`. Coalescing-aware backends write the run with a single
+/// pwritev-style submission; the posix backend writes page by page.
+struct PageWriteRun {
+  PageId first_page = kInvalidPageId;
+  std::vector<iovec> iov;
+};
+
+class DiskBackend {
+ public:
+  virtual ~DiskBackend() = default;
+
+  /// Stable identifier ("posix", "async", "uring") — surfaced in tests and
+  /// fallback diagnostics.
+  virtual const char* name() const = 0;
+
+  /// Execute every read in `batch`. Blocking; returns the first error (the
+  /// rest of the batch may or may not have completed on failure).
+  virtual Status ReadPages(int fd, const std::vector<PageReadRequest>& batch) = 0;
+
+  /// Execute every coalesced run in `runs`. Blocking; first error wins.
+  virtual Status WriteRuns(int fd, const std::vector<PageWriteRun>& runs) = 0;
+
+  /// Append `data` at the file's current end (fd opened O_APPEND) and make
+  /// it durable — the WAL flusher's write+fsync pair. The uring backend
+  /// fuses the two into one linked submission; others write then fsync.
+  /// An empty `data` degenerates to a bare fsync.
+  virtual Status AppendSync(int fd, const char* data, size_t len);
+
+  /// True when AppendSync is a single fused submission rather than separate
+  /// write and fsync syscalls. The WAL only routes through AppendSync when
+  /// fault injection is idle, because the fused form has no window for the
+  /// wal.flush.{write,fsync} points (see Wal::WriteAndSync).
+  virtual bool fused_append() const { return false; }
+
+  /// Construct a backend of `kind` (kDefault resolves via REACH_STORAGE).
+  /// `backend=uring` silently yields the async backend when io_uring is
+  /// compiled out or rejected by the kernel — CI always exercises the async
+  /// completion path even where io_uring is unavailable.
+  static std::unique_ptr<DiskBackend> Create(
+      DiskBackendKind kind = DiskBackendKind::kDefault);
+
+  /// Resolve kDefault against REACH_STORAGE; never returns kDefault.
+  static DiskBackendKind Resolve(DiskBackendKind kind);
+};
+
+/// Sort `batch` by page id and group it into maximal contiguous runs, each
+/// capped at `max_run_pages` (pwritev's IOV_MAX ceiling). Exposed for unit
+/// tests; DiskManager::WritePages is the production caller.
+std::vector<PageWriteRun> BuildWriteRuns(
+    std::vector<std::pair<PageId, const char*>> batch,
+    size_t max_run_pages = 256);
+
+/// io_uring availability at this build/runtime (false when compiled without
+/// REACH_HAS_IO_URING or when io_uring_setup fails, e.g. under seccomp).
+bool UringBackendAvailable();
+
+#if REACH_HAS_IO_URING
+/// Factory for the raw-syscall io_uring backend (uring_backend.cc); returns
+/// nullptr when the kernel rejects ring setup.
+std::unique_ptr<DiskBackend> CreateUringBackend();
+#endif
+
+}  // namespace reach

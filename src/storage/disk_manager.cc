@@ -4,19 +4,51 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "testing/fault_points.h"
 #include "testing/fault_registry.h"
 
 namespace reach {
 
+namespace {
+
+struct DiskMetrics {
+  obs::Histogram* batch_pages;
+  obs::Histogram* coalesced_runs;
+  obs::Gauge* submit_depth;
+  obs::Histogram* complete_ns;
+
+  static DiskMetrics& Instance() {
+    static DiskMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+      return DiskMetrics{reg.histogram(obs::kDiskBatchPages),
+                         reg.histogram(obs::kDiskCoalescedRuns),
+                         reg.gauge(obs::kDiskSubmitDepth),
+                         reg.histogram(obs::kDiskCompleteNs)};
+    }();
+    return metrics;
+  }
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 DiskManager::~DiskManager() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::unique_ptr<DiskManager>> DiskManager::Open(
-    const std::string& path) {
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path,
+                                                       DiskBackendKind kind) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IoError("open " + path + ": " + std::strerror(errno));
@@ -31,17 +63,15 @@ Result<std::unique_ptr<DiskManager>> DiskManager::Open(
     return Status::Corruption(path + ": size not a multiple of page size");
   }
   auto pages = static_cast<PageId>(size / static_cast<off_t>(kPageSize));
-  return std::unique_ptr<DiskManager>(new DiskManager(path, fd, pages));
+  return std::unique_ptr<DiskManager>(
+      new DiskManager(path, fd, pages, DiskBackend::Create(kind)));
 }
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
   REACH_FAULT_POINT(faults::kDiskReadPage);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (page_id >= num_pages_) {
-      return Status::OutOfRange("read past end: page " +
-                                std::to_string(page_id));
-    }
+  if (page_id >= num_pages()) {
+    return Status::OutOfRange("read past end: page " +
+                              std::to_string(page_id));
   }
   ssize_t n = ::pread(fd_, out, kPageSize,
                       static_cast<off_t>(page_id) * kPageSize);
@@ -53,12 +83,9 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
 
 Status DiskManager::WritePage(PageId page_id, const char* data) {
   REACH_FAULT_POINT(faults::kDiskWritePage);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (page_id >= num_pages_) {
-      return Status::OutOfRange("write past end: page " +
-                                std::to_string(page_id));
-    }
+  if (page_id >= num_pages()) {
+    return Status::OutOfRange("write past end: page " +
+                              std::to_string(page_id));
   }
   ssize_t n = ::pwrite(fd_, data, kPageSize,
                        static_cast<off_t>(page_id) * kPageSize);
@@ -68,17 +95,66 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
   return Status::OK();
 }
 
+Status DiskManager::ReadPages(const std::vector<PageReadRequest>& batch) {
+  // submit/complete fire unconditionally — even for empty batches — so every
+  // readahead pass crosses both points regardless of backend or pool state.
+  REACH_FAULT_POINT(faults::kDiskBackendSubmit);
+  Status st;
+  if (!batch.empty()) {
+    const PageId limit = num_pages();
+    for (const PageReadRequest& req : batch) {
+      if (req.page >= limit) {
+        return Status::OutOfRange("read past end: page " +
+                                  std::to_string(req.page));
+      }
+    }
+    DiskMetrics& metrics = DiskMetrics::Instance();
+    metrics.batch_pages->Record(batch.size());
+    metrics.submit_depth->Set(static_cast<int64_t>(batch.size()));
+    const uint64_t start = NowNs();
+    st = backend_->ReadPages(fd_, batch);
+    metrics.complete_ns->Record(NowNs() - start);
+  }
+  REACH_FAULT_POINT(faults::kDiskBackendComplete);
+  return st;
+}
+
+Status DiskManager::WritePages(
+    std::vector<std::pair<PageId, const char*>> batch) {
+  REACH_FAULT_POINT(faults::kDiskBackendSubmit);
+  Status st;
+  if (!batch.empty()) {
+    const PageId limit = num_pages();
+    for (const auto& [page, data] : batch) {
+      if (page >= limit) {
+        return Status::OutOfRange("write past end: page " +
+                                  std::to_string(page));
+      }
+    }
+    DiskMetrics& metrics = DiskMetrics::Instance();
+    metrics.batch_pages->Record(batch.size());
+    metrics.submit_depth->Set(static_cast<int64_t>(batch.size()));
+    std::vector<PageWriteRun> runs = BuildWriteRuns(std::move(batch));
+    metrics.coalesced_runs->Record(runs.size());
+    const uint64_t start = NowNs();
+    st = backend_->WriteRuns(fd_, runs);
+    metrics.complete_ns->Record(NowNs() - start);
+  }
+  REACH_FAULT_POINT(faults::kDiskBackendComplete);
+  return st;
+}
+
 Result<PageId> DiskManager::AllocatePage() {
   REACH_FAULT_POINT(faults::kDiskAllocatePage);
-  std::lock_guard<std::mutex> lock(mu_);
-  PageId id = num_pages_;
+  std::lock_guard<std::mutex> lock(extend_mu_);
+  PageId id = num_pages_.load(std::memory_order_relaxed);
   char zeros[kPageSize] = {};
   ssize_t n =
       ::pwrite(fd_, zeros, kPageSize, static_cast<off_t>(id) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError("extend to page " + std::to_string(id));
   }
-  ++num_pages_;
+  num_pages_.store(id + 1, std::memory_order_release);
   return id;
 }
 

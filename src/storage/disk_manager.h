@@ -1,14 +1,22 @@
 // Page-granular file I/O. One database = one data file + one WAL file,
-// managed by DiskManager and Wal respectively.
+// managed by DiskManager and Wal respectively. Single-page ReadPage/
+// WritePage run synchronously on the calling thread; the batched
+// ReadPages/WritePages entry points route through a pluggable DiskBackend
+// (REACH_STORAGE=backend={posix,async,uring}) that can overlap or coalesce
+// the members of a batch.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "storage/disk_backend.h"
 #include "storage/page.h"
 
 namespace reach {
@@ -17,11 +25,26 @@ class DiskManager {
  public:
   ~DiskManager();
 
-  /// Open (creating if necessary) the data file at `path`.
-  static Result<std::unique_ptr<DiskManager>> Open(const std::string& path);
+  /// Open (creating if necessary) the data file at `path`. `kind` selects
+  /// the batched-I/O backend (kDefault: REACH_STORAGE, else posix).
+  static Result<std::unique_ptr<DiskManager>> Open(
+      const std::string& path,
+      DiskBackendKind kind = DiskBackendKind::kDefault);
 
   Status ReadPage(PageId page_id, char* out);
   Status WritePage(PageId page_id, const char* data);
+
+  /// Read every page in `batch` through the backend (readahead for
+  /// ObjectStore::ScanAll). Blocking until all members complete; first
+  /// error wins. Fires disk.backend.{submit,complete} even when empty.
+  Status ReadPages(const std::vector<PageReadRequest>& batch);
+
+  /// Write every (page, frame-image) pair in `batch` through the backend
+  /// (BufferPool::FlushAll / checkpoint). Pages are sorted and contiguous
+  /// neighbours coalesced into pwritev-style runs before submission; the
+  /// posix backend degenerates to the historical per-page pwrite loop.
+  /// Buffers must stay valid for the duration of the call.
+  Status WritePages(std::vector<std::pair<PageId, const char*>> batch);
 
   /// Extend the file by one page and return its id.
   Result<PageId> AllocatePage();
@@ -30,20 +53,28 @@ class DiskManager {
   Status Sync();
 
   PageId num_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return num_pages_;
+    return num_pages_.load(std::memory_order_acquire);
   }
 
   const std::string& path() const { return path_; }
 
+  /// The batched-I/O backend in use ("posix", "async", "uring") — uring
+  /// configs report what the fallback actually resolved to.
+  const char* backend_name() const { return backend_->name(); }
+
  private:
-  DiskManager(std::string path, int fd, PageId num_pages)
-      : path_(std::move(path)), fd_(fd), num_pages_(num_pages) {}
+  DiskManager(std::string path, int fd, PageId num_pages,
+              std::unique_ptr<DiskBackend> backend)
+      : path_(std::move(path)),
+        fd_(fd),
+        num_pages_(num_pages),
+        backend_(std::move(backend)) {}
 
   std::string path_;
   int fd_ = -1;
-  mutable std::mutex mu_;
-  PageId num_pages_ = 0;
+  std::mutex extend_mu_;  // serializes AllocatePage file extension
+  std::atomic<PageId> num_pages_{0};
+  std::unique_ptr<DiskBackend> backend_;
 };
 
 }  // namespace reach

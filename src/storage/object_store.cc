@@ -62,17 +62,25 @@ Status ObjectStore::Bootstrap() {
     std::lock_guard<std::mutex> slock(stripe->mu);
     stripe->free_space.clear();
   }
-  // The disk manager knows how many pages exist; scan the data range.
-  for (PageId p = first_data_page_;; ++p) {
-    auto page = pool_->FetchPage(p);
-    if (!page.ok()) {
-      if (page.status().IsOutOfRange()) break;  // past end of file
-      return page.status();
-    }
-    PageGuard guard(pool_, page.value());
-    SlottedPage sp(page.value());
-    if (sp.IsInitialized()) {
-      NoteFreeSpace(p, sp);
+  // The disk manager knows how many pages exist; scan the data range in
+  // readahead-sized chunks so the cold pass goes down as batched backend
+  // submissions instead of one synchronous read per page.
+  const PageId end = pool_->disk_pages();
+  for (PageId base = first_data_page_; base < end;
+       base += kScanReadAheadPages) {
+    const PageId stop =
+        std::min<PageId>(end, base + kScanReadAheadPages);
+    std::vector<PageId> chunk;
+    chunk.reserve(stop - base);
+    for (PageId q = base; q < stop; ++q) chunk.push_back(q);
+    REACH_RETURN_IF_ERROR(pool_->ReadAhead(chunk));
+    for (PageId p = base; p < stop; ++p) {
+      REACH_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(p));
+      PageGuard guard(pool_, page);
+      SlottedPage sp(page);
+      if (sp.IsInitialized()) {
+        NoteFreeSpace(p, sp);
+      }
     }
   }
   return Status::OK();
@@ -130,11 +138,22 @@ Result<Oid> ObjectStore::InsertCell(TxnId txn, std::string_view payload,
   }
   REACH_ASSIGN_OR_RETURN(PageId page_id,
                          PageWithSpace(payload.size() + kMinCellSlack));
+  return InsertCellAt(txn, page_id, payload, flag);
+}
+
+Result<Oid> ObjectStore::InsertCellAt(TxnId txn, PageId page_id,
+                                      std::string_view payload,
+                                      SlotFlag flag) {
   REACH_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   PageGuard guard(pool_, page);
   SlottedPage sp(page);
   auto slot = sp.Insert(payload.data(), payload.size(), flag);
-  if (!slot.ok()) return slot.status();
+  if (!slot.ok()) {
+    // A concurrent fast-path insert may have consumed the space this page
+    // advertised; refresh the entry so a retry picks elsewhere.
+    if (slot.status().IsOutOfRange()) NoteFreeSpace(page_id, sp);
+    return slot.status();
+  }
   guard.MarkDirty();
   REACH_ASSIGN_OR_RETURN(uint16_t gen, sp.Generation(slot.value()));
 
@@ -205,6 +224,12 @@ Status ObjectStore::ReadCell(const Oid& oid, std::string* payload,
     return Status::NotFound("dangling oid " + oid.ToString());
   }
   return sp.Read(oid.slot, payload, flag);
+}
+
+Status ObjectStore::ReadCellShared(const Oid& oid, std::string* payload,
+                                   SlotFlag* flag) {
+  std::shared_lock<std::shared_mutex> plock(PageLockFor(oid.page));
+  return ReadCell(oid, payload, flag);
 }
 
 Result<std::string> ObjectStore::BuildBody(TxnId txn, std::string_view bytes) {
@@ -285,7 +310,8 @@ Result<std::string> ObjectStore::AssembleBody(const std::string& head_payload) {
   while (next.valid()) {
     std::string seg;
     SlotFlag flag;
-    REACH_RETURN_IF_ERROR(ReadCell(next, &seg, &flag));
+    // Reader path (only Read calls this): take each segment's page stripe.
+    REACH_RETURN_IF_ERROR(ReadCellShared(next, &seg, &flag));
     if (seg.empty() || seg[0] != kCont) {
       return Status::Corruption("broken segment chain at " + next.ToString());
     }
@@ -300,6 +326,25 @@ Result<std::string> ObjectStore::AssembleBody(const std::string& head_payload) {
 }
 
 Result<Oid> ObjectStore::Insert(TxnId txn, std::string_view bytes) {
+  if (bytes.size() + 1 <= kMaxCellBytes) {
+    // Single-page fast path: an unsegmented object touches exactly one data
+    // page, so a shared op lock plus that page's stripe suffices — readers
+    // and inserts on other pages keep flowing. The space a page advertises
+    // can be stolen between choosing it and locking it, hence the bounded
+    // retry; persistent contention falls through to the exclusive path.
+    std::shared_lock<std::shared_mutex> lock(op_mu_);
+    std::string payload;
+    payload.reserve(bytes.size() + 1);
+    payload.push_back(kWhole);
+    payload.append(bytes.data(), bytes.size());
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      REACH_ASSIGN_OR_RETURN(PageId page_id,
+                             PageWithSpace(payload.size() + kMinCellSlack));
+      std::unique_lock<std::shared_mutex> plock(PageLockFor(page_id));
+      auto oid = InsertCellAt(txn, page_id, payload, SlotFlag::kLive);
+      if (oid.ok() || !oid.status().IsOutOfRange()) return oid;
+    }
+  }
   std::unique_lock<std::shared_mutex> lock(op_mu_);
   REACH_ASSIGN_OR_RETURN(std::string head, BuildBody(txn, bytes));
   return InsertCell(txn, head, SlotFlag::kLive);
@@ -309,10 +354,10 @@ Result<std::string> ObjectStore::Read(const Oid& oid) {
   std::shared_lock<std::shared_mutex> lock(op_mu_);
   std::string payload;
   SlotFlag flag;
-  REACH_RETURN_IF_ERROR(ReadCell(oid, &payload, &flag));
+  REACH_RETURN_IF_ERROR(ReadCellShared(oid, &payload, &flag));
   if (flag == SlotFlag::kForward) {
     Oid body = SlottedPage::DecodeOid(payload.data());
-    REACH_RETURN_IF_ERROR(ReadCell(body, &payload, &flag));
+    REACH_RETURN_IF_ERROR(ReadCellShared(body, &payload, &flag));
     if (flag != SlotFlag::kMoved) {
       return Status::Corruption("forward target is not a moved body");
     }
@@ -323,6 +368,27 @@ Result<std::string> ObjectStore::Read(const Oid& oid) {
 }
 
 Status ObjectStore::Update(TxnId txn, const Oid& oid, std::string_view bytes) {
+  if (bytes.size() + 1 <= kMaxCellBytes) {
+    // Single-page fast path: a whole-object home cell updated in place
+    // touches only oid.page. Forwarded, segmented, or no-longer-fitting
+    // objects drop through to the exclusive multi-page path, which re-reads
+    // from scratch (the optimistic check is advisory only).
+    std::shared_lock<std::shared_mutex> lock(op_mu_);
+    std::unique_lock<std::shared_mutex> plock(PageLockFor(oid.page));
+    std::string home_payload;
+    SlotFlag home_flag;
+    REACH_RETURN_IF_ERROR(ReadCell(oid, &home_payload, &home_flag));
+    if (home_flag == SlotFlag::kLive && !home_payload.empty() &&
+        home_payload[0] == kWhole) {
+      std::string head;
+      head.reserve(bytes.size() + 1);
+      head.push_back(kWhole);
+      head.append(bytes.data(), bytes.size());
+      Status st = UpdateCellInPlace(txn, oid, head, SlotFlag::kLive);
+      if (st.ok() || !st.IsOutOfRange()) return st;
+      // Doesn't fit in place any more: relocation is multi-page.
+    }
+  }
   std::unique_lock<std::shared_mutex> lock(op_mu_);
   std::string home_payload;
   SlotFlag home_flag;
@@ -363,6 +429,22 @@ Status ObjectStore::Update(TxnId txn, const Oid& oid, std::string_view bytes) {
 }
 
 Status ObjectStore::Delete(TxnId txn, const Oid& oid) {
+  {
+    // Single-page fast path: deleting an unsegmented, unforwarded object
+    // frees exactly one cell on oid.page.
+    std::shared_lock<std::shared_mutex> lock(op_mu_);
+    std::unique_lock<std::shared_mutex> plock(PageLockFor(oid.page));
+    std::string payload;
+    SlotFlag flag;
+    REACH_RETURN_IF_ERROR(ReadCell(oid, &payload, &flag));
+    if (flag == SlotFlag::kLive && !payload.empty() && payload[0] == kWhole) {
+      return DeleteCell(txn, oid);
+    }
+    if (flag != SlotFlag::kLive && flag != SlotFlag::kForward) {
+      return Status::NotFound("oid does not name an object home");
+    }
+    // Forwarded or segmented: multi-page, exclusive path below.
+  }
   std::unique_lock<std::shared_mutex> lock(op_mu_);
   std::string payload;
   SlotFlag flag;
@@ -386,7 +468,7 @@ bool ObjectStore::Exists(const Oid& oid) {
   std::shared_lock<std::shared_mutex> lock(op_mu_);
   std::string payload;
   SlotFlag flag;
-  Status st = ReadCell(oid, &payload, &flag);
+  Status st = ReadCellShared(oid, &payload, &flag);
   return st.ok() && (flag == SlotFlag::kLive || flag == SlotFlag::kForward);
 }
 
@@ -403,7 +485,17 @@ Result<std::vector<Oid>> ObjectStore::ScanAll() {
   }
   std::sort(pages.begin(), pages.end());
   std::vector<Oid> out;
-  for (PageId page_id : pages) {
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (i % kScanReadAheadPages == 0) {
+      // Warm the next window in one batched backend submission; a cold scan
+      // becomes ~N/32 submissions instead of N synchronous reads.
+      std::vector<PageId> window(
+          pages.begin() + i,
+          pages.begin() + std::min(pages.size(), i + kScanReadAheadPages));
+      REACH_RETURN_IF_ERROR(pool_->ReadAhead(window));
+    }
+    const PageId page_id = pages[i];
+    std::shared_lock<std::shared_mutex> plock(PageLockFor(page_id));
     REACH_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
     PageGuard guard(pool_, page);
     SlottedPage sp(page);

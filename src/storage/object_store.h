@@ -8,11 +8,17 @@
 //  * Every cell mutation is logged to the WAL as a physical before/after
 //    image, making redo and undo idempotent.
 //
-// Concurrency: readers (Read/Exists/ScanAll) hold a shared operation lock,
-// so lookups of distinct objects proceed in parallel and only contend on
-// the buffer pool shard of their home page. Mutations hold the lock
-// exclusively. The free-space map is striped by `page % N` (N = buffer
-// pool shard count) so bulk passes touch independent cache lines.
+// Concurrency: two-tier locking. Readers (Read/Exists/ScanAll) hold the
+// operation lock shared plus, one page at a time, a striped per-page lock
+// shared, so lookups of distinct objects proceed in parallel. Single-page
+// mutations (unsegmented insert, in-place whole-object update, whole-object
+// delete) also hold the operation lock shared and take only their page's
+// stripe exclusively — readers of *other* pages keep flowing during the
+// write. Multi-page mutations (relocation, forwarding, segment chains,
+// recovery applies) fall back to the operation lock exclusive. No path ever
+// holds two page stripes at once, so the stripes cannot deadlock. The
+// free-space map is striped separately by `page % N` (N = buffer pool shard
+// count); page stripes are always taken before free-space stripes.
 #pragma once
 
 #include <functional>
@@ -113,6 +119,11 @@ class ObjectStore {
   /// Insert one raw cell; logs the mutation; returns its OID.
   Result<Oid> InsertCell(TxnId txn, std::string_view payload, SlotFlag flag);
 
+  /// Insert one raw cell on exactly `page_id`; OutOfRange if it no longer
+  /// fits there (the free-space entry is refreshed so retries move on).
+  Result<Oid> InsertCellAt(TxnId txn, PageId page_id, std::string_view payload,
+                           SlotFlag flag);
+
   /// Delete one raw cell (logs it).
   Status DeleteCell(TxnId txn, const Oid& oid);
 
@@ -122,7 +133,13 @@ class ObjectStore {
                            std::string_view payload, SlotFlag new_flag);
 
   /// Read the raw cell payload + flag at exactly `oid` (no forwarding).
+  /// Takes no page stripe — for callers already excluding writers (op_mu_
+  /// exclusive, or the oid's stripe held).
   Status ReadCell(const Oid& oid, std::string* payload, SlotFlag* flag);
+
+  /// ReadCell under the oid's page stripe (shared) — the reader-path
+  /// variant, safe against concurrent single-page writers.
+  Status ReadCellShared(const Oid& oid, std::string* payload, SlotFlag* flag);
 
   /// Encode `bytes` into a head payload, inserting continuation segments as
   /// needed (tail first). Returns the head cell payload.
@@ -156,13 +173,27 @@ class ObjectStore {
     return *stripes_[page % stripes_.size()];
   }
 
+  /// Striped per-page lock (see the concurrency note above). Distinct from
+  /// the free-space stripes: these order page *content* access, those guard
+  /// the free-space map.
+  static constexpr size_t kPageLockStripes = 64;
+  std::shared_mutex& PageLockFor(PageId page) {
+    return page_locks_[page % kPageLockStripes];
+  }
+
+  /// Pages worth of readahead per batched pool submission in ScanAll /
+  /// Bootstrap.
+  static constexpr size_t kScanReadAheadPages = 32;
+
   BufferPool* pool_;
   Wal* wal_;
   PageId first_data_page_;
-  // Readers shared, writers exclusive: concurrent Reads of distinct
-  // objects never block each other, and mutations (which may relocate
-  // cells and rewrite the free-space map) run alone.
+  // Tier one: readers and single-page writers shared, multi-page writers
+  // exclusive (see the concurrency note at the top).
   std::shared_mutex op_mu_;
+  // Tier two: per-page striped locks ordering page-content access among
+  // op_mu_ shared holders.
+  std::shared_mutex page_locks_[kPageLockStripes];
   std::vector<std::unique_ptr<Stripe>> stripes_;
   MutationListener mutation_listener_;
 };

@@ -21,6 +21,7 @@ class Page {
     page_id_ = kInvalidPageId;
     pin_count_ = 0;
     dirty_ = false;
+    io_pending_ = false;
   }
 
   char* data() { return data_; }
@@ -38,11 +39,18 @@ class Page {
   bool dirty() const { return dirty_; }
   void set_dirty(bool dirty) { dirty_ = dirty; }
 
+  /// A batched backend read is filling this frame (BufferPool::ReadAhead);
+  /// FetchPage must wait for the fill before handing the page out. Guarded
+  /// by the owning shard's mutex, like every other frame field.
+  bool io_pending() const { return io_pending_; }
+  void set_io_pending(bool pending) { io_pending_ = pending; }
+
  private:
   char data_[kPageSize];
   PageId page_id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool dirty_ = false;
+  bool io_pending_ = false;
 };
 
 }  // namespace reach

@@ -10,8 +10,10 @@ namespace reach {
 Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     const std::string& base_path, const StorageOptions& options) {
   auto sm = std::unique_ptr<StorageManager>(new StorageManager());
-  REACH_ASSIGN_OR_RETURN(sm->disk_, DiskManager::Open(base_path + ".db"));
-  REACH_ASSIGN_OR_RETURN(sm->wal_, Wal::Open(base_path + ".wal", options.wal));
+  REACH_ASSIGN_OR_RETURN(
+      sm->disk_, DiskManager::Open(base_path + ".db", options.disk_backend));
+  REACH_ASSIGN_OR_RETURN(sm->wal_, Wal::Open(base_path + ".wal", options.wal,
+                                             options.disk_backend));
   sm->pool_ = std::make_unique<BufferPool>(
       sm->disk_.get(), options.buffer_pool_pages, options.bufferpool_shards);
   Wal* wal = sm->wal_.get();

@@ -21,6 +21,9 @@ struct StorageOptions {
   /// Buffer pool shard count; 0 defers to REACH_STORAGE / the auto default
   /// (nearest power of two to the hardware concurrency).
   size_t bufferpool_shards = 0;
+  /// Batched disk I/O backend for the data file and the WAL; kDefault
+  /// defers to REACH_STORAGE (`backend={posix,async,uring}`), else posix.
+  DiskBackendKind disk_backend = DiskBackendKind::kDefault;
   WalOptions wal = WalOptions::FromEnv();
 };
 

@@ -145,12 +145,14 @@ Wal::~Wal() {
 }
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
-                                       const WalOptions& options) {
+                                       const WalOptions& options,
+                                       DiskBackendKind backend) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd < 0) {
     return Status::IoError("open " + path + ": " + std::strerror(errno));
   }
-  auto wal = std::unique_ptr<Wal>(new Wal(path, fd, options));
+  auto wal = std::unique_ptr<Wal>(
+      new Wal(path, fd, options, DiskBackend::Create(backend)));
   // Restore next_lsn from the existing log tail; everything already in the
   // file is durable as far as this process can know.
   std::vector<WalRecord> records;
@@ -239,6 +241,24 @@ Result<Lsn> Wal::Append(WalRecord record) {
 }
 
 Status Wal::WriteAndSync(const std::string& data, bool* wrote) {
+  if (backend_->fused_append() && !FaultRegistry::enabled()) {
+    // One linked append+fsync submission (io_uring backend): half the
+    // syscalls per group-commit batch. Skipped whenever fault injection is
+    // armed — the fused form has no window for the wal.flush.{write,fsync}
+    // points, and every crash/failure test depends on them. On failure the
+    // batch is conservatively requeued (*wrote = false); should the write
+    // half actually have landed, replay of the duplicate records is
+    // idempotent (physical images + conditional redo).
+    Status st = backend_->AppendSync(fd_, data.data(), data.size());
+    *wrote = st.ok();
+    if (st.ok()) {
+      if (!data.empty()) {
+        WalMetrics::Get().flushed_bytes->Inc(data.size());
+      }
+      WalMetrics::Get().fsyncs->Inc();
+    }
+    return st;
+  }
   *wrote = data.empty();
   if (!data.empty()) {
     // Crash here: the buffered records are lost entirely.

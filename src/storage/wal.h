@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "storage/disk_backend.h"
 
 namespace reach {
 
@@ -102,9 +103,12 @@ class Wal {
   ~Wal();
 
   /// Open (creating if necessary) the log file at `path`. Starts the
-  /// flusher thread when options.group_commit is set.
+  /// flusher thread when options.group_commit is set. `backend` selects the
+  /// disk backend used for fused append+fsync submissions (see
+  /// WriteAndSync); kDefault defers to REACH_STORAGE.
   static Result<std::unique_ptr<Wal>> Open(
-      const std::string& path, const WalOptions& options = WalOptions::FromEnv());
+      const std::string& path, const WalOptions& options = WalOptions::FromEnv(),
+      DiskBackendKind backend = DiskBackendKind::kDefault);
 
   /// Append a record; assigns and returns its LSN. Buffered until flushed.
   Result<Lsn> Append(WalRecord record);
@@ -158,9 +162,17 @@ class Wal {
                : options_.max_batch_delay_us;
   }
 
+  /// The disk backend's name ("posix", "async", "uring") — what fused
+  /// appends actually route through after fallback resolution.
+  const char* backend_name() const { return backend_->name(); }
+
  private:
-  Wal(std::string path, int fd, WalOptions options)
-      : path_(std::move(path)), fd_(fd), options_(options) {}
+  Wal(std::string path, int fd, WalOptions options,
+      std::unique_ptr<DiskBackend> backend)
+      : path_(std::move(path)),
+        fd_(fd),
+        options_(options),
+        backend_(std::move(backend)) {}
 
   static void EncodeRecord(const WalRecord& rec, std::string* out);
   static bool DecodeRecord(const char* data, size_t len, size_t* consumed,
@@ -183,6 +195,11 @@ class Wal {
   std::string path_;
   int fd_;
   WalOptions options_;
+  /// Disk backend for the flush path. Only consulted when it offers a fused
+  /// append (io_uring linked write+fsync) and fault injection is idle;
+  /// otherwise WriteAndSync keeps the classic write-then-fsync sequence with
+  /// its wal.flush.{write,fsync} fault points.
+  std::unique_ptr<DiskBackend> backend_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;     // committers -> flusher
   std::condition_variable durable_cv_;  // flusher -> committers

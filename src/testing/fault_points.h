@@ -15,6 +15,12 @@ inline constexpr const char* kDiskReadPage = "disk.read_page";
 inline constexpr const char* kDiskWritePage = "disk.write_page";
 inline constexpr const char* kDiskAllocatePage = "disk.allocate_page";
 inline constexpr const char* kDiskSync = "disk.sync";
+/// Batched backend path (DiskManager::ReadPages/WritePages): `submit` fires
+/// before the batch is handed to the DiskBackend, `complete` after its
+/// completions are reaped — both fire even for empty batches, so every
+/// checkpoint/readahead crosses them regardless of backend.
+inline constexpr const char* kDiskBackendSubmit = "disk.backend.submit";
+inline constexpr const char* kDiskBackendComplete = "disk.backend.complete";
 
 // -- Wal -------------------------------------------------------------------
 inline constexpr const char* kWalAppend = "wal.append";
@@ -58,6 +64,7 @@ inline constexpr const char* kRuleDetachedExec = "rule.detached.exec";
 
 inline constexpr const char* kAll[] = {
     kDiskReadPage,    kDiskWritePage,     kDiskAllocatePage, kDiskSync,
+    kDiskBackendSubmit, kDiskBackendComplete,
     kWalAppend,       kWalFlushWrite,     kWalFlushFsync,    kWalTruncate,
     kWalFlusherBatch,
     kEventHistoryAppend, kEventHistoryCheckpoint, kEventHistoryReplay,
