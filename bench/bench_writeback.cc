@@ -1,0 +1,128 @@
+// Background writeback — the acceptance benchmark for the non-blocking
+// buffer pool (docs/STORAGE.md "Background writeback"): N threads run a
+// mixed update/read workload whose working set is ~4x the frame budget, so
+// every miss must evict and almost every frame is dirty. With the cleaner
+// off (writeback:0) each eviction pays the historical synchronous log
+// force + page write under the shard mutex; with it on (writeback:1) the
+// writeback thread batches those writes out of band and evictions find
+// clean victims.
+//
+// CI gates the writeback:1 / writeback:0 wall-clock ratio at 4 threads via
+// RATIO_PAIRS in scripts/bench_compare.py: absolute times track disk and
+// machine speed, but the cleaner losing its edge over synchronous eviction
+// writes is a property of the code. `sync_fallbacks` should print ~0 for
+// writeback:1 runs (a large value means the thread can't keep up and the
+// numbers converge toward writeback:0).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/storage_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace reach {
+namespace {
+
+constexpr size_t kPoolPages = 64;
+constexpr int kObjects = 1024;  // ~900B payloads: ~4 pages of pool per 16
+
+std::string ScratchBase(const std::string& tag) {
+  const char* dir = std::getenv("REACH_BENCH_DIR");
+  std::filesystem::path base =
+      std::filesystem::path(dir != nullptr ? dir : ".") /
+      "bench_writeback_scratch";
+  std::filesystem::create_directories(base);
+  std::string path = (base / tag).string();
+  std::filesystem::remove(path + ".db");
+  std::filesystem::remove(path + ".wal");
+  return path;
+}
+
+// Shared across the benchmark's threads; thread 0 owns setup/teardown and
+// the google-benchmark start barrier keeps the others out until it's done.
+struct SharedDb {
+  std::unique_ptr<StorageManager> sm;
+  std::vector<Oid> oids;
+};
+SharedDb g_db;
+
+void BM_DirtyPoolRead(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    StorageOptions opts;
+    opts.buffer_pool_pages = kPoolPages;
+    opts.writeback = static_cast<int>(state.range(0));
+    opts.writeback_watermark = 30;
+    auto sm = StorageManager::Open(
+        ScratchBase("wb" + std::to_string(state.range(0)) + "_t" +
+                    std::to_string(state.threads())),
+        opts);
+    if (!sm.ok()) std::abort();
+    g_db.sm = std::move(*sm);
+    TransactionManager tm(g_db.sm.get());
+    auto txn = tm.Begin();
+    if (!txn.ok()) std::abort();
+    std::string payload(900, 'd');
+    g_db.oids.clear();
+    for (int i = 0; i < kObjects; ++i) {
+      auto oid = g_db.sm->objects()->Insert(*txn, payload);
+      if (!oid.ok()) std::abort();
+      g_db.oids.push_back(*oid);
+    }
+    if (!tm.Commit(*txn).ok()) std::abort();
+  }
+  // One long-lived uncommitted transaction per thread: the loop measures
+  // eviction behaviour, not commit fsyncs. Each thread updates its own
+  // stripe of objects (no logical write conflicts) and reads across the
+  // whole set, so misses constantly evict frames other threads dirtied.
+  // g_db must not be touched before the timing loop: only the loop itself
+  // is behind the start barrier that orders thread 0's setup.
+  const TxnId txn = static_cast<TxnId>(1000 + state.thread_index());
+  const size_t stripe = static_cast<size_t>(kObjects) /
+                        static_cast<size_t>(state.threads());
+  const size_t stripe_base = static_cast<size_t>(state.thread_index()) * stripe;
+  std::string update(900, 'u');
+  size_t i = static_cast<size_t>(state.thread_index()) * 131;
+  bool begun = false;
+  for (auto _ : state) {
+    if (!begun) {
+      if (!g_db.sm->LogBegin(txn).ok()) std::abort();
+      begun = true;
+    }
+    const Oid& mine = g_db.oids[stripe_base + i % stripe];
+    benchmark::DoNotOptimize(g_db.sm->objects()->Update(txn, mine, update));
+    for (int r = 0; r < 3; ++r) {
+      const Oid& oid = g_db.oids[(i * 7 + r * 311) % g_db.oids.size()];
+      benchmark::DoNotOptimize(g_db.sm->objects()->Read(oid));
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+  if (state.thread_index() == 0) {
+    auto stats = g_db.sm->buffer_pool()->writeback_stats();
+    state.counters["wb_pages"] =
+        benchmark::Counter(static_cast<double>(stats.pages));
+    state.counters["sync_fallbacks"] =
+        benchmark::Counter(static_cast<double>(stats.sync_fallbacks));
+    state.counters["dirty_ratio"] =
+        benchmark::Counter(g_db.sm->buffer_pool()->dirty_ratio());
+    g_db.sm.reset();
+  }
+}
+
+BENCHMARK(BM_DirtyPoolRead)
+    ->ArgName("writeback")
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace reach
+
+BENCHMARK_MAIN();

@@ -19,6 +19,7 @@
 //   begin | commit | abort                   manual transaction control
 //   history                                  global event history size
 //   metrics [on|off|reset]                   observability snapshot (JSON)
+//   storage                                  buffer pool / disk backend stats
 //   help | quit
 //
 // Without explicit begin/commit each command runs in its own transaction.
@@ -27,7 +28,11 @@
 #include <sstream>
 
 #include "core/reach/reach_db.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/storage_manager.h"
 
 using namespace reach;
 
@@ -100,7 +105,7 @@ class Shell {
       std::printf(
           "class new bind get set del rule rules events query begin commit "
           "abort history stats trace [on|off|clear] "
-          "metrics [on|off|reset] checkpoint quit\n");
+          "metrics [on|off|reset] storage checkpoint quit\n");
     } else if (cmd == "class") {
       std::string name;
       in >> name;
@@ -284,6 +289,34 @@ class Shell {
         }
         db_->Drain();
         std::printf("%s\n", reg.SnapshotJson().c_str());
+      }
+    } else if (cmd == "storage") {
+      StorageManager* sm = db_->database()->storage();
+      BufferPool* pool = sm->buffer_pool();
+      auto wb = pool->writeback_stats();
+      std::printf("backend          %s\n", sm->disk()->backend_name());
+      std::printf("dirty_ratio      %.3f\n", pool->dirty_ratio());
+      std::printf("writeback        %s (watermark %zu%%)\n",
+                  wb.enabled ? "on" : "off", wb.watermark_pct);
+      std::printf("  pages cleaned  %llu in %llu batches\n",
+                  static_cast<unsigned long long>(wb.pages),
+                  static_cast<unsigned long long>(wb.batches));
+      std::printf("  stall          %.3f ms total\n",
+                  static_cast<double>(wb.stall_ns) / 1e6);
+      std::printf("  sync fallbacks %llu\n",
+                  static_cast<unsigned long long>(wb.sync_fallbacks));
+      auto lock_wait = obs::MetricsRegistry::Instance()
+                           .histogram(obs::kBufShardLockWaitNs)
+                           ->Snapshot();
+      if (lock_wait.count == 0) {
+        std::printf("shard lock wait  (no samples — 'metrics on' to record)\n");
+      } else {
+        std::printf(
+            "shard lock wait  n=%llu mean=%.0fns p99=%lluns max=%lluns\n",
+            static_cast<unsigned long long>(lock_wait.count),
+            lock_wait.Mean(),
+            static_cast<unsigned long long>(lock_wait.ValueAtPercentile(99)),
+            static_cast<unsigned long long>(lock_wait.max));
       }
     } else if (cmd == "checkpoint") {
       Report(db_->Checkpoint());

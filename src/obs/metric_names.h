@@ -40,6 +40,21 @@ inline constexpr const char* kBufShardHitRate =
 /// is near-zero when the shard count matches the core count).
 inline constexpr const char* kBufShardLockWaitNs =
     "storage.bufferpool.shard.lock_wait_ns";
+/// Background writeback (docs/STORAGE.md "Background writeback"): percent
+/// of pool frames currently dirty (gauge), frames cleaned and passes
+/// completed by the writeback thread (counters), cumulative nanoseconds the
+/// writeback passes spent forcing the log and writing batches — I/O time
+/// taken off the foreground eviction path — and dirty evictions that still
+/// had to write synchronously because no clean victim existed.
+inline constexpr const char* kBufDirtyRatio = "storage.bufferpool.dirty_ratio";
+inline constexpr const char* kBufWritebackPages =
+    "storage.bufferpool.writeback.pages";
+inline constexpr const char* kBufWritebackBatches =
+    "storage.bufferpool.writeback.batches";
+inline constexpr const char* kBufWritebackStallNs =
+    "storage.bufferpool.writeback.stall_ns";
+inline constexpr const char* kBufEvictSyncFallback =
+    "storage.bufferpool.evict.sync_fallback";
 /// Batched disk backend (docs/STORAGE.md "Async disk backend"): pages per
 /// batched ReadPages/WritePages call (count histogram), coalesced contiguous
 /// runs per write batch (count histogram), submission depth handed to the

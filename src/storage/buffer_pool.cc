@@ -1,8 +1,12 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -18,7 +22,12 @@ struct PoolMetrics {
   obs::Counter* hits;
   obs::Counter* misses;
   obs::Counter* evict_writebacks;
+  obs::Counter* sync_fallbacks;
+  obs::Counter* wb_pages;
+  obs::Counter* wb_batches;
+  obs::Counter* wb_stall_ns;
   obs::Gauge* hit_rate;
+  obs::Gauge* dirty_ratio;
   obs::Histogram* shard_hit_rate;
   obs::Histogram* lock_wait_ns;
 
@@ -28,13 +37,20 @@ struct PoolMetrics {
       return PoolMetrics{reg.counter(obs::kBufHit),
                          reg.counter(obs::kBufMiss),
                          reg.counter(obs::kBufEvictWriteback),
+                         reg.counter(obs::kBufEvictSyncFallback),
+                         reg.counter(obs::kBufWritebackPages),
+                         reg.counter(obs::kBufWritebackBatches),
+                         reg.counter(obs::kBufWritebackStallNs),
                          reg.gauge(obs::kBufHitRate),
+                         reg.gauge(obs::kBufDirtyRatio),
                          reg.histogram(obs::kBufShardHitRate),
                          reg.histogram(obs::kBufShardLockWaitNs)};
     }();
     return m;
   }
 };
+
+constexpr size_t kNoFrame = ~size_t{0};
 
 }  // namespace
 
@@ -51,6 +67,12 @@ BufferPoolOptions BufferPoolOptions::Parse(const char* spec) {
     }
     if (key == "shards") {
       o.shards = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (key == "writeback") {
+      o.writeback =
+          (value == "on" || value == "1" || value == "true") ? 1 : 0;
+    } else if (key == "writeback_watermark") {
+      o.writeback_watermark = std::strtoull(value.c_str(), nullptr, 0);
+      if (o.writeback_watermark > 100) o.writeback_watermark = 100;
     }
     // Unknown entries are ignored so old binaries tolerate new knobs.
   };
@@ -83,9 +105,29 @@ size_t BufferPoolOptions::ResolveShards(size_t requested) {
   return pow2;
 }
 
+bool BufferPoolOptions::ResolveWriteback(int requested) {
+  if (requested >= 0) return requested != 0;
+  return FromEnv().writeback == 1;
+}
+
+size_t BufferPoolOptions::ResolveWatermark(size_t requested) {
+  size_t pct = requested != 0 ? requested : FromEnv().writeback_watermark;
+  if (pct == 0) pct = kDefaultWatermarkPct;
+  return std::min<size_t>(pct, 100);
+}
+
 BufferPool::BufferPool(DiskManager* disk, size_t pool_size, size_t shards)
+    : BufferPool(disk, pool_size, [shards] {
+        BufferPoolOptions o;
+        o.shards = shards;
+        return o;
+      }()) {}
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size,
+                       const BufferPoolOptions& options)
     : disk_(disk) {
   if (pool_size == 0) pool_size = 1;
+  size_t shards = options.shards;
   if (shards == 0) shards = BufferPoolOptions::FromEnv().shards;
   shards = BufferPoolOptions::ResolveShards(shards);
   // More shards than frames would force the pool to grow past its budget
@@ -103,7 +145,46 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_size, size_t shards)
       shard.frames.push_back(std::make_unique<Page>());
       shard.free_frames.push_back(slice - 1 - i);
     }
+    // Fixed-capacity table at 2x the slice: at least half the buckets stay
+    // empty-or-tombstone, so inserts always terminate and probe chains stay
+    // short; tombstones are reclaimed by a same-size rebuild.
+    size_t cap = 16;
+    while (cap < slice * 2) cap <<= 1;
+    shard.table = std::make_unique<std::atomic<uint64_t>[]>(cap);
+    for (size_t b = 0; b < cap; ++b) {
+      shard.table[b].store(kEmptyBucket, std::memory_order_relaxed);
+    }
+    shard.table_mask = cap - 1;
+    shard.table_empties = cap;
     pool_size_ += slice;
+  }
+  // Hand the frames to the disk backend so io_uring can pre-register them
+  // (READ_FIXED/WRITE_FIXED land page I/O directly in the frames); a no-op
+  // for the posix/async backends.
+  std::vector<char*> frame_bufs;
+  frame_bufs.reserve(pool_size_);
+  for (auto& shard_ptr : shards_) {
+    for (auto& frame : shard_ptr->frames) {
+      frame_bufs.push_back(frame->data());
+    }
+  }
+  disk_->RegisterFrameBuffers(frame_bufs, kPageSize);
+  wb_enabled_ = BufferPoolOptions::ResolveWriteback(options.writeback);
+  wb_watermark_pct_ =
+      BufferPoolOptions::ResolveWatermark(options.writeback_watermark);
+  if (wb_enabled_) {
+    wb_thread_ = std::thread(&BufferPool::WritebackThreadMain, this);
+  }
+}
+
+BufferPool::~BufferPool() {
+  if (wb_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wb_mu_);
+      wb_stop_ = true;
+    }
+    wb_cv_.notify_all();
+    wb_thread_.join();
   }
 }
 
@@ -120,21 +201,119 @@ std::unique_lock<std::mutex> BufferPool::LockShard(Shard& shard) {
 }
 
 void BufferPool::NoteAccess(Shard& shard, bool hit) {
-  shard.window_hits += hit ? 1 : 0;
-  if (++shard.window_accesses == kHitRateWindow) {
-    const uint64_t pct = shard.window_hits * 100 / kHitRateWindow;
+  if (hit) shard.window_hits.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n =
+      shard.window_accesses.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n >= kHitRateWindow) {
+    // A racing access can slip between the exchange and the store; the
+    // window is statistical, so a lost count is fine.
+    const uint64_t wh = shard.window_hits.exchange(0, std::memory_order_relaxed);
+    shard.window_accesses.store(0, std::memory_order_relaxed);
+    const uint64_t pct = std::min<uint64_t>(100, wh * 100 / kHitRateWindow);
     PoolMetrics::Get().hit_rate->Set(static_cast<int64_t>(pct));
     PoolMetrics::Get().shard_hit_rate->Record(pct);
-    shard.window_hits = 0;
-    shard.window_accesses = 0;
   }
   if (hit) {
-    ++shard.hits;
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
     PoolMetrics::Get().hits->Inc();
   } else {
-    ++shard.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     PoolMetrics::Get().misses->Inc();
   }
+}
+
+// -- Page table ---------------------------------------------------------------
+
+uint64_t BufferPool::ProbeTable(const Shard& shard, PageId page_id,
+                                size_t* bucket) const {
+  const size_t mask = shard.table_mask;
+  size_t idx = BucketIndex(page_id, mask);
+  for (size_t n = 0; n <= mask; ++n) {
+    const uint64_t e = shard.table[idx].load(std::memory_order_acquire);
+    if (e == kEmptyBucket) return kEmptyBucket;
+    if (e != kTombstone && EntryPage(e) == page_id) {
+      *bucket = idx;
+      return e;
+    }
+    idx = (idx + 1) & mask;
+  }
+  return kEmptyBucket;
+}
+
+void BufferPool::TableInsert(Shard& shard, PageId page_id, size_t frame) {
+  if (shard.table_empties <= (shard.table_mask + 1) / 4) TableRebuild(shard);
+  const size_t mask = shard.table_mask;
+  size_t idx = BucketIndex(page_id, mask);
+  size_t place = kNoFrame;
+  for (;;) {
+    const uint64_t e = shard.table[idx].load(std::memory_order_relaxed);
+    if (e == kEmptyBucket) {
+      if (place == kNoFrame) {
+        place = idx;
+        --shard.table_empties;
+      }
+      break;
+    }
+    // Reuse the first tombstone on the probe path; the chain up to the
+    // terminating empty bucket stays intact for concurrent readers.
+    if (e == kTombstone && place == kNoFrame) place = idx;
+    idx = (idx + 1) & mask;
+  }
+  shard.table[place].store(PackEntry(page_id, frame),
+                           std::memory_order_release);
+}
+
+void BufferPool::TableErase(Shard& shard, PageId page_id) {
+  size_t bucket;
+  if (ProbeTable(shard, page_id, &bucket) != kEmptyBucket) {
+    // Tombstone, not empty: erasing mid-chain must not cut off entries that
+    // probed past this bucket when they were inserted.
+    shard.table[bucket].store(kTombstone, std::memory_order_release);
+  }
+}
+
+void BufferPool::TableRebuild(Shard& shard) {
+  // Same-capacity rebuild reclaiming tombstones (the frame count bounds the
+  // live entries, so the table never needs to grow). Lock-free readers
+  // racing this can see a transient empty bucket — a false miss that the
+  // mutex path resolves — but never a false hit: an entry is only ever
+  // republished with its unchanged (page, frame) pairing.
+  const size_t cap = shard.table_mask + 1;
+  std::vector<uint64_t> live;
+  live.reserve(shard.frames.size());
+  for (size_t b = 0; b < cap; ++b) {
+    const uint64_t e = shard.table[b].load(std::memory_order_relaxed);
+    if (e != kEmptyBucket && e != kTombstone) live.push_back(e);
+    shard.table[b].store(kEmptyBucket, std::memory_order_release);
+  }
+  shard.table_empties = cap;
+  for (const uint64_t e : live) {
+    size_t idx = BucketIndex(EntryPage(e), shard.table_mask);
+    while (shard.table[idx].load(std::memory_order_relaxed) != kEmptyBucket) {
+      idx = (idx + 1) & shard.table_mask;
+    }
+    shard.table[idx].store(e, std::memory_order_release);
+    --shard.table_empties;
+  }
+}
+
+// -- Dirty accounting ---------------------------------------------------------
+
+void BufferPool::MarkDirty(Page* page) {
+  page->set_dirty(true);
+  const size_t d = dirty_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  PoolMetrics::Get().dirty_ratio->Set(
+      static_cast<int64_t>(d * 100 / pool_size_));
+  if (wb_enabled_ && d * 100 >= wb_watermark_pct_ * pool_size_) {
+    MaybeKickWriteback();
+  }
+}
+
+void BufferPool::MarkClean(Page* page) {
+  page->set_dirty(false);
+  const size_t d = dirty_count_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  PoolMetrics::Get().dirty_ratio->Set(
+      static_cast<int64_t>(d * 100 / pool_size_));
 }
 
 Status BufferPool::WriteBack(Page* page) {
@@ -147,70 +326,173 @@ Status BufferPool::WriteBack(Page* page) {
     REACH_RETURN_IF_ERROR(pre_write_hook_(page_lsn));
   }
   REACH_RETURN_IF_ERROR(disk_->WritePage(page->page_id(), page->data()));
-  page->set_dirty(false);
+  MarkClean(page);
   return Status::OK();
 }
 
-Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
-  if (!shard.free_frames.empty()) {
-    size_t frame = shard.free_frames.back();
-    shard.free_frames.pop_back();
-    return frame;
-  }
-  // Evict the least-recently-used unpinned frame.
-  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
-    size_t frame = *it;
-    Page* page = shard.frames[frame].get();
-    if (page->pin_count() > 0) continue;
-    if (page->dirty()) {
-      REACH_FAULT_POINT(faults::kBufEvictWriteback);
-      REACH_RETURN_IF_ERROR(WriteBack(page));
-      PoolMetrics::Get().evict_writebacks->Inc();
+// -- Replacement --------------------------------------------------------------
+
+Result<size_t> BufferPool::GetVictimFrame(Shard& shard,
+                                          std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (!shard.free_frames.empty()) {
+      size_t frame = shard.free_frames.back();
+      shard.free_frames.pop_back();
+      Page* page = shard.frames[frame].get();
+      // A lock-free reader that loaded a stale bucket can hold a transient
+      // pin on a free-listed frame for the few instructions until its
+      // re-verify fails; spin it out, then hold the frame latched.
+      while (!page->TryLatchForEvict()) {
+      }
+      return frame;
     }
-    shard.page_table.erase(page->page_id());
-    shard.lru.erase(shard.lru_pos[frame]);
-    shard.lru_pos.erase(frame);
-    return frame;
+    // Approximate LRU: scan for the unpinned frame with the oldest access
+    // tick. Clean victims are preferred — with background writeback keeping
+    // the pool below the watermark, the dirty fallback below (a log force +
+    // write under the shard mutex) should be rare.
+    size_t best_clean = kNoFrame, best_dirty = kNoFrame;
+    uint64_t clean_tick = 0, dirty_tick = 0;
+    bool saw_wb_in_flight = false;
+    for (size_t f = 0; f < shard.frames.size(); ++f) {
+      Page* page = shard.frames[f].get();
+      if (page->pin_count() != 0) continue;  // pinned, mid-fill, or latched
+      if (page->wb_in_flight()) {
+        saw_wb_in_flight = true;
+        continue;
+      }
+      const uint64_t tick = page->last_access();
+      if (!page->dirty()) {
+        if (best_clean == kNoFrame || tick < clean_tick) {
+          best_clean = f;
+          clean_tick = tick;
+        }
+      } else if (best_dirty == kNoFrame || tick < dirty_tick) {
+        best_dirty = f;
+        dirty_tick = tick;
+      }
+    }
+    if (best_clean != kNoFrame) {
+      Page* page = shard.frames[best_clean].get();
+      // Latch can fail if a lock-free reader pinned between scan and here;
+      // rescan rather than evict under a live pin.
+      if (!page->TryLatchForEvict()) continue;
+      TableErase(shard, page->page_id());
+      return best_clean;
+    }
+    if (best_dirty != kNoFrame) {
+      Page* page = shard.frames[best_dirty].get();
+      if (!page->TryLatchForEvict()) continue;
+      // Foreground fallback: every evictable frame is dirty, so this miss
+      // pays for the log force + write itself.
+      Status st = REACH_FAULT_HIT(faults::kBufEvictWriteback);
+      if (st.ok()) st = WriteBack(page);
+      if (!st.ok()) {
+        page->UnlatchTo(0);
+        return st;
+      }
+      PoolMetrics::Get().evict_writebacks->Inc();
+      if (wb_enabled_) {
+        wb_sync_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        PoolMetrics::Get().sync_fallbacks->Inc();
+        MaybeKickWriteback();  // the pool is saturated dirty: get help
+      }
+      TableErase(shard, page->page_id());
+      return best_dirty;
+    }
+    if (saw_wb_in_flight) {
+      // Everything evictable has a writeback snapshot in flight; wait for a
+      // completion (which cleans the frame) and rescan.
+      shard.io_cv.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    return Status::Busy("all buffer frames pinned");
   }
-  return Status::Busy("all buffer frames pinned");
+}
+
+// -- Public API ---------------------------------------------------------------
+
+Page* BufferPool::TryFetchFast(Shard& shard, PageId page_id) {
+  size_t bucket;
+  const uint64_t entry = ProbeTable(shard, page_id, &bucket);
+  if (entry == kEmptyBucket) return nullptr;
+  Page* page = shard.frames[EntryFrame(entry)].get();
+  if (!page->TryPin()) return nullptr;  // latched by an evictor
+  // Order matters: io_pending before the bucket re-verify. The unwind paths
+  // erase the bucket before clearing io_pending, so a reader that observes
+  // io_pending == false for an unwound frame is guaranteed to observe the
+  // erased bucket too. The re-verify itself is the ABA guard: the pin alone
+  // cannot rule out having pinned a frame recycled between the probe and
+  // the CAS (the evictor erases the bucket before reuse and republishes a
+  // new entry only after unlatching).
+  if (page->io_pending() ||
+      shard.table[bucket].load(std::memory_order_acquire) != entry) {
+    page->Unpin();
+    return nullptr;
+  }
+  page->set_last_access(shard.tick.fetch_add(1, std::memory_order_relaxed) +
+                        1);
+  return page;
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
   REACH_FAULT_POINT(faults::kBufFetch);
   Shard& shard = ShardFor(page_id);
-  auto lock = LockShard(shard);
-  auto it = shard.page_table.find(page_id);
-  // A frame mid-fill by ReadAhead is in the table but not yet readable; wait
-  // for the batch to land, then re-look-up (a failed fill removes it).
-  while (it != shard.page_table.end() &&
-         shard.frames[it->second]->io_pending()) {
-    shard.io_cv.wait(lock);
-    it = shard.page_table.find(page_id);
-  }
-  const bool hit = it != shard.page_table.end();
-  NoteAccess(shard, hit);
-  if (hit) {
-    size_t frame = it->second;
-    Page* page = shard.frames[frame].get();
-    page->Pin();
-    shard.lru.erase(shard.lru_pos[frame]);
-    shard.lru.push_front(frame);
-    shard.lru_pos[frame] = shard.lru.begin();
+  // Lock-free hit fast path: no shard mutex on the hot read.
+  if (Page* page = TryFetchFast(shard, page_id)) {
+    NoteAccess(shard, true);
     return page;
   }
-  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
-  Page* page = shard.frames[frame].get();
-  page->Reset();
-  if (Status st = disk_->ReadPage(page_id, page->data()); !st.ok()) {
-    shard.free_frames.push_back(frame);  // return the frame on failed read
-    return st;
+  auto lock = LockShard(shard);
+  bool counted = false;
+  for (;;) {
+    size_t bucket;
+    const uint64_t entry = ProbeTable(shard, page_id, &bucket);
+    if (entry != kEmptyBucket) {
+      Page* page = shard.frames[EntryFrame(entry)].get();
+      // A frame mid-fill by ReadAhead is in the table but not yet readable;
+      // wait for the batch to land, then re-probe (a failed fill removes it).
+      if (page->io_pending()) {
+        shard.io_cv.wait(lock);
+        continue;
+      }
+      page->Pin();
+      page->set_last_access(
+          shard.tick.fetch_add(1, std::memory_order_relaxed) + 1);
+      if (!counted) NoteAccess(shard, true);
+      return page;
+    }
+    if (!counted) {
+      NoteAccess(shard, false);
+      counted = true;
+    }
+    REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard, lock));
+    Page* page = shard.frames[frame].get();
+    // GetVictimFrame can block in io_cv.wait_for — releasing the shard
+    // mutex — while every evictable frame has a writeback snapshot in
+    // flight. Another fetcher may load this very page meanwhile; filling a
+    // second frame would publish a duplicate mapping (and wreck the pin
+    // accounting), so re-probe and return the victim if the page appeared.
+    if (ProbeTable(shard, page_id, &bucket) != kEmptyBucket) {
+      page->Reset();
+      page->UnlatchTo(0);
+      shard.free_frames.push_back(frame);
+      continue;
+    }
+    page->Reset();  // preserves the evict latch GetVictimFrame returned with
+    if (Status st = disk_->ReadPage(page_id, page->data()); !st.ok()) {
+      page->UnlatchTo(0);
+      shard.free_frames.push_back(frame);  // return the frame on failed read
+      return st;
+    }
+    page->set_page_id(page_id);
+    page->set_last_access(shard.tick.fetch_add(1, std::memory_order_relaxed) +
+                          1);
+    // Publish order: table entry first (release — makes the filled bytes
+    // visible to lock-free probers), then the unlatch that lets them pin.
+    TableInsert(shard, page_id, frame);
+    page->UnlatchTo(1);  // handed to the caller pinned
+    return page;
   }
-  page->set_page_id(page_id);
-  page->Pin();
-  shard.page_table[page_id] = frame;
-  shard.lru.push_front(frame);
-  shard.lru_pos[frame] = shard.lru.begin();
-  return page;
 }
 
 Result<Page*> BufferPool::NewPage() {
@@ -220,31 +502,53 @@ Result<Page*> BufferPool::NewPage() {
   REACH_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
   Shard& shard = ShardFor(page_id);
   auto lock = LockShard(shard);
-  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
+  REACH_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard, lock));
   Page* page = shard.frames[frame].get();
   page->Reset();
   page->set_page_id(page_id);
-  page->Pin();
-  page->set_dirty(true);
-  shard.page_table[page_id] = frame;
-  shard.lru.push_front(frame);
-  shard.lru_pos[frame] = shard.lru.begin();
+  page->set_last_access(shard.tick.fetch_add(1, std::memory_order_relaxed) +
+                        1);
+  MarkDirty(page);
+  page->bump_mod_count();
+  TableInsert(shard, page_id, frame);
+  page->UnlatchTo(1);
   return page;
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
   Shard& shard = ShardFor(page_id);
+  if (!dirty) {
+    // Lock-free clean unpin: the caller holds a pin, so the mapping cannot
+    // change beneath us — only the atomic pin count is touched.
+    size_t bucket;
+    const uint64_t entry = ProbeTable(shard, page_id, &bucket);
+    if (entry != kEmptyBucket) {
+      Page* page = shard.frames[EntryFrame(entry)].get();
+      if (page->pin_count() > 0) {
+        page->Unpin();
+        return Status::OK();
+      }
+    }
+    // Fall through to the locked path for error reporting (and for probes
+    // that false-missed against a concurrent table rebuild).
+  }
   auto lock = LockShard(shard);
-  auto it = shard.page_table.find(page_id);
-  if (it == shard.page_table.end()) {
+  size_t bucket;
+  const uint64_t entry = ProbeTable(shard, page_id, &bucket);
+  if (entry == kEmptyBucket) {
     return Status::NotFound("page not in pool: " + std::to_string(page_id));
   }
-  Page* page = shard.frames[it->second].get();
-  if (page->pin_count() == 0) {
+  Page* page = shard.frames[EntryFrame(entry)].get();
+  if (page->pin_count() <= 0) {
     return Status::FailedPrecondition("unpin of unpinned page");
   }
   page->Unpin();
-  if (dirty) page->set_dirty(true);
+  if (dirty) {
+    if (!page->dirty()) MarkDirty(page);
+    // Guards the writeback snapshot: a pass only clears `dirty` at
+    // completion if no dirtying unpin bumped this meanwhile.
+    page->bump_mod_count();
+  }
   return Status::OK();
 }
 
@@ -252,38 +556,59 @@ Status BufferPool::FlushPage(PageId page_id) {
   REACH_FAULT_POINT(faults::kBufFlushPage);
   Shard& shard = ShardFor(page_id);
   auto lock = LockShard(shard);
-  auto it = shard.page_table.find(page_id);
-  if (it == shard.page_table.end()) return Status::OK();  // not cached
-  Page* page = shard.frames[it->second].get();
-  if (page->dirty()) {
-    REACH_RETURN_IF_ERROR(WriteBack(page));
+  for (;;) {
+    size_t bucket;
+    const uint64_t entry = ProbeTable(shard, page_id, &bucket);
+    if (entry == kEmptyBucket) return Status::OK();  // not cached
+    Page* page = shard.frames[EntryFrame(entry)].get();
+    if (page->wb_in_flight()) {
+      // A background snapshot of this frame is mid-flight; wait it out so
+      // the fresh image below cannot be overtaken by the stale copy.
+      shard.io_cv.wait_for(lock, std::chrono::milliseconds(50));
+      continue;  // re-probe: the frame may have moved or been cleaned
+    }
+    if (page->dirty()) {
+      REACH_RETURN_IF_ERROR(WriteBack(page));
+    }
+    return Status::OK();
   }
-  return Status::OK();
 }
 
 Status BufferPool::ReadAhead(const std::vector<PageId>& pages) {
   // Stage: reserve a pinned io_pending frame per absent page, so nothing can
   // evict or hand out the frame while the batch is in flight.
   std::vector<PageReadRequest> batch;
-  std::vector<Page*> staged;
+  std::vector<std::pair<Page*, size_t>> staged;
   batch.reserve(pages.size());
   const PageId limit = disk_->num_pages();
   for (PageId page_id : pages) {
     if (page_id >= limit) continue;
     Shard& shard = ShardFor(page_id);
     auto lock = LockShard(shard);
-    if (shard.page_table.count(page_id) > 0) continue;  // resident or mid-fill
-    auto frame_or = GetVictimFrame(shard);
+    size_t bucket;
+    if (ProbeTable(shard, page_id, &bucket) != kEmptyBucket) {
+      continue;  // resident or mid-fill
+    }
+    auto frame_or = GetVictimFrame(shard, lock);
     if (!frame_or.ok()) continue;  // no evictable frame: FetchPage will read
     Page* page = shard.frames[*frame_or].get();
+    // GetVictimFrame can drop the shard mutex waiting on in-flight
+    // writebacks; if a fetcher loaded this page meanwhile, a second fill
+    // would publish a duplicate mapping — return the victim instead.
+    if (ProbeTable(shard, page_id, &bucket) != kEmptyBucket) {
+      page->Reset();
+      page->UnlatchTo(0);
+      shard.free_frames.push_back(*frame_or);
+      continue;
+    }
     page->Reset();
     page->set_page_id(page_id);
     page->set_io_pending(true);
-    page->Pin();
-    shard.page_table[page_id] = *frame_or;
-    shard.lru.push_front(*frame_or);
-    shard.lru_pos[*frame_or] = shard.lru.begin();
-    staged.push_back(page);
+    page->set_last_access(shard.tick.fetch_add(1, std::memory_order_relaxed) +
+                          1);
+    TableInsert(shard, page_id, *frame_or);
+    page->UnlatchTo(1);  // the staged pin
+    staged.emplace_back(page, *frame_or);
     batch.push_back(PageReadRequest{page_id, page->data()});
   }
   // One batched submission — even when empty, so the disk.backend.* fault
@@ -291,18 +616,19 @@ Status BufferPool::ReadAhead(const std::vector<PageId>& pages) {
   Status st = disk_->ReadPages(batch);
   // Publish: clear io_pending and wake waiters; on failure unwind the staged
   // frames so FetchPage retries synchronously instead of serving zeros.
-  for (Page* page : staged) {
+  for (auto& [page, frame] : staged) {
     Shard& shard = ShardFor(page->page_id());
     auto lock = LockShard(shard);
-    page->set_io_pending(false);
-    page->Unpin();
     if (!st.ok()) {
-      auto it = shard.page_table.find(page->page_id());
-      size_t frame = it->second;
-      shard.page_table.erase(it);
-      shard.lru.erase(shard.lru_pos[frame]);
-      shard.lru_pos.erase(frame);
+      // Erase before clearing io_pending: a lock-free reader that sees
+      // io_pending clear must also see the bucket gone (see TryFetchFast).
+      TableErase(shard, page->page_id());
+      page->set_io_pending(false);
+      page->Unpin();
       shard.free_frames.push_back(frame);
+    } else {
+      page->set_io_pending(false);
+      page->Unpin();
     }
     shard.io_cv.notify_all();
   }
@@ -311,6 +637,10 @@ Status BufferPool::ReadAhead(const std::vector<PageId>& pages) {
 
 Status BufferPool::FlushAll() {
   REACH_FAULT_POINT(faults::kBufFlushAll);
+  // Serialize against writeback passes: a checkpoint must never race a
+  // stale background snapshot to disk (and holding the pass mutex means no
+  // frame is wb_in_flight below).
+  std::lock_guard<std::mutex> pass_lock(wb_pass_mu_);
   // Collect and pin every dirty frame so it stays resident after the shard
   // locks drop; the batched submission below needs the images in place.
   std::vector<std::pair<PageId, const char*>> batch;
@@ -318,13 +648,12 @@ Status BufferPool::FlushAll() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     auto lock = LockShard(shard);
-    for (auto& [page_id, frame] : shard.page_table) {
-      Page* page = shard.frames[frame].get();
-      if (page->dirty()) {
-        page->Pin();
-        pinned.push_back(page);
-        batch.emplace_back(page_id, page->data());
-      }
+    for (auto& frame : shard.frames) {
+      Page* page = frame.get();
+      if (page->page_id() == kInvalidPageId || !page->dirty()) continue;
+      page->Pin();
+      pinned.push_back(page);
+      batch.emplace_back(page->page_id(), page->data());
     }
   }
   // One full log force covers every page in the batch (the per-page hook
@@ -338,17 +667,162 @@ Status BufferPool::FlushAll() {
   for (Page* page : pinned) {
     Shard& shard = ShardFor(page->page_id());
     auto lock = LockShard(shard);
-    if (st.ok()) page->set_dirty(false);
+    if (st.ok() && page->dirty()) MarkClean(page);
     page->Unpin();
   }
   return st;
 }
 
+// -- Background writeback -----------------------------------------------------
+
+Status BufferPool::WritebackPass() {
+  {
+    // Fires even when nothing is dirty (the disk.backend.* convention), so
+    // every pass — including the shutdown flush-behind — crosses the point.
+    Status st = REACH_FAULT_HIT(faults::kBufWriteback);
+    if (!st.ok()) return st;
+  }
+  std::lock_guard<std::mutex> pass_lock(wb_pass_mu_);
+  wb_kick_pending_.store(false, std::memory_order_release);
+  struct Staged {
+    Shard* shard;
+    Page* page;
+    PageId page_id;
+    uint64_t mod_count;
+    std::unique_ptr<char[]> image;
+  };
+  std::vector<Staged> staged;
+  Lsn max_lsn = 0;
+  bool force_all = false;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    auto lock = LockShard(shard);
+    for (auto& frame : shard.frames) {
+      Page* page = frame.get();
+      if (!page->dirty() || page->wb_in_flight()) continue;
+      // The evict latch excludes every pinner for the duration of the copy,
+      // so the snapshot cannot be torn by a concurrent mutator; a pinned
+      // frame is simply skipped and caught by a later pass.
+      if (!page->TryLatchForEvict()) continue;
+      auto image = std::make_unique<char[]>(kPageSize);
+      std::memcpy(image.get(), page->data(), kPageSize);
+      SlottedPage sp(page);
+      if (sp.IsInitialized()) {
+        max_lsn = std::max(max_lsn, sp.lsn());
+      } else {
+        force_all = true;  // meta page: no pageLSN, force the whole log
+      }
+      page->set_wb_in_flight(true);
+      page->UnlatchTo(0);
+      staged.push_back(Staged{&shard, page, page->page_id(),
+                              page->mod_count(), std::move(image)});
+    }
+  }
+  if (staged.empty()) return Status::OK();
+  const uint64_t start = obs::NowNanos();
+  // One log force up to the batch's max pageLSN (the ARIES write-ahead rule
+  // for every snapshot at once), then one batched, coalesced submission.
+  Status st;
+  if (pre_write_hook_) {
+    st = pre_write_hook_(force_all ? kInvalidLsn : max_lsn);
+  }
+  if (st.ok()) {
+    std::vector<std::pair<PageId, const char*>> batch;
+    batch.reserve(staged.size());
+    for (const Staged& s : staged) {
+      batch.emplace_back(s.page_id, s.image.get());
+    }
+    st = disk_->WritePages(std::move(batch));
+  }
+  const uint64_t elapsed = obs::NowNanos() - start;
+  size_t cleaned = 0;
+  for (Staged& s : staged) {
+    auto lock = LockShard(*s.shard);
+    s.page->set_wb_in_flight(false);
+    // Clear dirty only if the frame was not re-dirtied while the snapshot
+    // was in flight — mod_count is bumped by every dirtying unpin.
+    if (st.ok() && s.page->dirty() && s.page->mod_count() == s.mod_count) {
+      MarkClean(s.page);
+      ++cleaned;
+    }
+    s.shard->io_cv.notify_all();
+  }
+  wb_stall_ns_.fetch_add(elapsed, std::memory_order_relaxed);
+  wb_batches_.fetch_add(1, std::memory_order_relaxed);
+  wb_pages_.fetch_add(cleaned, std::memory_order_relaxed);
+  const PoolMetrics& m = PoolMetrics::Get();
+  m.wb_pages->Inc(cleaned);
+  m.wb_batches->Inc();
+  m.wb_stall_ns->Inc(elapsed);
+  return st;
+}
+
+void BufferPool::MaybeKickWriteback() {
+  if (!wb_thread_.joinable()) return;
+  // Collapse kick storms: one wake-up per pass (the pass re-arms this).
+  if (wb_kick_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(wb_mu_);
+    wb_kick_ = true;
+  }
+  wb_cv_.notify_one();
+}
+
+void BufferPool::WritebackThreadMain() {
+  std::unique_lock<std::mutex> lock(wb_mu_);
+  while (!wb_stop_) {
+    wb_cv_.wait_for(lock, std::chrono::milliseconds(250),
+                    [this] { return wb_stop_ || wb_kick_; });
+    if (wb_stop_) break;
+    const bool kicked = wb_kick_;
+    wb_kick_ = false;
+    if (!kicked && dirty_count_.load(std::memory_order_relaxed) * 100 <
+                       wb_watermark_pct_ * pool_size_) {
+      continue;  // periodic wake-up below the watermark: nothing to do
+    }
+    lock.unlock();
+    RunPassOnThread();
+    lock.lock();
+  }
+  // Deliberately no flush-behind pass on shutdown: destruction must not
+  // make buffered WAL records or dirty pages durable — tests simulate a
+  // crash by dropping the stack, and a clean close checkpoints (FlushAll)
+  // before the pool is destroyed anyway.
+}
+
+void BufferPool::RunPassOnThread() {
+  try {
+    // I/O errors stay in the pass (frames simply stay dirty and are retried
+    // by the next pass — or by the foreground fallback, which surfaces
+    // them); nothing to do with the status here.
+    (void)WritebackPass();
+  } catch (const FaultInjectedCrash&) {
+    // A crash fault must not escape a pool-owned thread (fault_registry.h);
+    // park it and rethrow from the next foreground TriggerWriteback —
+    // the same convention as the WAL flusher.
+    std::lock_guard<std::mutex> lock(wb_mu_);
+    wb_parked_crash_ = std::current_exception();
+  }
+}
+
+Status BufferPool::TriggerWriteback() {
+  {
+    std::lock_guard<std::mutex> lock(wb_mu_);
+    if (wb_parked_crash_) {
+      std::exception_ptr crash = wb_parked_crash_;
+      wb_parked_crash_ = nullptr;
+      std::rethrow_exception(crash);
+    }
+  }
+  return WritebackPass();
+}
+
+// -- Statistics ---------------------------------------------------------------
+
 uint64_t BufferPool::hit_count() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->hits;
+    total += shard->hits.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -356,10 +830,26 @@ uint64_t BufferPool::hit_count() const {
 uint64_t BufferPool::miss_count() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->misses;
+    total += shard->misses.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+double BufferPool::dirty_ratio() const {
+  if (pool_size_ == 0) return 0.0;
+  return static_cast<double>(dirty_count_.load(std::memory_order_relaxed)) /
+         static_cast<double>(pool_size_);
+}
+
+BufferPool::WritebackStats BufferPool::writeback_stats() const {
+  WritebackStats s;
+  s.enabled = wb_enabled_;
+  s.watermark_pct = wb_watermark_pct_;
+  s.pages = wb_pages_.load(std::memory_order_relaxed);
+  s.batches = wb_batches_.load(std::memory_order_relaxed);
+  s.stall_ns = wb_stall_ns_.load(std::memory_order_relaxed);
+  s.sync_fallbacks = wb_sync_fallbacks_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace reach

@@ -208,7 +208,11 @@ DiskBackendOptions DiskBackendOptions::Parse(const char* spec) {
       // Unrecognized backend names keep the default (posix) so old binaries
       // tolerate new knobs.
     } else if (key == "io_threads") {
-      o.io_threads = std::strtoull(value.c_str(), nullptr, 0);
+      if (value == "sqpoll") {
+        o.sqpoll = true;  // worker count stays auto
+      } else {
+        o.io_threads = std::strtoull(value.c_str(), nullptr, 0);
+      }
     }
   };
   for (const char* p = spec;; ++p) {
@@ -253,7 +257,9 @@ std::unique_ptr<DiskBackend> DiskBackend::Create(DiskBackendKind kind) {
       return std::make_unique<PosixBackend>();
     case DiskBackendKind::kUring:
 #if REACH_HAS_IO_URING
-      if (auto uring = CreateUringBackend()) return uring;
+      if (auto uring = CreateUringBackend(DiskBackendOptions::FromEnv().sqpoll)) {
+        return uring;
+      }
 #endif
       // Kernel/toolchain without io_uring: fall back to the portable async
       // backend so `backend=uring` configs stay functional everywhere.

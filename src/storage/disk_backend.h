@@ -49,7 +49,14 @@ enum class DiskBackendKind {
 struct DiskBackendOptions {
   DiskBackendKind kind = DiskBackendKind::kDefault;
   /// Worker threads for the async backend (0 = auto: min(4, cores)).
+  /// `io_threads=sqpoll` instead requests kernel-side submission polling
+  /// for the uring backend (see `sqpoll`).
   size_t io_threads = 0;
+  /// io_uring IORING_SETUP_SQPOLL: a kernel thread polls the submission
+  /// queue, so batches are picked up without an io_uring_enter syscall.
+  /// Requested via `io_threads=sqpoll`; silently downgraded to a plain ring
+  /// when the kernel refuses (old kernels, unprivileged setups).
+  bool sqpoll = false;
 
   static DiskBackendOptions FromEnv();
   static DiskBackendOptions Parse(const char* spec);
@@ -97,6 +104,23 @@ class DiskBackend {
   /// wal.flush.{write,fsync} points (see Wal::WriteAndSync).
   virtual bool fused_append() const { return false; }
 
+  /// Pre-register long-lived page buffers (the buffer pool's frames, each
+  /// `buf_len` bytes) with the backend. The uring backend maps them via
+  /// IORING_REGISTER_BUFFERS and upgrades page I/O that lands in a
+  /// registered frame to READ_FIXED/WRITE_FIXED — the kernel skips the
+  /// per-op get_user_pages walk. Returns true when registration is active;
+  /// the base implementation (posix/async) is a no-op returning false.
+  /// Requests against unregistered buffers (WAL appends, writeback
+  /// snapshots) remain valid and take the plain path. At most one
+  /// registration per backend instance; called before concurrent I/O
+  /// starts.
+  virtual bool RegisterBuffers(const std::vector<char*>& bufs,
+                               size_t buf_len) {
+    (void)bufs;
+    (void)buf_len;
+    return false;
+  }
+
   /// Construct a backend of `kind` (kDefault resolves via REACH_STORAGE).
   /// `backend=uring` silently yields the async backend when io_uring is
   /// compiled out or rejected by the kernel — CI always exercises the async
@@ -121,8 +145,10 @@ bool UringBackendAvailable();
 
 #if REACH_HAS_IO_URING
 /// Factory for the raw-syscall io_uring backend (uring_backend.cc); returns
-/// nullptr when the kernel rejects ring setup.
-std::unique_ptr<DiskBackend> CreateUringBackend();
+/// nullptr when the kernel rejects ring setup. `sqpoll` requests
+/// IORING_SETUP_SQPOLL and quietly retries with a plain ring if the kernel
+/// refuses that flavor.
+std::unique_ptr<DiskBackend> CreateUringBackend(bool sqpoll = false);
 #endif
 
 }  // namespace reach

@@ -46,6 +46,14 @@ class DiskManager {
   /// Buffers must stay valid for the duration of the call.
   Status WritePages(std::vector<std::pair<PageId, const char*>> batch);
 
+  /// Pre-register long-lived page buffers (the buffer pool's frames) with
+  /// the backend — io_uring maps them once (IORING_REGISTER_BUFFERS) and
+  /// serves them with READ_FIXED/WRITE_FIXED zero-copy ops. No-op on other
+  /// backends. Returns true when registration is active.
+  bool RegisterFrameBuffers(const std::vector<char*>& bufs, size_t buf_len) {
+    return backend_->RegisterBuffers(bufs, buf_len);
+  }
+
   /// Extend the file by one page and return its id.
   Result<PageId> AllocatePage();
 

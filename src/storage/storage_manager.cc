@@ -14,8 +14,12 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
       sm->disk_, DiskManager::Open(base_path + ".db", options.disk_backend));
   REACH_ASSIGN_OR_RETURN(sm->wal_, Wal::Open(base_path + ".wal", options.wal,
                                              options.disk_backend));
+  BufferPoolOptions pool_options;
+  pool_options.shards = options.bufferpool_shards;
+  pool_options.writeback = options.writeback;
+  pool_options.writeback_watermark = options.writeback_watermark;
   sm->pool_ = std::make_unique<BufferPool>(
-      sm->disk_.get(), options.buffer_pool_pages, options.bufferpool_shards);
+      sm->disk_.get(), options.buffer_pool_pages, pool_options);
   Wal* wal = sm->wal_.get();
   // Write-ahead invariant: force the log up to the page's LSN before its
   // image reaches disk. Pages without an LSN (the meta page) force the

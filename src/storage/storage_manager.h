@@ -24,6 +24,13 @@ struct StorageOptions {
   /// Batched disk I/O backend for the data file and the WAL; kDefault
   /// defers to REACH_STORAGE (`backend={posix,async,uring}`), else posix.
   DiskBackendKind disk_backend = DiskBackendKind::kDefault;
+  /// Background eviction writeback (docs/STORAGE.md "Background
+  /// writeback"): -1 defers to REACH_STORAGE `writeback={on,off}` (default
+  /// off), 0/1 force it. The watermark is the dirty-frame percentage that
+  /// wakes the writeback thread; 0 defers to REACH_STORAGE
+  /// `writeback_watermark=<PCT>` (default 50).
+  int writeback = -1;
+  size_t writeback_watermark = 0;
   WalOptions wal = WalOptions::FromEnv();
 };
 
@@ -36,6 +43,7 @@ class StorageManager {
 
   ObjectStore* objects() { return objects_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
   Wal* wal() { return wal_.get(); }
 
   /// Statistics from the recovery pass executed by Open().

@@ -29,6 +29,7 @@
 #include <cerrno>
 #include <cstring>
 #include <mutex>
+#include <unordered_map>
 
 namespace reach {
 
@@ -44,6 +45,12 @@ int SysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
                                     min_complete, flags, nullptr, 0));
 }
 
+int SysIoUringRegister(int ring_fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
+}
+
 template <typename T>
 T* RingPtr(void* base, uint32_t off) {
   return reinterpret_cast<T*>(static_cast<char*>(base) + off);
@@ -51,9 +58,19 @@ T* RingPtr(void* base, uint32_t off) {
 
 class UringBackend : public DiskBackend {
  public:
-  static std::unique_ptr<DiskBackend> Make() {
+  static std::unique_ptr<DiskBackend> Make(bool sqpoll) {
+    if (sqpoll) {
+      // SQPOLL ring setup can succeed on kernels/configs where submissions
+      // then fail (privilege checks moved around across kernel versions),
+      // so probe with a NOP before trusting it; any failure falls back to
+      // a plain ring below.
+      auto backend = std::unique_ptr<UringBackend>(new UringBackend());
+      if (backend->Init(/*sqpoll=*/true) && backend->ProbeNop()) {
+        return backend;
+      }
+    }
     auto backend = std::unique_ptr<UringBackend>(new UringBackend());
-    if (!backend->Init()) return nullptr;
+    if (!backend->Init(/*sqpoll=*/false)) return nullptr;
     return backend;
   }
 
@@ -83,7 +100,14 @@ class UringBackend : public DiskBackend {
       for (unsigned i = 0; i < n; ++i) {
         io_uring_sqe* sqe = NextSqe();
         const PageReadRequest& req = batch[done + i];
-        sqe->opcode = IORING_OP_READ;
+        // A read landing in a registered frame (the common case: the buffer
+        // pool registers every frame at startup) upgrades to READ_FIXED —
+        // the kernel reuses the pinned mapping instead of walking the
+        // user pages per op.
+        const int buf_index = RegisteredIndex(req.buf);
+        sqe->opcode =
+            buf_index >= 0 ? IORING_OP_READ_FIXED : IORING_OP_READ;
+        if (buf_index >= 0) sqe->buf_index = static_cast<uint16_t>(buf_index);
         sqe->fd = fd;
         sqe->addr = reinterpret_cast<uint64_t>(req.buf);
         sqe->len = static_cast<uint32_t>(kPageSize);
@@ -105,10 +129,25 @@ class UringBackend : public DiskBackend {
       for (unsigned i = 0; i < n; ++i) {
         const PageWriteRun& run = runs[done + i];
         io_uring_sqe* sqe = NextSqe();
-        sqe->opcode = IORING_OP_WRITEV;
+        // Fixed buffers are single-range, so only a one-page run from a
+        // registered frame can take WRITE_FIXED; multi-page runs (and
+        // writeback snapshots, which write from unregistered heap copies)
+        // stay on the vectored path.
+        const int buf_index =
+            run.iov.size() == 1
+                ? RegisteredIndex(static_cast<char*>(run.iov[0].iov_base))
+                : -1;
+        if (buf_index >= 0) {
+          sqe->opcode = IORING_OP_WRITE_FIXED;
+          sqe->buf_index = static_cast<uint16_t>(buf_index);
+          sqe->addr = reinterpret_cast<uint64_t>(run.iov[0].iov_base);
+          sqe->len = static_cast<uint32_t>(run.iov[0].iov_len);
+        } else {
+          sqe->opcode = IORING_OP_WRITEV;
+          sqe->addr = reinterpret_cast<uint64_t>(run.iov.data());
+          sqe->len = static_cast<uint32_t>(run.iov.size());
+        }
         sqe->fd = fd;
-        sqe->addr = reinterpret_cast<uint64_t>(run.iov.data());
-        sqe->len = static_cast<uint32_t>(run.iov.size());
         sqe->off = static_cast<uint64_t>(run.first_page) * kPageSize;
         sqe->user_data = run.iov.size() * kPageSize;  // expected bytes
       }
@@ -116,6 +155,29 @@ class UringBackend : public DiskBackend {
       done += n;
     }
     return Status::OK();
+  }
+
+  bool RegisterBuffers(const std::vector<char*>& bufs,
+                       size_t buf_len) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One registration per ring; the kernel caps the table at UIO_MAXIOV
+    // (1024) iovecs — oversized pools simply skip the fast path.
+    if (!registered_.empty() || bufs.empty() || bufs.size() > 1024) {
+      return false;
+    }
+    std::vector<iovec> iovs(bufs.size());
+    for (size_t i = 0; i < bufs.size(); ++i) {
+      iovs[i] = iovec{bufs[i], buf_len};
+    }
+    if (SysIoUringRegister(ring_fd_, IORING_REGISTER_BUFFERS, iovs.data(),
+                           static_cast<unsigned>(iovs.size())) < 0) {
+      return false;  // e.g. RLIMIT_MEMLOCK too small: stay on the plain ops
+    }
+    registered_.reserve(bufs.size());
+    for (size_t i = 0; i < bufs.size(); ++i) {
+      registered_[bufs[i]] = static_cast<uint16_t>(i);
+    }
+    return true;
   }
 
   Status AppendSync(int fd, const char* data, size_t len) override {
@@ -148,11 +210,19 @@ class UringBackend : public DiskBackend {
  private:
   UringBackend() = default;
 
-  bool Init() {
+  bool Init(bool sqpoll) {
     io_uring_params params;
     std::memset(&params, 0, sizeof(params));
+    if (sqpoll) {
+      // Kernel-side submission polling: a kernel thread picks staged SQEs
+      // up without an io_uring_enter doorbell; after sq_thread_idle ms of
+      // quiet it sleeps and sets IORING_SQ_NEED_WAKEUP (see SubmitAndReap).
+      params.flags |= IORING_SETUP_SQPOLL;
+      params.sq_thread_idle = 2000;
+    }
     ring_fd_ = SysIoUringSetup(kRingEntries, &params);
     if (ring_fd_ < 0) return false;
+    sqpoll_ = sqpoll;
 
     sq_entries_ = params.sq_entries;
     sq_ring_bytes_ =
@@ -181,12 +251,30 @@ class UringBackend : public DiskBackend {
     sq_tail_ = RingPtr<uint32_t>(sq_ring_, params.sq_off.tail);
     sq_mask_ = *RingPtr<uint32_t>(sq_ring_, params.sq_off.ring_mask);
     sq_array_ = RingPtr<uint32_t>(sq_ring_, params.sq_off.array);
+    sq_flags_ = RingPtr<uint32_t>(sq_ring_, params.sq_off.flags);
     cq_head_ = RingPtr<uint32_t>(cq_ring_, params.cq_off.head);
     cq_tail_ = RingPtr<uint32_t>(cq_ring_, params.cq_off.tail);
     cq_mask_ = *RingPtr<uint32_t>(cq_ring_, params.cq_off.ring_mask);
     cqes_ = RingPtr<io_uring_cqe>(cq_ring_, params.cq_off.cqes);
     sqe_slab_ = static_cast<io_uring_sqe*>(sqes_);
     return true;
+  }
+
+  /// Round-trip a NOP through the ring — validates that submissions
+  /// actually complete on this ring flavor (used to vet SQPOLL).
+  bool ProbeNop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    io_uring_sqe* sqe = NextSqe();
+    sqe->opcode = IORING_OP_NOP;
+    sqe->user_data = 0;
+    return SubmitAndReap(1, "uring nop").ok();
+  }
+
+  /// Registered-buffer table index for `buf`, or -1 when unregistered.
+  int RegisteredIndex(const char* buf) const {
+    if (registered_.empty()) return -1;
+    auto it = registered_.find(buf);
+    return it == registered_.end() ? -1 : static_cast<int>(it->second);
   }
 
   /// Claim the next SQE slot (caller holds mu_ and submits before claiming
@@ -208,8 +296,15 @@ class UringBackend : public DiskBackend {
     unsigned completed = 0;
     Status result;
     while (completed < n) {
+      unsigned flags = IORING_ENTER_GETEVENTS;
+      if (sqpoll_ && (__atomic_load_n(sq_flags_, __ATOMIC_ACQUIRE) &
+                      IORING_SQ_NEED_WAKEUP)) {
+        // The kernel submission thread idled out; one wakeup resumes it
+        // (to_submit is ignored in SQPOLL mode — the thread drains the SQ).
+        flags |= IORING_ENTER_SQ_WAKEUP;
+      }
       int ret = SysIoUringEnter(ring_fd_, n - completed ? n : 0,
-                                n - completed, IORING_ENTER_GETEVENTS);
+                                n - completed, flags);
       if (ret < 0) {
         if (errno == EINTR) continue;
         return Status::IoError(std::string(what) + ": io_uring_enter: " +
@@ -246,6 +341,10 @@ class UringBackend : public DiskBackend {
   int ring_fd_ = -1;
   unsigned sq_entries_ = 0;
   uint32_t pending_tail_ = 0;
+  bool sqpoll_ = false;
+  /// Frame address -> IORING_REGISTER_BUFFERS table index (guarded by mu_
+  /// for writes; read-only once RegisterBuffers returns).
+  std::unordered_map<const char*, uint16_t> registered_;
 
   void* sq_ring_ = nullptr;
   void* cq_ring_ = nullptr;
@@ -257,6 +356,7 @@ class UringBackend : public DiskBackend {
   uint32_t* sq_tail_ = nullptr;
   uint32_t sq_mask_ = 0;
   uint32_t* sq_array_ = nullptr;
+  uint32_t* sq_flags_ = nullptr;
   uint32_t* cq_head_ = nullptr;
   uint32_t* cq_tail_ = nullptr;
   uint32_t cq_mask_ = 0;
@@ -266,8 +366,8 @@ class UringBackend : public DiskBackend {
 
 }  // namespace
 
-std::unique_ptr<DiskBackend> CreateUringBackend() {
-  return UringBackend::Make();
+std::unique_ptr<DiskBackend> CreateUringBackend(bool sqpoll) {
+  return UringBackend::Make(sqpoll);
 }
 
 }  // namespace reach

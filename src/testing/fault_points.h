@@ -50,6 +50,12 @@ inline constexpr const char* kBufFetch = "bufferpool.fetch";
 inline constexpr const char* kBufEvictWriteback = "bufferpool.evict.writeback";
 inline constexpr const char* kBufFlushPage = "bufferpool.flush_page";
 inline constexpr const char* kBufFlushAll = "bufferpool.flush_all";
+/// Start of one background-writeback pass (BufferPool::WritebackPass) —
+/// fires even when nothing is dirty, like the disk.backend.* convention, so
+/// every pass (including the flush-behind pass on pool shutdown) crosses
+/// it. On the writeback thread an injected crash is caught and parked, then
+/// rethrown from the next foreground TriggerWriteback.
+inline constexpr const char* kBufWriteback = "bufferpool.writeback";
 
 // -- TransactionManager ----------------------------------------------------
 inline constexpr const char* kTxnBegin = "txn.begin";
@@ -70,6 +76,7 @@ inline constexpr const char* kAll[] = {
     kEventHistoryAppend, kEventHistoryCheckpoint, kEventHistoryReplay,
     kEventHistoryCarryover,
     kBufFetch,        kBufEvictWriteback, kBufFlushPage,     kBufFlushAll,
+    kBufWriteback,
     kTxnBegin,        kTxnCommitEntry,    kTxnCommitForce,   kTxnAbortEntry,
     kRuleDeferredFlush, kRuleSubtxnExec,  kRuleDetachedExec,
 };

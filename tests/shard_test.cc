@@ -86,11 +86,18 @@ TEST(WalAdaptiveTest, AdaptiveDelayStaysBoundedUnderCommitLoad) {
 
 class ShardedPoolTest : public ::testing::Test {
  protected:
-  void Open(size_t pool_size, size_t shards) {
+  /// `writeback` defaults to the REACH_STORAGE setting; tests that assert
+  /// deterministic eviction order or dirty-eviction fault coverage pass 0 —
+  /// a background cleaner would wash their preconditions away mid-test
+  /// (writeback_test covers the cleaner itself).
+  void Open(size_t pool_size, size_t shards, int writeback = -1) {
     auto dm = DiskManager::Open(dir_.DbPath() + ".db");
     ASSERT_TRUE(dm.ok());
     disk_ = std::move(*dm);
-    pool_ = std::make_unique<BufferPool>(disk_.get(), pool_size, shards);
+    BufferPoolOptions options;
+    options.shards = shards;
+    options.writeback = writeback;
+    pool_ = std::make_unique<BufferPool>(disk_.get(), pool_size, options);
   }
   TempDir dir_;
   std::unique_ptr<DiskManager> disk_;
@@ -132,7 +139,7 @@ TEST_F(ShardedPoolTest, PagesLandOnDistinctShardsAndSurviveEviction) {
 }
 
 TEST_F(ShardedPoolTest, HitMissAccountingSumsOverShards) {
-  Open(8, 4);
+  Open(8, 4, /*writeback=*/0);  // deterministic eviction order
   std::vector<PageId> ids;
   for (int i = 0; i < 8; ++i) {
     auto page = pool_->NewPage();
@@ -164,7 +171,7 @@ TEST_F(ShardedPoolTest, HitMissAccountingSumsOverShards) {
 }
 
 TEST_F(ShardedPoolTest, CrossShardEvictionFaultSurfacesCleanly) {
-  Open(4, 4);
+  Open(4, 4, /*writeback=*/0);  // every eviction must hit the dirty path
   auto& reg = FaultRegistry::Instance();
   reg.DisarmAll();
   std::vector<PageId> ids;

@@ -1,0 +1,343 @@
+// Background writeback and lock-free page table (docs/STORAGE.md):
+// REACH_STORAGE writeback knob parsing, dirty-ratio accounting and the
+// writeback stats surface, crash/error injection at bufferpool.writeback
+// (via TriggerWriteback, so the fault fires on this thread), a TSan-able
+// stress of concurrent FetchPage / writeback passes / FlushAll, a torture
+// loop for the open-addressing table's insert/erase/rebuild cycle, and a
+// recovery-equivalence sweep proving writeback on/off is invisible to
+// ARIES recovery on every disk backend.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+#include "testing/fault_points.h"
+#include "testing/fault_registry.h"
+
+namespace reach {
+namespace {
+
+using reach::testing::DurableLogCommit;
+using reach::testing::TempDir;
+
+TEST(WritebackOptionsTest, ParsesWritebackKnobs) {
+  EXPECT_EQ(BufferPoolOptions::Parse(nullptr).writeback, -1);
+  EXPECT_EQ(BufferPoolOptions::Parse("").writeback, -1);
+  EXPECT_EQ(BufferPoolOptions::Parse("writeback=on").writeback, 1);
+  EXPECT_EQ(BufferPoolOptions::Parse("writeback=1").writeback, 1);
+  EXPECT_EQ(BufferPoolOptions::Parse("writeback=off").writeback, 0);
+  EXPECT_EQ(BufferPoolOptions::Parse("writeback=0").writeback, 0);
+  BufferPoolOptions o =
+      BufferPoolOptions::Parse("shards=2,writeback=on,writeback_watermark=30");
+  EXPECT_EQ(o.shards, 2u);
+  EXPECT_EQ(o.writeback, 1);
+  EXPECT_EQ(o.writeback_watermark, 30u);
+  // Watermarks are percentages; parse clamps to 100.
+  EXPECT_LE(BufferPoolOptions::Parse("writeback_watermark=250")
+                .writeback_watermark,
+            100u);
+}
+
+TEST(WritebackOptionsTest, ResolveDefaultsAndPassThrough) {
+  // Explicit requests win regardless of the environment.
+  EXPECT_TRUE(BufferPoolOptions::ResolveWriteback(1));
+  EXPECT_FALSE(BufferPoolOptions::ResolveWriteback(0));
+  EXPECT_EQ(BufferPoolOptions::ResolveWatermark(25), 25u);
+  // 0 defers: the resolved default is the documented constant unless
+  // REACH_STORAGE overrides it (either way it is a valid percentage).
+  size_t w = BufferPoolOptions::ResolveWatermark(0);
+  EXPECT_GT(w, 0u);
+  EXPECT_LE(w, 100u);
+}
+
+class WritebackPoolTest : public ::testing::Test {
+ protected:
+  void Open(size_t pool_size, size_t shards, int writeback,
+            size_t watermark = 25) {
+    pool_.reset();
+    auto dm = DiskManager::Open(dir_.DbPath() + ".db");
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::move(*dm);
+    BufferPoolOptions options;
+    options.shards = shards;
+    options.writeback = writeback;
+    options.writeback_watermark = watermark;
+    pool_ = std::make_unique<BufferPool>(disk_.get(), pool_size, options);
+  }
+  TempDir dir_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(WritebackPoolTest, StatsSurfaceReflectsOptions) {
+  Open(8, 2, /*writeback=*/1, /*watermark=*/30);
+  auto stats = pool_->writeback_stats();
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_TRUE(pool_->writeback_enabled());
+  EXPECT_EQ(stats.watermark_pct, 30u);
+  Open(8, 2, /*writeback=*/0);
+  EXPECT_FALSE(pool_->writeback_stats().enabled);
+  EXPECT_FALSE(pool_->writeback_enabled());
+}
+
+TEST_F(WritebackPoolTest, TriggerWritebackCleansDirtyFramesAndCounts) {
+  // Thread off: the pass runs only when this test asks for it.
+  Open(8, 2, /*writeback=*/0);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto page = pool_->NewPage();
+    ASSERT_TRUE(page.ok());
+    (*page)->data()[0] = static_cast<char>('a' + i);
+    ids.push_back((*page)->page_id());
+    ASSERT_TRUE(pool_->UnpinPage(ids.back(), true).ok());
+  }
+  EXPECT_GT(pool_->dirty_ratio(), 0.0);
+  ASSERT_TRUE(pool_->TriggerWriteback().ok());
+  EXPECT_EQ(pool_->dirty_ratio(), 0.0);
+  auto stats = pool_->writeback_stats();
+  EXPECT_EQ(stats.pages, 6u);
+  EXPECT_EQ(stats.batches, 1u);
+  // The images the pass wrote are the ones a cold pool reads back.
+  Open(8, 2, /*writeback=*/0);
+  for (int i = 0; i < 6; ++i) {
+    auto page = pool_->FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->data()[0], static_cast<char>('a' + i));
+    ASSERT_TRUE(pool_->UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST_F(WritebackPoolTest, PassSkipsPinnedFramesAndCatchesThemLater) {
+  Open(8, 2, /*writeback=*/0);
+  auto pinned = pool_->NewPage();
+  ASSERT_TRUE(pinned.ok());
+  PageId pinned_id = (*pinned)->page_id();
+  auto other = pool_->NewPage();
+  ASSERT_TRUE(other.ok());
+  PageId other_id = (*other)->page_id();
+  ASSERT_TRUE(pool_->UnpinPage(other_id, true).ok());
+  // `pinned` stays pinned (and dirty through the unpin below never runs):
+  // the pass must clean `other` and leave the pinned frame dirty.
+  ASSERT_TRUE(pool_->TriggerWriteback().ok());
+  EXPECT_EQ(pool_->writeback_stats().pages, 1u);
+  EXPECT_GT(pool_->dirty_ratio(), 0.0);
+  ASSERT_TRUE(pool_->UnpinPage(pinned_id, true).ok());
+  ASSERT_TRUE(pool_->TriggerWriteback().ok());
+  EXPECT_EQ(pool_->writeback_stats().pages, 2u);
+  EXPECT_EQ(pool_->dirty_ratio(), 0.0);
+}
+
+TEST_F(WritebackPoolTest, ErrorInjectionLeavesFramesDirtyForRetry) {
+  Open(8, 2, /*writeback=*/0);
+  auto page = pool_->NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = (*page)->page_id();
+  ASSERT_TRUE(pool_->UnpinPage(id, true).ok());
+  auto& reg = FaultRegistry::Instance();
+  reg.DisarmAll();
+  reg.ArmError(faults::kBufWriteback, Status::Code::kIoError, /*nth=*/1,
+               /*one_shot=*/true);
+  Status st = pool_->TriggerWriteback();
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_GT(pool_->dirty_ratio(), 0.0) << "failed pass must not mark clean";
+  reg.DisarmAll();
+  ASSERT_TRUE(pool_->TriggerWriteback().ok());
+  EXPECT_EQ(pool_->dirty_ratio(), 0.0);
+}
+
+TEST_F(WritebackPoolTest, CrashInjectionPropagatesOnCallingThread) {
+  Open(8, 2, /*writeback=*/0);
+  auto page = pool_->NewPage();
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(pool_->UnpinPage((*page)->page_id(), true).ok());
+  auto& reg = FaultRegistry::Instance();
+  reg.DisarmAll();
+  reg.ArmCrash(faults::kBufWriteback, /*nth=*/1);
+  EXPECT_THROW((void)pool_->TriggerWriteback(), FaultInjectedCrash);
+  reg.DisarmAll();
+  // The aborted pass touched nothing: the frame is still dirty and the next
+  // pass completes normally.
+  EXPECT_GT(pool_->dirty_ratio(), 0.0);
+  ASSERT_TRUE(pool_->TriggerWriteback().ok());
+  EXPECT_EQ(pool_->dirty_ratio(), 0.0);
+}
+
+TEST_F(WritebackPoolTest, ConcurrentFetchWritebackFlushStress) {
+  // TSan target: readers (lock-free hit path), dirtying writers, explicit
+  // writeback passes, FlushPage and FlushAll all running against the same
+  // small pool, with the background thread kicking its own passes too.
+  Open(16, 4, /*writeback=*/1, /*watermark=*/10);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 48; ++i) {
+    auto page = pool_->NewPage();
+    ASSERT_TRUE(page.ok());
+    (*page)->data()[0] = 'w';
+    ids.push_back((*page)->page_id());
+    ASSERT_TRUE(pool_->UnpinPage(ids.back(), true).ok());
+  }
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 400; ++round) {
+        PageId id = ids[(t * 131 + round) % ids.size()];
+        auto page = pool_->FetchPage(id);
+        if (!page.ok()) {
+          if (!page.status().IsBusy()) failures.fetch_add(1);
+          continue;
+        }
+        if ((*page)->data()[0] != 'w') failures.fetch_add(1);
+        if (!pool_->UnpinPage(id, round % 4 == 0).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      if (!pool_->TriggerWriteback().ok()) failures.fetch_add(1);
+    }
+  });
+  threads.emplace_back([&] {
+    int i = 0;
+    while (!stop.load()) {
+      (void)pool_->FlushPage(ids[i++ % ids.size()]);
+      if (i % 16 == 0 && !pool_->FlushAll().ok()) failures.fetch_add(1);
+    }
+  });
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t t = 4; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  EXPECT_EQ(pool_->dirty_ratio(), 0.0);
+}
+
+TEST_F(WritebackPoolTest, LockFreeTableSurvivesEvictChurnAndRebuilds) {
+  // Torture for the open-addressing table: a single-shard pool far smaller
+  // than its working set erases a mapping (tombstone) on every eviction, so
+  // the probe chains fill with tombstones and force periodic same-size
+  // rebuilds while readers probe lock-free.
+  Open(8, 1, /*writeback=*/1, /*watermark=*/25);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    auto page = pool_->NewPage();
+    ASSERT_TRUE(page.ok());
+    (*page)->data()[0] = static_cast<char>('A' + i % 26);
+    ids.push_back((*page)->page_id());
+    ASSERT_TRUE(pool_->UnpinPage(ids.back(), true).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 500; ++round) {
+        size_t i = (t * 17 + round * 7) % ids.size();
+        auto page = pool_->FetchPage(ids[i]);
+        if (!page.ok()) {
+          if (!page.status().IsBusy()) failures.fetch_add(1);
+          continue;
+        }
+        if ((*page)->data()[0] != static_cast<char>('A' + i % 26)) {
+          failures.fetch_add(1);
+        }
+        if (!pool_->UnpinPage(ids[i], round % 8 == 0).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every page still round-trips after the churn.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto page = pool_->FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    EXPECT_EQ((*page)->data()[0], static_cast<char>('A' + i % 26));
+    ASSERT_TRUE(pool_->UnpinPage(ids[i], false).ok());
+  }
+}
+
+// Writeback must be invisible to ARIES recovery: the same crashed workload
+// recovers to the same state with the writer thread on or off, on every
+// disk backend (uring exercises the registered-buffer fixed-I/O path; where
+// a backend is unavailable the runtime fallback ladder stands in, which is
+// exactly what production would run).
+TEST(WritebackRecoveryEquivalenceTest, SameStateAcrossBackendsAndModes) {
+  for (DiskBackendKind backend :
+       {DiskBackendKind::kPosix, DiskBackendKind::kAsync,
+        DiskBackendKind::kUring}) {
+    for (int writeback = 0; writeback < 2; ++writeback) {
+      SCOPED_TRACE("backend=" + std::to_string(static_cast<int>(backend)) +
+                   " writeback=" + std::to_string(writeback));
+      TempDir dir;
+      std::vector<Oid> committed;
+      Oid loser;
+      {
+        StorageOptions opts;
+        opts.buffer_pool_pages = 8;  // eviction traffic while the log lives
+        opts.disk_backend = backend;
+        opts.writeback = writeback;
+        opts.writeback_watermark = 25;
+        auto sm_or = StorageManager::Open(dir.DbPath(), opts);
+        ASSERT_TRUE(sm_or.ok()) << sm_or.status().ToString();
+        auto sm = std::move(*sm_or);
+        ASSERT_TRUE(sm->LogBegin(1).ok());
+        for (int i = 0; i < 40; ++i) {
+          auto oid = sm->objects()->Insert(
+              1, "payload_" + std::to_string(i) +
+                     std::string(i * 13 % 300, 'p'));
+          ASSERT_TRUE(oid.ok());
+          committed.push_back(*oid);
+        }
+        ASSERT_TRUE(sm->objects()->Update(1, committed[3], "rewritten").ok());
+        ASSERT_TRUE(sm->objects()->Delete(1, committed[7]).ok());
+        ASSERT_TRUE(DurableLogCommit(sm.get(), 1).ok());
+        // A loser transaction recovery must undo even though writeback may
+        // have pushed its pages to disk (steal policy).
+        ASSERT_TRUE(sm->LogBegin(2).ok());
+        auto l = sm->objects()->Insert(2, "loser");
+        ASSERT_TRUE(l.ok());
+        loser = *l;
+        ASSERT_TRUE(sm->objects()->Update(2, committed[5], "clobbered").ok());
+        ASSERT_TRUE(sm->buffer_pool()->TriggerWriteback().ok());
+        // Crash: destroy without checkpoint; disk now holds whatever mix of
+        // page versions the writeback pass produced.
+      }
+      StorageOptions opts;
+      opts.disk_backend = backend;
+      opts.writeback = writeback;
+      auto sm_or = StorageManager::Open(dir.DbPath(), opts);
+      ASSERT_TRUE(sm_or.ok()) << sm_or.status().ToString();
+      auto sm = std::move(*sm_or);
+      for (size_t i = 0; i < committed.size(); ++i) {
+        if (i == 7) {
+          EXPECT_FALSE(sm->objects()->Read(committed[i]).ok());
+          continue;
+        }
+        auto val = sm->objects()->Read(committed[i]);
+        ASSERT_TRUE(val.ok()) << "i=" << i << " " << val.status().ToString();
+        if (i == 3) {
+          EXPECT_EQ(*val, "rewritten");
+        } else if (i == 5) {
+          EXPECT_EQ(*val, "payload_5" + std::string(5 * 13 % 300, 'p'))
+              << "loser update must be undone";
+        } else {
+          EXPECT_EQ(*val,
+                    "payload_" + std::to_string(i) +
+                        std::string(i * 13 % 300, 'p'));
+        }
+      }
+      EXPECT_FALSE(sm->objects()->Read(loser).ok())
+          << "loser insert survived recovery";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reach
