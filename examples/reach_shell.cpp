@@ -236,8 +236,12 @@ class Shell {
           for (const Value& v : row.values) out += "  " + v.ToString();
           std::printf("%s\n", out.c_str());
         }
-        std::printf("(%zu row(s)%s)\n", result.rows.size(),
-                    result.used_index ? ", via index" : "");
+        std::printf(
+            "(%zu row(s); scanned=%zu morsels=%zu workers=%zu index=%s "
+            "time=%.3f ms)\n",
+            result.rows.size(), result.scanned, result.morsels,
+            result.workers, result.used_index ? "yes" : "no",
+            static_cast<double>(result.exec_ns) / 1e6);
         return Status::OK();
       }));
     } else if (cmd == "begin") {

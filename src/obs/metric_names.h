@@ -134,6 +134,19 @@ inline constexpr const char* kSpanSignalToDispatch =
 inline constexpr const char* kSpanSignalToCompose =
     "pipeline.signal_to_compose_ns";
 
+// -- Query executor --------------------------------------------------------
+/// Executor wall time per query (plan already built; includes the parallel
+/// fan-out and merge), morsels per extent-scan query (a count histogram,
+/// not nanoseconds), degree of parallelism of the last query (gauge; 1 =
+/// serial fallback or index plan), and objects examined (counter).
+inline constexpr const char* kQueryExecNs = "query.exec_ns";
+inline constexpr const char* kQueryMorsels = "query.morsels";
+inline constexpr const char* kQueryParallelWorkers = "query.parallel_workers";
+inline constexpr const char* kQueryRowsScanned = "query.rows_scanned";
+/// Whole QueryPm::Execute span: plan + execute (parse excluded when the
+/// caller hands over a pre-parsed statement).
+inline constexpr const char* kSpanQueryExec = "pipeline.query_exec_ns";
+
 // -- Rules -----------------------------------------------------------------
 inline constexpr const char* kRulesImmediateRuns = "rules.immediate_runs";
 inline constexpr const char* kRulesDeferredRuns = "rules.deferred_runs";

@@ -224,9 +224,12 @@ bool IndexingPm::HasOrderedIndex(const std::string& class_name,
   return it != indexes_.end() && it->second.kind == IndexKind::kOrdered;
 }
 
-Result<std::vector<Oid>> IndexingPm::RangeLookup(
-    const std::string& class_name, const std::string& attr, const Value* lo,
-    bool lo_inclusive, const Value* hi, bool hi_inclusive) const {
+Status IndexingPm::RangeLookupInto(const std::string& class_name,
+                                   const std::string& attr, const Value* lo,
+                                   bool lo_inclusive, const Value* hi,
+                                   bool hi_inclusive,
+                                   std::vector<Oid>* out) const {
+  out->clear();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = indexes_.find(IndexKey(class_name, attr));
   if (it == indexes_.end() || it->second.kind != IndexKind::kOrdered) {
@@ -242,24 +245,42 @@ Result<std::vector<Oid>> IndexingPm::RangeLookup(
                  ? ordered.end()
                  : (hi_inclusive ? ordered.upper_bound(*hi)
                                  : ordered.lower_bound(*hi));
-  std::vector<Oid> out;
   for (auto cur = begin; cur != end; ++cur) {
-    out.insert(out.end(), cur->second.begin(), cur->second.end());
+    out->insert(out->end(), cur->second.begin(), cur->second.end());
   }
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> IndexingPm::RangeLookup(
+    const std::string& class_name, const std::string& attr, const Value* lo,
+    bool lo_inclusive, const Value* hi, bool hi_inclusive) const {
+  std::vector<Oid> out;
+  REACH_RETURN_IF_ERROR(RangeLookupInto(class_name, attr, lo, lo_inclusive,
+                                        hi, hi_inclusive, &out));
   return out;
 }
 
-Result<std::vector<Oid>> IndexingPm::Lookup(const std::string& class_name,
-                                            const std::string& attr,
-                                            const Value& value) const {
+Status IndexingPm::LookupInto(const std::string& class_name,
+                              const std::string& attr, const Value& value,
+                              std::vector<Oid>* out) const {
+  out->clear();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = indexes_.find(IndexKey(class_name, attr));
   if (it == indexes_.end()) {
     return Status::NotFound("index on " + IndexKey(class_name, attr));
   }
   auto bit = it->second.buckets.find(KeyOf(value));
-  if (bit == it->second.buckets.end()) return std::vector<Oid>{};
-  return bit->second;
+  if (bit == it->second.buckets.end()) return Status::OK();
+  out->assign(bit->second.begin(), bit->second.end());
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> IndexingPm::Lookup(const std::string& class_name,
+                                            const std::string& attr,
+                                            const Value& value) const {
+  std::vector<Oid> out;
+  REACH_RETURN_IF_ERROR(LookupInto(class_name, attr, value, &out));
+  return out;
 }
 
 }  // namespace reach

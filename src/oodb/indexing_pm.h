@@ -55,12 +55,24 @@ class IndexingPm : public PolicyManager, public TxnListener {
                                   const std::string& attr,
                                   const Value& value) const;
 
+  /// Equality lookup into a caller-provided buffer (cleared, then filled) —
+  /// a repeat caller reuses the buffer's capacity instead of paying a fresh
+  /// vector copy per probe. NotFound if no such index.
+  Status LookupInto(const std::string& class_name, const std::string& attr,
+                    const Value& value, std::vector<Oid>* out) const;
+
   /// Range scan over an ordered index. Null bounds are open ends.
   Result<std::vector<Oid>> RangeLookup(const std::string& class_name,
                                        const std::string& attr,
                                        const Value* lo, bool lo_inclusive,
                                        const Value* hi,
                                        bool hi_inclusive) const;
+
+  /// Range scan into a caller-provided buffer (cleared, then filled).
+  Status RangeLookupInto(const std::string& class_name,
+                         const std::string& attr, const Value* lo,
+                         bool lo_inclusive, const Value* hi,
+                         bool hi_inclusive, std::vector<Oid>* out) const;
 
   uint64_t maintenance_ops() const { return maintenance_ops_.load(); }
 

@@ -171,6 +171,59 @@ Result<std::shared_ptr<DbObject>> PersistencePm::Fetch(TxnId txn,
   return obj;
 }
 
+Status PersistencePm::FetchMany(TxnId txn, const std::vector<Oid>& oids,
+                                std::vector<std::shared_ptr<DbObject>>* out) {
+  if (txn == kNoTxn) {
+    return Status::FailedPrecondition("fetch outside a transaction");
+  }
+  REACH_RETURN_IF_ERROR(txns_->locks()->AcquireSharedBatch(txn, oids));
+  out->clear();
+  out->resize(oids.size());
+  std::vector<size_t> misses;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < oids.size(); ++i) {
+      auto it = cache_.find(oids[i]);
+      if (it != cache_.end()) {
+        (*out)[i] = it->second;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  // Read and deserialize misses outside the cache mutex; the S locks keep
+  // the stored bytes stable.
+  for (size_t i : misses) {
+    REACH_ASSIGN_OR_RETURN(std::string bytes,
+                           storage_->objects()->Read(oids[i]));
+    REACH_ASSIGN_OR_RETURN(DbObject parsed, DbObject::Deserialize(bytes));
+    parsed.set_oid(oids[i]);
+    (*out)[i] = std::make_shared<DbObject>(std::move(parsed));
+  }
+  if (!misses.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i : misses) {
+      faults_++;
+      // A concurrent fetch may have cached the object meanwhile; keep the
+      // existing entry so every caller sees one shared instance.
+      auto [it, inserted] = cache_.emplace(oids[i], (*out)[i]);
+      if (!inserted) (*out)[i] = it->second;
+    }
+  }
+  for (size_t i = 0; i < oids.size(); ++i) {
+    const std::shared_ptr<DbObject>& obj = (*out)[i];
+    if (bus_->Monitored(SentryKind::kFetch, obj->class_name(), "")) {
+      SentryEvent ev;
+      ev.kind = SentryKind::kFetch;
+      ev.class_name = obj->class_name();
+      ev.oid = oids[i];
+      ev.txn = txn;
+      bus_->Announce(ev);
+    }
+  }
+  return Status::OK();
+}
+
 Status PersistencePm::Write(TxnId txn, const DbObject& obj) {
   if (txn == kNoTxn) {
     return Status::FailedPrecondition("write outside a transaction");

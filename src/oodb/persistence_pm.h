@@ -45,6 +45,14 @@ class PersistencePm : public PolicyManager, public TxnListener {
   /// Fault an object in (S-locks it). Announces kFetch.
   Result<std::shared_ptr<DbObject>> Fetch(TxnId txn, const Oid& oid);
 
+  /// Batch fault: S-locks all OIDs with one lock-manager pass, resolves
+  /// cache hits under one mutex hold, reads misses outside any lock, then
+  /// inserts them in one pass. `out` holds the objects in input order.
+  /// Announces kFetch per object (when monitored), like Fetch. Safe to call
+  /// from several threads of one transaction concurrently (query morsels).
+  Status FetchMany(TxnId txn, const std::vector<Oid>& oids,
+                   std::vector<std::shared_ptr<DbObject>>* out);
+
   /// Write an updated attribute set back to the store (X-locks the OID).
   Status Write(TxnId txn, const DbObject& obj);
 

@@ -1,5 +1,7 @@
 #include "oodb/session.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace reach {
@@ -211,6 +213,42 @@ Result<std::vector<Oid>> Session::Extent(const std::string& class_name,
     out.insert(out.end(), part.begin(), part.end());
   }
   return out;
+}
+
+Result<Session::ExtentScan> Session::ExtentMorsels(
+    const std::string& class_name, size_t morsel_pages,
+    bool include_subclasses) {
+  if (morsel_pages == 0) morsel_pages = 1;
+  ExtentScan scan;
+  REACH_ASSIGN_OR_RETURN(scan.oids, Extent(class_name, include_subclasses));
+  // Canonical scan order: Oid's (page, slot, generation) ordering groups
+  // each home page's objects into one contiguous run.
+  std::sort(scan.oids.begin(), scan.oids.end());
+  ExtentMorsel cur;
+  for (size_t i = 0; i < scan.oids.size(); ++i) {
+    PageId page = scan.oids[i].page;
+    bool new_page = cur.pages.empty() || cur.pages.back() != page;
+    if (new_page && cur.pages.size() == morsel_pages) {
+      cur.end = i;
+      scan.morsels.push_back(std::move(cur));
+      cur = ExtentMorsel{};
+      cur.begin = i;
+    }
+    if (cur.pages.empty() || cur.pages.back() != page) {
+      cur.pages.push_back(page);
+    }
+  }
+  if (!cur.pages.empty()) {
+    cur.end = scan.oids.size();
+    scan.morsels.push_back(std::move(cur));
+  }
+  return scan;
+}
+
+Status Session::FetchMany(const std::vector<Oid>& oids,
+                          std::vector<std::shared_ptr<DbObject>>* out) {
+  REACH_RETURN_IF_ERROR(RequireTxn());
+  return db_->persistence()->FetchMany(current_txn(), oids, out);
 }
 
 }  // namespace reach

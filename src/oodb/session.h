@@ -88,6 +88,34 @@ class Session {
   Result<std::vector<Oid>> Extent(const std::string& class_name,
                                   bool include_subclasses = true);
 
+  /// One page-aligned partition of an extent scan: `pages` are the distinct
+  /// home pages (ascending, at most the morsel size), [begin, end) the
+  /// slice of ExtentScan::oids whose objects live on them.
+  struct ExtentMorsel {
+    std::vector<PageId> pages;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  /// An extent in canonical scan order — OIDs sorted by (page, slot,
+  /// generation) — partitioned into morsels of at most `morsel_pages`
+  /// distinct home pages each. The canonical order makes morsel boundaries
+  /// (and thus parallel query merges) independent of extent-chunk layout.
+  struct ExtentScan {
+    std::vector<Oid> oids;
+    std::vector<ExtentMorsel> morsels;
+  };
+
+  Result<ExtentScan> ExtentMorsels(const std::string& class_name,
+                                   size_t morsel_pages,
+                                   bool include_subclasses = true);
+
+  /// Batch Fetch in input order (see PersistencePm::FetchMany). Safe to call
+  /// from parallel query workers while the session's transaction stack is
+  /// stable.
+  Status FetchMany(const std::vector<Oid>& oids,
+                   std::vector<std::shared_ptr<DbObject>>* out);
+
   // -- Engine-internal transaction adoption --------------------------------
 
   /// Push an existing transaction onto this session's stack without

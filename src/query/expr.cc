@@ -139,6 +139,10 @@ bool Truthy(const Value& v) {
 
 }  // namespace
 
+Result<Value> CompareValues(ExprOp op, const Value& l, const Value& r) {
+  return Compare(op, l, r);
+}
+
 Result<Value> Evaluate(const ExprPtr& expr, EvalEnv* env) {
   switch (expr->op()) {
     case ExprOp::kLiteral:

@@ -57,6 +57,11 @@ class EvalEnv {
 /// `or` short-circuit; arithmetic requires numeric operands.
 Result<Value> Evaluate(const ExprPtr& expr, EvalEnv* env);
 
+/// Apply one comparison operator with the evaluator's exact semantics
+/// (null operands, incomparable-value errors). Exposed so the query
+/// executor's fast path cannot drift from full expression evaluation.
+Result<Value> CompareValues(ExprOp op, const Value& l, const Value& r);
+
 /// Evaluate and coerce to a condition result (null/false => false).
 Result<bool> EvaluateBool(const ExprPtr& expr, EvalEnv* env);
 

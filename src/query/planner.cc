@@ -1,0 +1,166 @@
+#include "query/planner.h"
+
+namespace reach {
+
+namespace {
+
+/// If `expr` is `<path> <cmp> <literal>` (either side) with a path of the
+/// form `attr` or `<alias>.attr`, return the attribute, the normalized
+/// operator (as if the path were on the left), and the literal. A bare
+/// single-segment path equal to the alias resolves to the OID, not an
+/// attribute, so it is excluded.
+bool SimpleComparison(const Expr* expr, const std::string& alias,
+                      std::string* attr, ExprOp* op, const Value** literal) {
+  switch (expr->op()) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  const ExprPtr& l = expr->operands()[0];
+  const ExprPtr& r = expr->operands()[1];
+  const Expr* path = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (l->op() == ExprOp::kPath && r->op() == ExprOp::kLiteral) {
+    path = l.get();
+    lit = r.get();
+  } else if (r->op() == ExprOp::kPath && l->op() == ExprOp::kLiteral) {
+    path = r.get();
+    lit = l.get();
+    flipped = true;  // literal <cmp> path
+  } else {
+    return false;
+  }
+  const auto& segs = path->path();
+  if (segs.size() == 1 && segs[0] != alias) {
+    *attr = segs[0];
+  } else if (segs.size() == 2 && segs[0] == alias) {
+    *attr = segs[1];
+  } else {
+    return false;
+  }
+  *op = expr->op();
+  if (flipped) {
+    switch (*op) {
+      case ExprOp::kLt: *op = ExprOp::kGt; break;
+      case ExprOp::kLe: *op = ExprOp::kGe; break;
+      case ExprOp::kGt: *op = ExprOp::kLt; break;
+      case ExprOp::kGe: *op = ExprOp::kLe; break;
+      default: break;
+    }
+  }
+  *literal = &lit->literal();
+  return true;
+}
+
+/// Flatten a left-deep/right-deep `and` tree into evaluation order.
+void FlattenAnd(const ExprPtr& expr, std::vector<const Expr*>* out) {
+  if (expr->op() == ExprOp::kAnd) {
+    FlattenAnd(expr->operands()[0], out);
+    FlattenAnd(expr->operands()[1], out);
+  } else {
+    out->push_back(expr.get());
+  }
+}
+
+/// Compile the fast-path prefix: simple comparisons from the front of the
+/// AND-conjunct list, stopping at the first conjunct that needs the full
+/// evaluator (so an error in conjunct k still surfaces before conjunct k+1
+/// is considered, exactly like short-circuit evaluation).
+void CompileFastPrefix(const SelectStatement& stmt, QueryPlan* plan) {
+  if (!stmt.where) {
+    plan->fast_exact = true;
+    return;
+  }
+  std::vector<const Expr*> conjuncts;
+  FlattenAnd(stmt.where, &conjuncts);
+  for (const Expr* conjunct : conjuncts) {
+    QueryPlan::FastComparison fc;
+    if (!SimpleComparison(conjunct, stmt.alias, &fc.attr, &fc.op,
+                          &fc.literal)) {
+      return;  // residual: the executor re-evaluates the full where clause
+    }
+    plan->fast_prefix.push_back(std::move(fc));
+  }
+  plan->fast_exact = true;
+}
+
+}  // namespace
+
+Result<QueryPlan> PlanQuery(Session& session, const SelectStatement& stmt) {
+  Database* db = session.db();
+  if (!db->types()->IsRegistered(stmt.class_name)) {
+    return Status::NotFound("class " + stmt.class_name);
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (item.attr.empty()) continue;  // count(*)
+    if (db->types()->ResolveAttribute(stmt.class_name, item.attr) ==
+        nullptr) {
+      return Status::NotFound("attribute " + stmt.class_name + "." +
+                              item.attr);
+    }
+  }
+
+  QueryPlan plan;
+  plan.aggregate_mode = stmt.has_aggregates() || !stmt.group_by.empty();
+  if (plan.aggregate_mode) {
+    if (!stmt.group_by.empty() &&
+        db->types()->ResolveAttribute(stmt.class_name, stmt.group_by) ==
+            nullptr) {
+      return Status::NotFound("attribute " + stmt.class_name + "." +
+                              stmt.group_by);
+    }
+    for (const SelectItem& item : stmt.items) {
+      if (!item.is_aggregate() && item.attr != stmt.group_by) {
+        return Status::InvalidArgument(
+            "non-aggregate select item '" + item.attr +
+            "' must be the group-by attribute");
+      }
+    }
+  }
+
+  std::string index_attr;
+  ExprOp index_op = ExprOp::kEq;
+  const Value* index_value = nullptr;
+  bool indexable =
+      stmt.where != nullptr &&
+      SimpleComparison(stmt.where.get(), stmt.alias, &index_attr, &index_op,
+                       &index_value) &&
+      index_op != ExprOp::kNe;
+  if (indexable && index_op == ExprOp::kEq &&
+      db->indexing()->HasIndex(stmt.class_name, index_attr)) {
+    REACH_RETURN_IF_ERROR(db->indexing()->LookupInto(
+        stmt.class_name, index_attr, *index_value, &plan.candidates));
+    plan.access = QueryPlan::Access::kIndexEq;
+  } else if (indexable &&
+             db->indexing()->HasOrderedIndex(stmt.class_name, index_attr)) {
+    const Value* lo = nullptr;
+    const Value* hi = nullptr;
+    bool lo_inc = true, hi_inc = true;
+    switch (index_op) {
+      case ExprOp::kEq: lo = hi = index_value; break;
+      case ExprOp::kLt: hi = index_value; hi_inc = false; break;
+      case ExprOp::kLe: hi = index_value; break;
+      case ExprOp::kGt: lo = index_value; lo_inc = false; break;
+      case ExprOp::kGe: lo = index_value; break;
+      default: break;
+    }
+    REACH_RETURN_IF_ERROR(db->indexing()->RangeLookupInto(
+        stmt.class_name, index_attr, lo, lo_inc, hi, hi_inc,
+        &plan.candidates));
+    plan.access = index_op == ExprOp::kEq ? QueryPlan::Access::kIndexEq
+                                          : QueryPlan::Access::kIndexRange;
+  } else {
+    plan.access = QueryPlan::Access::kExtentScan;
+    CompileFastPrefix(stmt, &plan);
+  }
+  return plan;
+}
+
+}  // namespace reach

@@ -1,0 +1,54 @@
+// Query planner: validates a parsed select statement against the type
+// system and picks the access path — index-backed equality/range probe, or
+// a (possibly parallel) extent scan. Also compiles the predicate's fast
+// path: the leading `attr <cmp> literal` conjuncts of the AND-flattened
+// where clause, which the executor evaluates directly against the object's
+// attribute map before paying for full expression evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "oodb/session.h"
+#include "query/parser.h"
+
+namespace reach {
+
+struct QueryPlan {
+  enum class Access {
+    kIndexEq,     // hash (or ordered) index equality probe
+    kIndexRange,  // ordered index range scan
+    kExtentScan,  // full extent scan, morsel-parallel when enabled
+  };
+
+  Access access = Access::kExtentScan;
+  bool aggregate_mode = false;
+
+  /// kIndexEq / kIndexRange only: candidate OIDs in index order.
+  std::vector<Oid> candidates;
+
+  /// One pre-compiled `attr <cmp> literal` conjunct. `literal` points into
+  /// the statement's expression tree — the plan must not outlive it.
+  struct FastComparison {
+    std::string attr;
+    ExprOp op;
+    const Value* literal;
+  };
+
+  /// Leading AND-conjuncts evaluable without an EvalEnv, in evaluation
+  /// order. Compilation stops at the first conjunct that is not a plain
+  /// attribute/literal comparison so error-surfacing order matches full
+  /// evaluation exactly.
+  std::vector<FastComparison> fast_prefix;
+  /// True when fast_prefix covers the entire where clause (no residual
+  /// full evaluation needed for passing objects).
+  bool fast_exact = false;
+};
+
+/// Validate `stmt` and choose its access path. Index probes run here (the
+/// candidate list is part of the plan); extent enumeration is left to the
+/// executor so it can morselize.
+Result<QueryPlan> PlanQuery(Session& session, const SelectStatement& stmt);
+
+}  // namespace reach

@@ -1,0 +1,63 @@
+#include "query/query_options.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace reach {
+
+QueryOptions QueryOptions::Parse(const char* spec) {
+  QueryOptions o;
+  if (spec == nullptr) return o;
+  std::string entry;
+  auto apply = [&o](const std::string& e) {
+    if (e.empty()) return;
+    std::string key = e, value;
+    if (size_t eq = e.find('='); eq != std::string::npos) {
+      key = e.substr(0, eq);
+      value = e.substr(eq + 1);
+    }
+    if (key == "parallel") {
+      o.parallel =
+          (value == "on" || value == "1" || value == "true") ? 1 : 0;
+    } else if (key == "morsel_pages") {
+      o.morsel_pages = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (key == "workers") {
+      o.workers = std::strtoull(value.c_str(), nullptr, 0);
+    }
+    // Unknown entries are ignored so old binaries tolerate new knobs.
+  };
+  for (const char* p = spec;; ++p) {
+    if (*p == '\0' || *p == ',' || *p == ';') {
+      apply(entry);
+      entry.clear();
+      if (*p == '\0') break;
+    } else {
+      entry.push_back(*p);
+    }
+  }
+  return o;
+}
+
+QueryOptions QueryOptions::FromEnv() {
+  static const QueryOptions parsed = Parse(std::getenv("REACH_QUERY"));
+  return parsed;
+}
+
+bool QueryOptions::ResolvedParallel() const {
+  if (parallel >= 0) return parallel != 0;
+  return FromEnv().parallel != 0;  // env default -1 means on
+}
+
+size_t QueryOptions::ResolvedMorselPages() const {
+  size_t n = morsel_pages != 0 ? morsel_pages : FromEnv().morsel_pages;
+  return n != 0 ? n : kDefaultMorselPages;
+}
+
+size_t QueryOptions::ResolvedWorkers() const {
+  size_t n = workers != 0 ? workers : FromEnv().workers;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  return n != 0 ? n : 1;
+}
+
+}  // namespace reach

@@ -1,290 +1,25 @@
 #include "query/query_pm.h"
 
-#include <algorithm>
-#include <map>
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace reach {
 
-Result<Value> ObjectEnv::Resolve(const std::vector<std::string>& path) {
-  if (path.empty()) return Status::InvalidArgument("empty path");
-  size_t attr_start = 0;
-  if (path[0] == alias_) {
-    if (path.size() == 1) return Value(obj_->oid());
-    attr_start = 1;
-  }
-  // First attribute must exist on the candidate object.
-  const std::string& attr = path[attr_start];
-  if (!obj_->Has(attr)) {
-    return Status::NotFound("attribute " + attr + " on " +
-                            obj_->class_name());
-  }
-  Value v = obj_->Get(attr);
-  // Follow reference attributes for multi-segment paths (o.ref.attr).
-  for (size_t i = attr_start + 1; i < path.size(); ++i) {
-    if (!v.is_ref()) {
-      return Status::InvalidArgument("path segment '" + path[i] +
-                                     "' applied to non-reference value");
-    }
-    REACH_ASSIGN_OR_RETURN(std::shared_ptr<DbObject> next,
-                           session_->Fetch(v.as_ref()));
-    if (!next->Has(path[i])) {
-      return Status::NotFound("attribute " + path[i] + " on " +
-                              next->class_name());
-    }
-    v = next->Get(path[i]);
-  }
-  return v;
-}
-
-namespace {
-
-/// If the predicate is `<alias>.<attr> <cmp> <literal>` (either side),
-/// return attr, the normalized operator (as if the path were on the left),
-/// and the literal so an index can serve it.
-bool IndexableComparison(const ExprPtr& where, const std::string& alias,
-                         std::string* attr, ExprOp* op, Value* literal) {
-  if (!where) return false;
-  switch (where->op()) {
-    case ExprOp::kEq:
-    case ExprOp::kLt:
-    case ExprOp::kLe:
-    case ExprOp::kGt:
-    case ExprOp::kGe:
-      break;
-    default:
-      return false;
-  }
-  const ExprPtr& l = where->operands()[0];
-  const ExprPtr& r = where->operands()[1];
-  const Expr* path = nullptr;
-  const Expr* lit = nullptr;
-  bool flipped = false;
-  if (l->op() == ExprOp::kPath && r->op() == ExprOp::kLiteral) {
-    path = l.get();
-    lit = r.get();
-  } else if (r->op() == ExprOp::kPath && l->op() == ExprOp::kLiteral) {
-    path = r.get();
-    lit = l.get();
-    flipped = true;  // literal <cmp> path
-  } else {
-    return false;
-  }
-  const auto& segs = path->path();
-  if (segs.size() == 1) {
-    *attr = segs[0];
-  } else if (segs.size() == 2 && segs[0] == alias) {
-    *attr = segs[1];
-  } else {
-    return false;
-  }
-  *op = where->op();
-  if (flipped) {
-    switch (*op) {
-      case ExprOp::kLt: *op = ExprOp::kGt; break;
-      case ExprOp::kLe: *op = ExprOp::kGe; break;
-      case ExprOp::kGt: *op = ExprOp::kLt; break;
-      case ExprOp::kGe: *op = ExprOp::kLe; break;
-      default: break;
-    }
-  }
-  *literal = lit->literal();
-  return true;
-}
-
-}  // namespace
-
 Result<QueryResult> QueryPm::Execute(Session& session,
-                                     const std::string& query) {
+                                     const std::string& query,
+                                     const QueryOptions& options) {
   REACH_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(query));
-  return Execute(session, stmt);
+  return Execute(session, stmt, options);
 }
 
 Result<QueryResult> QueryPm::Execute(Session& session,
-                                     const SelectStatement& stmt) {
-  Database* db = session.db();
-  if (!db->types()->IsRegistered(stmt.class_name)) {
-    return Status::NotFound("class " + stmt.class_name);
-  }
-  for (const SelectItem& item : stmt.items) {
-    if (item.attr.empty()) continue;  // count(*)
-    if (db->types()->ResolveAttribute(stmt.class_name, item.attr) ==
-        nullptr) {
-      return Status::NotFound("attribute " + stmt.class_name + "." +
-                              item.attr);
-    }
-  }
-
-  bool aggregate_mode = stmt.has_aggregates() || !stmt.group_by.empty();
-  if (aggregate_mode) {
-    if (!stmt.group_by.empty() &&
-        db->types()->ResolveAttribute(stmt.class_name, stmt.group_by) ==
-            nullptr) {
-      return Status::NotFound("attribute " + stmt.class_name + "." +
-                              stmt.group_by);
-    }
-    for (const SelectItem& item : stmt.items) {
-      if (!item.is_aggregate() && item.attr != stmt.group_by) {
-        return Status::InvalidArgument(
-            "non-aggregate select item '" + item.attr +
-            "' must be the group-by attribute");
-      }
-    }
-  }
-
-  QueryResult result;
-  std::vector<Oid> candidates;
-  std::string index_attr;
-  ExprOp index_op = ExprOp::kEq;
-  Value index_value;
-  bool indexable = IndexableComparison(stmt.where, stmt.alias, &index_attr,
-                                       &index_op, &index_value);
-  if (indexable && index_op == ExprOp::kEq &&
-      db->indexing()->HasIndex(stmt.class_name, index_attr)) {
-    REACH_ASSIGN_OR_RETURN(
-        candidates,
-        db->indexing()->Lookup(stmt.class_name, index_attr, index_value));
-    result.used_index = true;
-  } else if (indexable &&
-             db->indexing()->HasOrderedIndex(stmt.class_name, index_attr)) {
-    const Value* lo = nullptr;
-    const Value* hi = nullptr;
-    bool lo_inc = true, hi_inc = true;
-    switch (index_op) {
-      case ExprOp::kEq: lo = hi = &index_value; break;
-      case ExprOp::kLt: hi = &index_value; hi_inc = false; break;
-      case ExprOp::kLe: hi = &index_value; break;
-      case ExprOp::kGt: lo = &index_value; lo_inc = false; break;
-      case ExprOp::kGe: lo = &index_value; break;
-      default: break;
-    }
-    REACH_ASSIGN_OR_RETURN(
-        candidates, db->indexing()->RangeLookup(stmt.class_name, index_attr,
-                                                lo, lo_inc, hi, hi_inc));
-    result.used_index = true;
-  } else {
-    REACH_ASSIGN_OR_RETURN(candidates, session.Extent(stmt.class_name));
-  }
-
-  struct Hit {
-    Oid oid;
-    std::shared_ptr<DbObject> obj;
-    Value sort_key;
-  };
-  std::vector<Hit> hits;
-  for (const Oid& oid : candidates) {
-    REACH_ASSIGN_OR_RETURN(std::shared_ptr<DbObject> obj, session.Fetch(oid));
-    ++result.scanned;
-    ObjectEnv env(&session, stmt.alias, obj.get());
-    if (stmt.where) {
-      auto keep = EvaluateBool(stmt.where, &env);
-      // Missing attributes on heterogeneous extents: treat as no-match.
-      if (!keep.ok()) {
-        if (keep.status().IsNotFound()) continue;
-        return keep.status();
-      }
-      if (!keep.value()) continue;
-    }
-    Hit hit;
-    hit.oid = oid;
-    hit.obj = obj;
-    if (!stmt.order_by.empty()) {
-      auto key = env.Resolve(stmt.order_by);
-      hit.sort_key = key.ok() ? key.value() : Value();
-    }
-    hits.push_back(std::move(hit));
-  }
-
-  if (aggregate_mode) {
-    // Group (single group when no group-by) and fold the aggregates.
-    struct Group {
-      Value key;
-      size_t count = 0;
-      std::vector<double> sums;       // per item
-      std::vector<size_t> counts;     // non-null inputs per item
-      std::vector<Value> mins, maxs;
-    };
-    std::map<std::string, Group> groups;  // by encoded key (sorted output)
-    size_t n_items = stmt.items.size();
-    for (const Hit& hit : hits) {
-      Value key =
-          stmt.group_by.empty() ? Value() : hit.obj->Get(stmt.group_by);
-      std::string enc;
-      key.Encode(&enc);
-      Group& g = groups[enc];
-      if (g.count == 0) {
-        g.key = key;
-        g.sums.assign(n_items, 0);
-        g.counts.assign(n_items, 0);
-        g.mins.assign(n_items, Value());
-        g.maxs.assign(n_items, Value());
-      }
-      g.count++;
-      for (size_t i = 0; i < n_items; ++i) {
-        const SelectItem& item = stmt.items[i];
-        if (!item.is_aggregate() || item.attr.empty()) continue;
-        Value v = hit.obj->Get(item.attr);
-        if (v.is_null()) continue;
-        g.counts[i]++;
-        if (v.is_numeric()) g.sums[i] += v.AsNumber();
-        if (g.mins[i].is_null() || v < g.mins[i]) g.mins[i] = v;
-        if (g.maxs[i].is_null() || v > g.maxs[i]) g.maxs[i] = v;
-      }
-    }
-    for (auto& [_, g] : groups) {
-      QueryRow row;
-      for (size_t i = 0; i < n_items; ++i) {
-        const SelectItem& item = stmt.items[i];
-        switch (item.kind) {
-          case SelectItem::Kind::kAttr:
-            row.values.push_back(g.key);
-            break;
-          case SelectItem::Kind::kCount:
-            row.values.push_back(Value(static_cast<int64_t>(
-                item.attr.empty() ? g.count : g.counts[i])));
-            break;
-          case SelectItem::Kind::kSum:
-            row.values.push_back(Value(g.sums[i]));
-            break;
-          case SelectItem::Kind::kAvg:
-            row.values.push_back(
-                g.counts[i] == 0 ? Value()
-                                 : Value(g.sums[i] /
-                                         static_cast<double>(g.counts[i])));
-            break;
-          case SelectItem::Kind::kMin:
-            row.values.push_back(g.mins[i]);
-            break;
-          case SelectItem::Kind::kMax:
-            row.values.push_back(g.maxs[i]);
-            break;
-        }
-      }
-      result.rows.push_back(std::move(row));
-      if (stmt.limit && result.rows.size() >= *stmt.limit) break;
-    }
-    return result;
-  }
-
-  if (!stmt.order_by.empty()) {
-    bool desc = stmt.order_desc;
-    std::stable_sort(hits.begin(), hits.end(),
-                     [desc](const Hit& a, const Hit& b) {
-                       auto c = a.sort_key <=> b.sort_key;
-                       if (c == std::partial_ordering::unordered) return false;
-                       return desc ? c == std::partial_ordering::greater
-                                   : c == std::partial_ordering::less;
-                     });
-  }
-  size_t limit = stmt.limit.value_or(hits.size());
-  for (size_t i = 0; i < hits.size() && i < limit; ++i) {
-    QueryRow row;
-    row.oid = hits[i].oid;
-    for (const SelectItem& item : stmt.items) {
-      row.values.push_back(hits[i].obj->Get(item.attr));
-    }
-    result.rows.push_back(std::move(row));
-  }
-  return result;
+                                     const SelectStatement& stmt,
+                                     const QueryOptions& options) {
+  static obs::Histogram* span =
+      obs::MetricsRegistry::Instance().histogram(obs::kSpanQueryExec);
+  obs::ScopedLatencyTimer timer(span);
+  REACH_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(session, stmt));
+  return ExecutePlan(session, stmt, plan, options);
 }
 
 }  // namespace reach

@@ -1,54 +1,31 @@
-// Query policy manager: executes the OQL[C++] subset over class extents,
-// using an equality index when the predicate allows it (simple access-path
-// selection).
+// Query policy manager: the facade over the planner/executor split.
+// Planning (validation + access-path selection) lives in query/planner.h;
+// morsel-parallel execution in query/executor.h; the REACH_QUERY knob in
+// query/query_options.h. See docs/QUERY.md.
 #pragma once
 
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "common/result.h"
 #include "oodb/session.h"
+#include "query/executor.h"
 #include "query/parser.h"
+#include "query/planner.h"
+#include "query/query_options.h"
 
 namespace reach {
-
-struct QueryRow {
-  Oid oid;
-  std::vector<Value> values;  // projected attributes ([] for select *)
-};
-
-struct QueryResult {
-  std::vector<QueryRow> rows;
-  bool used_index = false;
-  size_t scanned = 0;  // objects examined
-};
 
 class QueryPm {
  public:
   QueryPm() = default;
 
   /// Execute `query` within the session's current transaction.
-  Result<QueryResult> Execute(Session& session, const std::string& query);
+  Result<QueryResult> Execute(Session& session, const std::string& query,
+                              const QueryOptions& options = {});
 
   /// Execute a pre-parsed statement.
-  Result<QueryResult> Execute(Session& session, const SelectStatement& stmt);
-};
-
-/// EvalEnv over one candidate object: `<alias>.attr` resolves to the
-/// object's attribute; a bare `<alias>` resolves to its OID; single-segment
-/// paths also try the object's attributes directly.
-class ObjectEnv : public EvalEnv {
- public:
-  ObjectEnv(Session* session, const std::string& alias, const DbObject* obj)
-      : session_(session), alias_(alias), obj_(obj) {}
-
-  Result<Value> Resolve(const std::vector<std::string>& path) override;
-
- private:
-  Session* session_;
-  std::string alias_;
-  const DbObject* obj_;
+  Result<QueryResult> Execute(Session& session, const SelectStatement& stmt,
+                              const QueryOptions& options = {});
 };
 
 }  // namespace reach

@@ -47,6 +47,11 @@ class ObjectStore {
   ObjectStore(BufferPool* pool, Wal* wal, PageId first_data_page = 1,
               size_t stripes = 0);
 
+  /// Pages worth of readahead per batched pool submission — the window used
+  /// by ScanAll / Bootstrap, and by scan consumers above the store (query
+  /// morsels) so one warming call never floods the pool.
+  static constexpr size_t kScanReadAheadPages = 32;
+
   /// Rebuild the free-space map by scanning existing pages. Call once after
   /// recovery / open.
   Status Bootstrap();
@@ -180,10 +185,6 @@ class ObjectStore {
   std::shared_mutex& PageLockFor(PageId page) {
     return page_locks_[page % kPageLockStripes];
   }
-
-  /// Pages worth of readahead per batched pool submission in ScanAll /
-  /// Bootstrap.
-  static constexpr size_t kScanReadAheadPages = 32;
 
   BufferPool* pool_;
   Wal* wal_;

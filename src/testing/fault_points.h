@@ -63,6 +63,14 @@ inline constexpr const char* kTxnCommitEntry = "txn.commit.entry";
 inline constexpr const char* kTxnCommitForce = "txn.commit.force";
 inline constexpr const char* kTxnAbortEntry = "txn.abort.entry";
 
+// -- Query executor --------------------------------------------------------
+/// Start of one extent-scan morsel (both the serial fallback and parallel
+/// workers cross it). An injected error fails the whole query with that
+/// status — no partial rows are returned. On a parallel worker an injected
+/// crash is caught and rethrown on the thread that issued the query; the
+/// serial path throws on the caller directly.
+inline constexpr const char* kQueryMorsel = "query.morsel";
+
 // -- RuleEngine ------------------------------------------------------------
 inline constexpr const char* kRuleDeferredFlush = "rule.deferred.flush";
 inline constexpr const char* kRuleSubtxnExec = "rule.subtxn.exec";
@@ -78,6 +86,7 @@ inline constexpr const char* kAll[] = {
     kBufFetch,        kBufEvictWriteback, kBufFlushPage,     kBufFlushAll,
     kBufWriteback,
     kTxnBegin,        kTxnCommitEntry,    kTxnCommitForce,   kTxnAbortEntry,
+    kQueryMorsel,
     kRuleDeferredFlush, kRuleSubtxnExec,  kRuleDetachedExec,
 };
 

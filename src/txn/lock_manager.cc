@@ -116,6 +116,36 @@ Status LockManager::Acquire(TxnId txn, const Oid& resource, LockMode mode,
   return result;
 }
 
+Status LockManager::AcquireSharedBatch(TxnId txn,
+                                       const std::vector<Oid>& resources,
+                                       int64_t timeout_us) {
+  std::vector<Oid> contended;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Oid& oid : resources) {
+      Resource& res = table_[oid];
+      bool held = false;
+      for (const Grant& g : res.grants) {
+        if (g.txn == txn) {  // any own grant covers a shared request
+          held = true;
+          break;
+        }
+      }
+      if (held) continue;
+      if (CanGrant(res, txn, LockMode::kShared)) {
+        DoGrant(&res, txn, LockMode::kShared);
+      } else {
+        contended.push_back(oid);
+      }
+    }
+  }
+  for (const Oid& oid : contended) {
+    Status st = Acquire(txn, oid, LockMode::kShared, timeout_us);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
 void LockManager::ReleaseAll(TxnId txn) {
   {
     std::lock_guard<std::mutex> lock(mu_);

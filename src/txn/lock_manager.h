@@ -32,6 +32,13 @@ class LockManager {
   Status Acquire(TxnId txn, const Oid& resource, LockMode mode,
                  int64_t timeout_us = -1);
 
+  /// Acquire shared locks on a batch of resources with one mutex hold for
+  /// every uncontended grant; contended resources fall back to the blocking
+  /// per-resource Acquire (keeping deadlock detection). Used by batch object
+  /// fetches (query morsels), where per-OID locking would serialize on mu_.
+  Status AcquireSharedBatch(TxnId txn, const std::vector<Oid>& resources,
+                            int64_t timeout_us = -1);
+
   /// Release every lock `txn` holds and wake waiters.
   void ReleaseAll(TxnId txn);
 

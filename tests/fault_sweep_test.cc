@@ -220,6 +220,15 @@ void RunActiveWorkload(const std::string& base) {
       (void)s.Commit();
     }
   }
+  // An extent-scan query crosses query.morsel (no index on Obj, so the
+  // planner cannot sidestep the scan).
+  {
+    Session s(db->database());
+    if (s.Begin().ok()) {
+      (void)db->Query(s, "select n from Obj where n >= 0");
+      (void)s.Commit();
+    }
+  }
   // An explicitly aborted transaction.
   {
     Session s(db->database());

@@ -298,6 +298,44 @@ TEST_F(QueryPmTest, GroupByAggregates) {
   EXPECT_EQ(all->rows.size(), 5u);  // five distinct symbols
 }
 
+TEST_F(QueryPmTest, LookupIntoReusesBufferAndMatchesCopyingOverloads) {
+  ASSERT_TRUE(db_->indexing()
+                  ->CreateIndex(session_->current_txn(), "Stock", "symbol")
+                  .ok());
+  ASSERT_TRUE(db_->indexing()
+                  ->CreateIndex(session_->current_txn(), "Stock", "price",
+                                IndexKind::kOrdered)
+                  .ok());
+  // Buffer with pre-existing garbage and capacity: Into variants must
+  // clear before filling and may reuse the allocation across probes.
+  std::vector<Oid> buf(64);
+  const Oid* data_before = buf.data();
+  ASSERT_TRUE(
+      db_->indexing()->LookupInto("Stock", "symbol", Value("IBM"), &buf).ok());
+  auto copied = db_->indexing()->Lookup("Stock", "symbol", Value("IBM"));
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(buf, *copied);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.data(), data_before);  // capacity reused, no realloc
+
+  Value lo(20.0), hi(40.0);
+  ASSERT_TRUE(db_->indexing()
+                  ->RangeLookupInto("Stock", "price", &lo, true, &hi, true,
+                                    &buf)
+                  .ok());
+  auto range =
+      db_->indexing()->RangeLookup("Stock", "price", &lo, true, &hi, true);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(buf, *range);
+  EXPECT_EQ(buf.size(), 3u);  // prices 20, 30, 40
+  EXPECT_EQ(buf.data(), data_before);
+
+  // Missing index surfaces NotFound without disturbing the buffer's use.
+  EXPECT_TRUE(db_->indexing()
+                  ->LookupInto("Stock", "volume", Value(0), &buf)
+                  .IsNotFound());
+}
+
 TEST_F(QueryPmTest, OrderedIndexServesRangePredicates) {
   ASSERT_TRUE(db_->indexing()
                   ->CreateIndex(session_->current_txn(), "Stock", "price",
